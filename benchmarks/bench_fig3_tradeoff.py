@@ -1,0 +1,67 @@
+"""Figure 3 — Power vs. robustness-budget trade-off curve.
+
+Sweeps the robustness budget (as a multiple of the all-NDR reference)
+on one mid-size design and records, per point, the smart optimizer's
+power and the fraction of wires it upgraded.  Expected shape: a knee —
+with loose budgets almost nothing is upgraded and power sits at the
+no-NDR floor; tightening toward the all-NDR reference point upgrades a
+growing minority of wires; power stays well below the all-NDR line
+until budgets get within a few percent of what all-NDR achieves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import emit
+from repro.bench import generate_design, spec_by_name
+from repro.core import Policy, run_flow
+from repro.reporting import ExperimentRecord
+
+DESIGN = "ckt256"
+SLACKS = (0.60, 0.40, 0.25, 0.15, 0.10)
+
+
+def _sweep(matrix) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "fig3", f"power vs budget tightness on {DESIGN}",
+        "budget slack over all-NDR reference", "value")
+    base_targets = matrix.targets_for(DESIGN)
+    reference = matrix.flow(DESIGN, Policy.ALL_NDR)
+    p_all = reference.clock_power
+    p_no = matrix.flow(DESIGN, Policy.NO_NDR).clock_power
+
+    for slack in SLACKS:
+        # Rebuild targets at this slack from the same reference metrics.
+        scale = (1.0 + slack) / 1.15  # base targets carry 15% slack
+        targets = dataclasses.replace(
+            base_targets,
+            max_worst_delta=base_targets.max_worst_delta * scale,
+            max_skew_3sigma=base_targets.max_skew_3sigma * scale)
+        design = generate_design(spec_by_name(DESIGN))
+        flow = run_flow(design, matrix.tech, policy=Policy.SMART,
+                        targets=targets)
+        hist = flow.rule_histogram
+        total = sum(hist.values())
+        upgraded_frac = 1.0 - hist.get("W1S1", 0) / total
+        record.series_named("power_uw").add(slack, flow.clock_power)
+        record.series_named("upgraded_fraction").add(slack, upgraded_frac)
+        record.series_named("feasible").add(slack, 1.0 if flow.feasible else 0.0)
+    record.series_named("all_ndr_power").add(0.0, p_all)
+    record.series_named("no_ndr_power").add(0.0, p_no)
+    return record
+
+
+def test_fig3_budget_tradeoff(benchmark, capsys, matrix):
+    record = benchmark.pedantic(_sweep, args=(matrix,),
+                                rounds=1, iterations=1)
+    emit(capsys, record.render())
+
+    power = record.series["power_uw"]
+    frac = record.series["upgraded_fraction"]
+    # Monotone shape: tighter budget -> more upgrades, more power.
+    assert frac.ys[0] <= frac.ys[-1]
+    assert power.ys[0] <= power.ys[-1] * 1.02
+    # Even at the tightest point, smart stays below the all-NDR line.
+    p_all = record.series["all_ndr_power"].ys[0]
+    assert max(power.ys) < p_all

@@ -1,0 +1,60 @@
+"""Figure 4 — Per-sink delta-delay distribution per policy.
+
+Histogrammed as percentiles of the worst-case crosstalk delta delay
+across sinks, for NO-NDR / ALL-NDR / SMART on one design.  Expected
+shape: the NO-NDR distribution crosses the budget; ALL-NDR compresses
+the whole distribution ~2-3x; SMART lands just inside the budget — its
+distribution sits *between* ALL-NDR's and the budget line, because the
+cheapest fixes are shared-trunk upgrades whose benefit reaches every
+sink (the compression is global, but bought with a small minority of
+wires).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.core import Policy
+from repro.reporting import ExperimentRecord
+
+DESIGN = "ckt256"
+PERCENTILES = (10, 25, 50, 75, 90, 99, 100)
+
+
+def _distributions(matrix) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "fig4", f"delta-delay distribution per policy on {DESIGN}",
+        "percentile", "worst-case delta delay (ps)")
+    for policy in (Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART):
+        flow = matrix.flow(DESIGN, policy)
+        deltas = np.array([s.worst for s in flow.analyses.crosstalk.sinks])
+        series = record.series_named(policy.value)
+        for p in PERCENTILES:
+            series.add(p, float(np.percentile(deltas, p)))
+    budget = matrix.targets_for(DESIGN).max_worst_delta
+    record.series_named("budget").add(100, budget)
+    return record
+
+
+def test_fig4_delta_delay_distribution(benchmark, capsys, matrix):
+    record = benchmark.pedantic(_distributions, args=(matrix,),
+                                rounds=1, iterations=1)
+    emit(capsys, record.render())
+
+    no_ndr = dict(record.series["no-ndr"].as_rows())
+    all_ndr = dict(record.series["all-ndr"].as_rows())
+    smart = dict(record.series["smart"].as_rows())
+    budget = record.series["budget"].ys[0]
+
+    # Tail: no-NDR crosses the budget, the others do not.
+    assert no_ndr[100] > budget
+    assert all_ndr[100] <= budget
+    assert smart[100] <= budget
+    # ALL-NDR compresses the whole distribution.
+    assert all_ndr[50] < no_ndr[50]
+    # SMART stops at "good enough": its distribution sits between the
+    # all-NDR one and the budget line.
+    assert smart[50] >= all_ndr[50] * 0.9
+    assert smart[100] >= all_ndr[100] * 0.9
+    assert smart[100] < 0.8 * no_ndr[100]

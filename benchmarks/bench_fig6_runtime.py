@@ -1,0 +1,45 @@
+"""Figure 6 — Runtime scaling of the flow.
+
+Wall-clock time of the full flow per policy vs. design size.  Expected
+shape: uniform policies scale near-linearly in sink count; the greedy
+optimizer pays a small constant number of analyze/re-trim iterations on
+top (a few x); the ML-guided variant cuts the greedy gap by replacing
+the sensitivity loop with one prediction plus a short repair pass.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.core import Policy
+from repro.reporting import ExperimentRecord
+
+DESIGNS = ("ckt64", "ckt128", "ckt256", "ckt512", "ckt1024")
+
+
+def _collect(matrix) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "fig6", "flow runtime vs design size",
+        "sinks", "runtime (s)")
+    from repro.bench import spec_by_name
+
+    for name in DESIGNS:
+        sinks = spec_by_name(name).n_sinks
+        for policy in (Policy.ALL_NDR, Policy.SMART, Policy.SMART_ML):
+            flow = matrix.flow(name, policy)
+            record.series_named(policy.value).add(sinks, flow.runtime)
+    return record
+
+
+def test_fig6_runtime_scaling(benchmark, capsys, matrix):
+    record = benchmark.pedantic(_collect, args=(matrix,),
+                                rounds=1, iterations=1)
+    emit(capsys, record.render())
+
+    smart = record.series["smart"]
+    all_ndr = record.series["all-ndr"]
+    # Smart pays an iteration overhead over the uniform flow but stays
+    # within a small constant factor at every size.
+    for (_, t_all), (_, t_smart) in zip(all_ndr.as_rows(), smart.as_rows()):
+        assert t_smart < 40.0 * max(t_all, 1e-3)
+    # Near-linear scaling: 16x sinks should cost far less than 100x time.
+    assert smart.ys[-1] < 120.0 * max(smart.ys[0], 1e-3)

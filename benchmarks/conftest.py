@@ -1,0 +1,93 @@
+"""Shared machinery for the experiment benchmarks.
+
+The expensive artefact — the full (design x policy) flow matrix — is
+computed once per session, lazily, and shared by every table/figure
+module.  Budgets follow the reproduction protocol: each design's
+robustness targets are pegged to its own all-NDR reference run
+(15% slack), which is the paper's operational definition of "as robust
+as all-NDR".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import pytest
+
+from repro.bench import benchmark_suite, generate_design, spec_by_name
+from repro.core import (FlowResult, NdrClassifierGuide, Policy,
+                        RobustnessTargets, run_flow, targets_from_reference)
+from repro.tech import Technology, default_technology
+
+#: Designs used by the full-suite tables (largest capped for CI runtime).
+TABLE_DESIGNS = ("ckt64", "ckt128", "ckt256", "ckt512", "ckt1024", "ckt2048")
+TABLE_POLICIES = (Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART,
+                  Policy.SMART_ML)
+ML_TRAIN_DESIGNS = ("ckt64", "ckt128", "ckt256")
+
+
+@dataclass
+class SuiteMatrix:
+    """Lazily filled cache of flow runs and per-design targets."""
+
+    tech: Technology
+    targets: dict[str, RobustnessTargets] = field(default_factory=dict)
+    flows: dict[tuple[str, str], FlowResult] = field(default_factory=dict)
+    _guide: Optional[NdrClassifierGuide] = None
+
+    def targets_for(self, design_name: str) -> RobustnessTargets:
+        if design_name not in self.targets:
+            design = generate_design(spec_by_name(design_name))
+            reference = run_flow(design, self.tech, policy=Policy.ALL_NDR)
+            self.targets[design_name] = targets_from_reference(
+                reference.analyses, self.tech)
+        return self.targets[design_name]
+
+    def guide(self) -> NdrClassifierGuide:
+        if self._guide is None:
+            guide = NdrClassifierGuide(seed=5)
+            guide.fit_designs(
+                [generate_design(spec_by_name(n)) for n in ML_TRAIN_DESIGNS],
+                self.tech)
+            self._guide = guide
+        return self._guide
+
+    def flow(self, design_name: str, policy: Policy) -> FlowResult:
+        key = (design_name, policy.value)
+        if key not in self.flows:
+            design = generate_design(spec_by_name(design_name))
+            kwargs = {}
+            if policy == Policy.SMART_ML:
+                kwargs["guide"] = self.guide()
+            self.flows[key] = run_flow(
+                design, self.tech, policy=policy,
+                targets=self.targets_for(design_name), **kwargs)
+        return self.flows[key]
+
+
+_MATRIX: Optional[SuiteMatrix] = None
+
+
+@pytest.fixture(scope="session")
+def matrix() -> SuiteMatrix:
+    global _MATRIX
+    if _MATRIX is None:
+        _MATRIX = SuiteMatrix(tech=default_technology())
+    return _MATRIX
+
+
+@pytest.fixture(scope="session")
+def tech() -> Technology:
+    return default_technology()
+
+
+def emit(capsys, text: str) -> None:
+    """Print experiment output through pytest's capture."""
+    with capsys.disabled():
+        print()
+        print(text)
+
+
+def suite_specs():
+    return [spec for spec in benchmark_suite() if spec.name in TABLE_DESIGNS]

@@ -1,0 +1,71 @@
+"""Scenario: bring your own technology.
+
+Everything process-dependent lives in one immutable
+:class:`~repro.tech.Technology` object.  This example derives a
+"stressed" variant of the default 45 nm-class technology — higher
+aggressor coupling (denser dielectric stack) and a tighter EM limit —
+and shows how the smart optimizer's rule mix shifts in response: more
+spacing upgrades for the coupling, more width for the EM.
+
+Usage::
+
+    python examples/custom_technology.py
+"""
+
+import dataclasses
+
+from repro import (Policy, RobustnessTargets, default_technology,
+                   generate_design, run_flow, spec_by_name)
+from repro.reporting import Table
+from repro.tech.layers import MetalStack
+
+
+def stressed_technology():
+    """The default tech with 1.5x coupling and 0.8x EM budget."""
+    base = default_technology()
+    layers = []
+    for layer in base.stack:
+        layers.append(dataclasses.replace(
+            layer,
+            k_couple=layer.k_couple * 1.5,
+            em_jmax=layer.em_jmax * 0.8,
+        ))
+    return dataclasses.replace(base, name="generic45-stressed",
+                               stack=MetalStack(layers=tuple(layers)))
+
+
+def run(tech, label: str, table: Table) -> None:
+    spec = spec_by_name("ckt256")
+    # The *same absolute* spec for both processes (0.6% / 1.0% of the
+    # period), so the stressed one has to work harder to meet it.
+    targets = RobustnessTargets.for_period(
+        spec.clock_period, tech.max_slew,
+        delta_fraction=0.006, skew_fraction=0.010)
+    flow = run_flow(generate_design(spec), tech, policy=Policy.SMART,
+                    targets=targets)
+    hist = flow.rule_histogram
+    total = sum(hist.values())
+    spacing = hist.get("W1S2", 0) + hist.get("W2S2", 0) + hist.get("W4S2", 0)
+    width = hist.get("W2S1", 0) + hist.get("W2S2", 0) + hist.get("W4S2", 0)
+    table.add_row(label, flow.clock_power,
+                  100.0 * (total - hist.get("W1S1", 0)) / total,
+                  spacing, width,
+                  "yes" if flow.feasible else "NO")
+
+
+def main() -> None:
+    table = Table(
+        "Smart NDR under two technologies (ckt256)",
+        ["technology", "power (uW)", "upgraded %", "spacing rules",
+         "width rules", "feasible"])
+    run(default_technology(), "generic45 (default)", table)
+    run(stressed_technology(), "generic45-stressed", table)
+    print(table.render())
+    print("\nThe stressed process needs roughly twice the protection, and "
+          "the extra\ndemand lands on the spacing axis (the coupling got "
+          "worse); the optimizer\nfinds the new mix from the same analysis "
+          "loop — no re-tuning required.")
+
+
+if __name__ == "__main__":
+    main()

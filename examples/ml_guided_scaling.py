@@ -1,0 +1,64 @@
+"""Scenario: learn the rule decisions once, apply them at scale.
+
+The greedy optimizer re-analyzes the design every iteration; on a big
+clock network that loop dominates runtime.  This example trains the
+classifier guide on the three smallest benchmarks and deploys it on the
+two largest, comparing runtime and power against the full greedy run —
+the paper's "smart/predictive" scalability angle.
+
+Usage::
+
+    python examples/ml_guided_scaling.py
+"""
+
+import time
+
+from repro import (NdrClassifierGuide, Policy, default_technology,
+                   generate_design, run_flow, spec_by_name,
+                   targets_from_reference)
+from repro.reporting import Table
+
+TRAIN = ("ckt64", "ckt128", "ckt256")
+DEPLOY = ("ckt512", "ckt1024")
+
+
+def main() -> None:
+    tech = default_technology()
+
+    t0 = time.perf_counter()
+    guide = NdrClassifierGuide(seed=1)
+    stats = guide.fit_designs([generate_design(spec_by_name(n))
+                               for n in TRAIN], tech)
+    train_time = time.perf_counter() - t0
+    print(f"Trained on {stats.n_samples} wires from {', '.join(TRAIN)} "
+          f"in {train_time:.1f}s; label mix: {stats.label_counts}")
+    top = sorted(stats.feature_importances.items(), key=lambda kv: -kv[1])[:4]
+    print("Top features:",
+          ", ".join(f"{k} ({v:.2f})" for k, v in top), "\n")
+
+    table = Table(
+        "Greedy vs ML-guided on held-out designs",
+        ["design", "greedy P (uW)", "greedy t (s)", "ml P (uW)", "ml t (s)",
+         "power gap %", "both feasible"])
+    for name in DEPLOY:
+        spec = spec_by_name(name)
+        reference = run_flow(generate_design(spec), tech,
+                             policy=Policy.ALL_NDR)
+        targets = targets_from_reference(reference.analyses, tech)
+        greedy = run_flow(generate_design(spec), tech, policy=Policy.SMART,
+                          targets=targets)
+        ml = run_flow(generate_design(spec), tech, policy=Policy.SMART_ML,
+                      targets=targets, guide=guide)
+        gap = 100.0 * (ml.clock_power - greedy.clock_power) \
+            / greedy.clock_power
+        table.add_row(name, greedy.clock_power, greedy.runtime,
+                      ml.clock_power, ml.runtime, gap,
+                      "yes" if greedy.feasible and ml.feasible else "NO")
+    print(table.render())
+    print("\nThe guide lands within a few percent of the greedy power with "
+          "one prediction\npass plus a short repair loop instead of the "
+          "full sensitivity iteration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Scenario: where do the NDRs actually go?
+
+The paper's motivation section argues most clock wires never needed
+their NDR.  This example dissects a smart-NDR solution on a 512-sink
+SoC block: which wires were upgraded, with which rule, and which
+constraint drove each upgrade — recovered from the wires' default-state
+analysis (EM utilisation, coupling exposure, tree depth).
+
+Usage::
+
+    python examples/soc_block_anatomy.py
+"""
+
+from collections import Counter
+
+from repro import (Policy, default_technology, generate_design, run_flow,
+                   spec_by_name, targets_from_reference)
+from repro.reliability.em import DEFAULT_EM_FACTOR, analyze_em
+from repro.reporting import Table
+
+
+def main() -> None:
+    tech = default_technology()
+    spec = spec_by_name("ckt512")
+    reference = run_flow(generate_design(spec), tech, policy=Policy.ALL_NDR)
+    targets = targets_from_reference(reference.analyses, tech)
+
+    flow = run_flow(generate_design(spec), tech, policy=Policy.SMART,
+                    targets=targets)
+    routing = flow.physical.routing
+    extraction = flow.physical.extraction
+    tree = flow.physical.tree
+    em = analyze_em(extraction.network, routing, tech.vdd,
+                    generate_design(spec).clock_freq,
+                    em_factor=DEFAULT_EM_FACTOR)
+    em_util = {w.wire_id: w.utilization for w in em.wires}
+
+    print(f"{spec.name}: {len(routing.clock_wires)} clock wires, "
+          f"{flow.optimize.num_upgraded} upgraded "
+          f"({100 * flow.optimize.num_upgraded / len(routing.clock_wires):.1f}%), "
+          f"{flow.optimize.downgraded} reclaimed by the peephole pass\n")
+
+    # Rule histogram.
+    hist = Counter(flow.rule_histogram)
+    table = Table("Rule assignment", ["rule", "wires", "share %"])
+    total = sum(hist.values())
+    for rule in ("W1S1", "W2S1", "W1S2", "W2S2", "W4S2"):
+        if hist.get(rule):
+            table.add_row(rule, hist[rule], 100.0 * hist[rule] / total)
+    print(table.render())
+
+    # Anatomy of the upgraded population.
+    upgraded = [routing.tracks.wire(wid) for wid in flow.optimize.upgraded]
+    if upgraded:
+        anatomy = Table(
+            "Upgraded wires: what drove them",
+            ["rule", "n", "mean depth", "mean len (um)",
+             "mean EM util", "mean cc (fF)"])
+        by_rule: dict[str, list] = {}
+        for wire in upgraded:
+            by_rule.setdefault(wire.rule.name.value, []).append(wire)
+        for rule, wires in sorted(by_rule.items()):
+            depths = [tree.depth(w.edge_child_id) for w in wires]
+            lengths = [w.length for w in wires]
+            utils = [em_util.get(w.wire_id, 0.0) for w in wires]
+            ccs = [extraction.wires[w.wire_id].cc_signal for w in wires]
+            anatomy.add_row(
+                rule, len(wires),
+                sum(depths) / len(wires),
+                sum(lengths) / len(wires),
+                sum(utils) / len(wires),
+                sum(ccs) / len(wires))
+        print(anatomy.render())
+        print("\nReading: width upgrades (W2S1/W4S2) concentrate on shallow,"
+              "\nlong, high-current trunks (EM + variation); spacing upgrades"
+              "\n(W1S2/W2S2) sit where aggressor coupling is largest.")
+
+    from repro.viz import save_clock_svg
+
+    save_clock_svg(tree, routing, "clock_anatomy.svg",
+                   title=f"{spec.name} smart NDR (gray=default, "
+                         "blue=width, green=space, orange/red=full)",
+                   blockages=flow.physical.design.blockages)
+    print("\nWrote clock_anatomy.svg — the gray tree with its few "
+          "colored (protected) wires.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Scenario: two clocks weaving through the same logic.
+
+An interleaved pair of clock domains is the hardest SI environment a
+clock sees — the other tree toggles every single cycle.  This example
+builds both domains into one track space, pegs per-domain budgets to
+the uniform-NDR reference, and shows per-domain smart assignment
+restoring feasibility at lower combined power.
+
+Usage::
+
+    python examples/two_clock_domains.py
+"""
+
+from repro import (Policy, default_technology, generate_design,
+                   spec_by_name, targets_from_reference)
+from repro.core import run_multiclock_flow, split_domains
+from repro.reporting import Table
+
+DESIGN = "ckt128"
+
+
+def build(policy, tech, targets=None):
+    design = generate_design(spec_by_name(DESIGN))
+    domains = split_domains(design, 2, interleave=True)
+    return run_multiclock_flow(design, domains, tech, policy=policy,
+                               targets=targets)
+
+
+def main() -> None:
+    tech = default_technology()
+    reference = build(Policy.ALL_NDR, tech)
+    targets = {d.domain.name: targets_from_reference(d.analyses, tech)
+               for d in reference.domains}
+
+    table = Table(f"{DESIGN} split into two interleaved clock domains",
+                  ["policy", "domain", "P (uW)", "dd ps", "3sig ps",
+                   "inter-clock couplings", "feasible"])
+    totals = {}
+    for policy in (Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART):
+        result = build(policy, tech, targets)
+        totals[policy] = result.total_power
+        for d in result.domains:
+            hot = sum(1 for para in d.extraction.wires.values()
+                      for e in para.couplings if e.activity == 1.0)
+            a = d.analyses
+            table.add_row(policy.value, d.domain.name, d.clock_power,
+                          a.crosstalk.worst_delta, a.mc.skew_3sigma, hot,
+                          "yes" if d.feasible else "NO")
+    print(table.render())
+    saving = 100.0 * (totals[Policy.ALL_NDR] - totals[Policy.SMART]) \
+        / totals[Policy.ALL_NDR]
+    print(f"\nCombined: smart {totals[Policy.SMART]:.0f} uW vs all-NDR "
+          f"{totals[Policy.ALL_NDR]:.0f} uW ({saving:.1f}% saving), with "
+          "both domains inside their budgets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file only exists
+so `pip install -e .` can fall back to the legacy (non-PEP-517) editable
+install path in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

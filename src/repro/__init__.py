@@ -1,0 +1,59 @@
+"""repro: Smart non-default routing for clock power reduction.
+
+A from-scratch reproduction of the DAC 2013 paper by Kahng, Kang and
+Lee: selective assignment of non-default routing rules (width/spacing
+upgrades) to clock wires, so the clock network gets (nearly) the
+robustness of uniformly NDR-routed clocks at (nearly) the power of
+default routing.
+
+The library contains the full physical-design substrate the flow needs:
+technology modeling, clock tree synthesis, track routing, RC extraction,
+Elmore/crosstalk/Monte-Carlo timing, EM checks, and a power model — see
+``DESIGN.md`` for the inventory.
+
+Quickstart::
+
+    from repro import (benchmark_suite, generate_design,
+                       default_technology, run_flow, Policy)
+
+    design = generate_design(benchmark_suite()[0])
+    result = run_flow(design, policy=Policy.SMART)
+    print(result.summary())
+"""
+
+from repro.bench import DesignSpec, benchmark_suite, generate_design, spec_by_name
+from repro.core import (FlowResult, NdrClassifierGuide, OptimizeResult,
+                        Policy, RobustnessTargets, SmartNdrOptimizer,
+                        build_physical_design, run_flow)
+from repro.core.evaluation import AnalysisBundle, analyze_all, targets_from_reference
+from repro.netlist import Design
+from repro.tech import (RoutingRule, RuleName, RULE_SET, Technology,
+                        default_technology, rule_by_name)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignSpec",
+    "benchmark_suite",
+    "generate_design",
+    "spec_by_name",
+    "FlowResult",
+    "NdrClassifierGuide",
+    "OptimizeResult",
+    "Policy",
+    "RobustnessTargets",
+    "SmartNdrOptimizer",
+    "build_physical_design",
+    "run_flow",
+    "AnalysisBundle",
+    "analyze_all",
+    "targets_from_reference",
+    "Design",
+    "RoutingRule",
+    "RuleName",
+    "RULE_SET",
+    "Technology",
+    "default_technology",
+    "rule_by_name",
+    "__version__",
+]

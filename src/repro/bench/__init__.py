@@ -1,0 +1,19 @@
+"""Synthetic benchmark designs.
+
+Substrate S13 in DESIGN.md.  These stand in for the paper's proprietary
+industrial testcases: seeded generators produce placed designs with
+clustered sink flops and locality-bounded aggressor nets whose geometry
+statistics (sink pitch, aggressor density, activity) are the knobs the
+experiments sweep.
+"""
+
+from repro.bench.designs import DesignSpec, generate_design, benchmark_suite, spec_by_name
+from repro.bench.aggressors import generate_aggressors
+
+__all__ = [
+    "DesignSpec",
+    "generate_design",
+    "benchmark_suite",
+    "spec_by_name",
+    "generate_aggressors",
+]

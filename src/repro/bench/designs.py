@@ -1,0 +1,181 @@
+"""Benchmark design specifications and the seeded generator.
+
+The suite scales from 64 to 2048 sinks with die sizes that keep the
+sink pitch in the 25-50 um range of real placed blocks, and with
+aggressor densities (signal nets per sink) that put a realistic number
+of switching wires next to the clock.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.aggressors import generate_aggressors
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.netlist.design import Design
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Everything needed to reproduce one benchmark design.
+
+    Attributes
+    ----------
+    name:
+        Design name (also the seed salt).
+    n_sinks:
+        Number of clock sink flops.
+    die_edge:
+        Die edge length, um (square die).
+    aggressors_per_sink:
+        Signal net count as a multiple of the sink count.
+    mean_activity:
+        Mean aggressor toggle probability per cycle.
+    clock_period:
+        ps.
+    n_clusters:
+        Sink placement clusters (0 = uniform).
+    seed:
+        Generator seed.
+    flop_cin:
+        Clock pin capacitance of each sink flop, fF.
+    n_blockages:
+        Hard macros (placement + routing keep-outs) dropped on the die.
+    blockage_fraction:
+        Macro edge length as a fraction of the die edge.
+    """
+
+    name: str
+    n_sinks: int
+    die_edge: float
+    aggressors_per_sink: float = 2.0
+    mean_activity: float = 0.15
+    clock_period: float = 1000.0
+    n_clusters: int = 4
+    seed: int = 7
+    flop_cin: float = 1.8
+    n_blockages: int = 0
+    blockage_fraction: float = 0.18
+    #: Give aggressor nets switching windows (for window-pruned SI).
+    aggressor_windows: bool = False
+
+    @property
+    def n_aggressors(self) -> int:
+        return int(round(self.n_sinks * self.aggressors_per_sink))
+
+
+def generate_design(spec: DesignSpec) -> Design:
+    """Deterministically build the placed design for ``spec``."""
+    if spec.n_sinks < 1:
+        raise ValueError("need at least one sink")
+    # zlib.crc32 is stable across interpreter runs (unlike hash()).
+    rng = np.random.default_rng(spec.seed + zlib.crc32(spec.name.encode()) % (2 ** 16))
+    die = Rect(0.0, 0.0, spec.die_edge, spec.die_edge)
+    design = Design(name=spec.name, die=die, clock_period=spec.clock_period)
+    design.add_clock_source(Point(spec.die_edge / 2.0, 0.0))
+
+    _place_blockages(rng, spec, design)
+    locations = _sink_locations(rng, spec, design)
+    for i, loc in enumerate(locations):
+        design.add_flop(f"ff_{i}", loc, clock_pin_cap=spec.flop_cin)
+
+    generate_aggressors(
+        design, rng,
+        count=spec.n_aggressors,
+        locality=max(40.0, spec.die_edge * 0.08),
+        mean_activity=spec.mean_activity,
+        with_windows=spec.aggressor_windows,
+    )
+    design.validate()
+    return design
+
+
+def _place_blockages(rng: np.random.Generator, spec: DesignSpec,
+                     design: Design) -> None:
+    """Drop disjoint hard macros on the die (keep-out margin between them)."""
+    if spec.n_blockages <= 0:
+        return
+    edge = spec.die_edge * spec.blockage_fraction
+    margin = spec.die_edge * 0.08
+    placed: list[Rect] = []
+    attempts = 0
+    while len(placed) < spec.n_blockages and attempts < 200:
+        attempts += 1
+        x = float(rng.uniform(margin, spec.die_edge - margin - edge))
+        y = float(rng.uniform(margin, spec.die_edge - margin - edge))
+        rect = Rect(x, y, x + edge, y + edge)
+        if any(rect.expanded(4.0).intersects(other) for other in placed):
+            continue
+        placed.append(rect)
+        design.add_blockage(rect)
+
+
+def _sink_locations(rng: np.random.Generator, spec: DesignSpec,
+                    design: Design) -> list[Point]:
+    """Clustered-plus-uniform sink placement, deduplicated on a fine grid."""
+    margin = spec.die_edge * 0.03
+    lo, hi = margin, spec.die_edge - margin
+    points: list[Point] = []
+    taken: set[tuple[int, int]] = set()
+
+    def try_add(x: float, y: float) -> None:
+        x = float(np.clip(x, lo, hi))
+        y = float(np.clip(y, lo, hi))
+        p = Point(round(x, 3), round(y, 3))
+        if any(b.contains(p) for b in design.blockages):
+            return
+        key = (int(x / 2.0), int(y / 2.0))  # 2 um exclusion grid
+        if key in taken:
+            return
+        taken.add(key)
+        points.append(p)
+
+    if spec.n_clusters > 0:
+        centers = [(float(rng.uniform(lo, hi)), float(rng.uniform(lo, hi)))
+                   for _ in range(spec.n_clusters)]
+        sigma = spec.die_edge * 0.10
+        clustered_target = int(spec.n_sinks * 0.7)
+        while len(points) < clustered_target:
+            cx, cy = centers[int(rng.integers(0, spec.n_clusters))]
+            try_add(float(rng.normal(cx, sigma)), float(rng.normal(cy, sigma)))
+    while len(points) < spec.n_sinks:
+        try_add(float(rng.uniform(lo, hi)), float(rng.uniform(lo, hi)))
+    return points[:spec.n_sinks]
+
+
+#: The six-design suite every table iterates over (Table 1 reports it).
+_SUITE: tuple[DesignSpec, ...] = (
+    DesignSpec("ckt64", n_sinks=64, die_edge=280.0, seed=11),
+    DesignSpec("ckt128", n_sinks=128, die_edge=400.0, seed=12),
+    DesignSpec("ckt256", n_sinks=256, die_edge=560.0, seed=13),
+    DesignSpec("ckt512", n_sinks=512, die_edge=800.0, seed=14),
+    DesignSpec("ckt1024", n_sinks=1024, die_edge=1120.0, seed=15),
+    DesignSpec("ckt2048", n_sinks=2048, die_edge=1600.0, seed=16),
+)
+
+
+#: Additional named designs outside the standard tables (macro variants).
+_EXTRA: tuple[DesignSpec, ...] = (
+    DesignSpec("ckt256m", n_sinks=256, die_edge=560.0, seed=13,
+               n_blockages=3),
+    DesignSpec("ckt512m", n_sinks=512, die_edge=800.0, seed=14,
+               n_blockages=4),
+)
+
+
+def benchmark_suite() -> tuple[DesignSpec, ...]:
+    """The standard six-design suite used by all experiments."""
+    return _SUITE
+
+
+def spec_by_name(name: str) -> DesignSpec:
+    """Look up a benchmark spec (standard suite or macro variants) by name."""
+    for spec in _SUITE + _EXTRA:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no benchmark named {name!r}; "
+                   f"valid: {[s.name for s in _SUITE + _EXTRA]}")

@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro suite                       # benchmark statistics
+    python -m repro run --design ckt256 --policy smart
+    python -m repro compare --design ckt256 [--with-ml]
+    python -m repro sweep --design ckt128 --slacks 0.6,0.3,0.15
+
+``--design`` accepts a built-in benchmark name or a path to a design
+JSON file (see :mod:`repro.io`).  Robustness budgets default to the
+all-NDR-reference peg; ``--slack`` controls its tightness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench import benchmark_suite, generate_design, spec_by_name
+from repro.core import (NdrClassifierGuide, Policy, run_flow,
+                        targets_from_reference)
+from repro.io import load_design, save_rule_assignment, write_wire_report
+from repro.viz import save_clock_svg
+from repro.reporting import Table
+from repro.tech import default_technology
+
+
+def _load_design(name_or_path: str):
+    if Path(name_or_path).suffix == ".json":
+        return load_design(name_or_path)
+    return generate_design(spec_by_name(name_or_path))
+
+
+def _targets(design_factory, tech, slack: float):
+    reference = run_flow(design_factory(), tech, policy=Policy.ALL_NDR)
+    return targets_from_reference(reference.analyses, tech, slack=slack)
+
+
+def _flow_row(table: Table, flow) -> None:
+    a = flow.analyses
+    hist = flow.rule_histogram
+    upgraded = sum(hist.values()) - hist.get("W1S1", 0)
+    table.add_row(flow.policy.value, flow.clock_power, a.power.wire_cap,
+                  a.timing.skew, a.crosstalk.worst_delta, a.mc.skew_3sigma,
+                  int(a.em.num_violations), upgraded,
+                  "yes" if flow.feasible else "NO")
+
+
+def _policy_table(title: str) -> Table:
+    return Table(title, ["policy", "P (uW)", "wire fF", "skew ps", "dd ps",
+                         "3sig ps", "EM", "upgraded", "feasible"])
+
+
+def cmd_suite(_args) -> int:
+    """Print default-rule statistics for the whole benchmark suite."""
+    from repro.core.flow import build_physical_design
+    from repro.timing import analyze_clock_timing
+
+    tech = default_technology()
+    table = Table("Benchmark suite (default-rule routing)",
+                  ["design", "sinks", "die um", "aggr", "clk WL um",
+                   "latency ps", "skew ps"])
+    for spec in benchmark_suite():
+        phys = build_physical_design(generate_design(spec), tech)
+        timing = analyze_clock_timing(phys.extraction.network, tech)
+        table.add_row(spec.name, spec.n_sinks, spec.die_edge,
+                      spec.n_aggressors, phys.routing.clock_wirelength(),
+                      timing.latency, timing.skew)
+    print(table.render())
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Run one policy on one design; optional rules/report/SVG outputs."""
+    tech = default_technology()
+    policy = Policy(args.policy)
+    targets = _targets(lambda: _load_design(args.design), tech, args.slack)
+    kwargs = {}
+    if policy == Policy.SMART_ML:
+        guide = NdrClassifierGuide(seed=0)
+        guide.fit_designs([generate_design(spec_by_name(n))
+                           for n in ("ckt64", "ckt128")], tech)
+        kwargs["guide"] = guide
+    flow = run_flow(_load_design(args.design), tech, policy=policy,
+                    targets=targets, **kwargs)
+    table = _policy_table(f"{args.design} under {policy.value}")
+    _flow_row(table, flow)
+    print(table.render())
+    if args.verbose:
+        from repro.reporting import analysis_summary
+
+        print()
+        print(analysis_summary(flow.analyses, flow.targets,
+                               title=f"{args.design} / {policy.value}"))
+    if args.save_rules:
+        n = save_rule_assignment(flow.physical.routing, args.save_rules,
+                                 design_name=flow.design_name)
+        print(f"saved {n} non-default rules to {args.save_rules}")
+    if args.wire_report:
+        n = write_wire_report(flow.physical.extraction, args.wire_report)
+        print(f"wrote {n} wires to {args.wire_report}")
+    if args.svg:
+        save_clock_svg(flow.physical.tree, flow.physical.routing, args.svg,
+                       title=f"{flow.design_name} / {policy.value}",
+                       blockages=flow.physical.design.blockages)
+        print(f"rendered clock tree to {args.svg}")
+    return 0 if flow.feasible else 1
+
+
+def cmd_compare(args) -> int:
+    """Compare NO/ALL/SMART (and optionally ML) on one design."""
+    tech = default_technology()
+    targets = _targets(lambda: _load_design(args.design), tech, args.slack)
+    policies = [Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART]
+    kwargs_of = {policy: {} for policy in policies}
+    if args.with_ml:
+        guide = NdrClassifierGuide(seed=0)
+        guide.fit_designs([generate_design(spec_by_name(n))
+                           for n in ("ckt64", "ckt128")], tech)
+        policies.append(Policy.SMART_ML)
+        kwargs_of[Policy.SMART_ML] = {"guide": guide}
+    table = _policy_table(f"{args.design}: policy comparison "
+                          f"(slack {args.slack:.2f})")
+    flows = {}
+    for policy in policies:
+        flow = run_flow(_load_design(args.design), tech, policy=policy,
+                        targets=targets, **kwargs_of[policy])
+        flows[policy] = flow
+        _flow_row(table, flow)
+    print(table.render())
+    p_all = flows[Policy.ALL_NDR].clock_power
+    p_smart = flows[Policy.SMART].clock_power
+    print(f"smart saves {100 * (p_all - p_smart) / p_all:.1f}% vs all-ndr")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Sweep the budget slack for the smart policy."""
+    tech = default_technology()
+    slacks = [float(s) for s in args.slacks.split(",")]
+    table = Table(f"{args.design}: budget-slack sweep",
+                  ["slack", "P (uW)", "upgraded %", "feasible"])
+    for slack in sorted(slacks, reverse=True):
+        targets = _targets(lambda: _load_design(args.design), tech, slack)
+        flow = run_flow(_load_design(args.design), tech,
+                        policy=Policy.SMART, targets=targets)
+        hist = flow.rule_histogram
+        total = sum(hist.values())
+        table.add_row(slack, flow.clock_power,
+                      100.0 * (total - hist.get("W1S1", 0)) / total,
+                      "yes" if flow.feasible else "NO")
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Smart non-default clock routing flows")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="print benchmark suite statistics")
+
+    p_run = sub.add_parser("run", help="run one policy on one design")
+    p_run.add_argument("--design", required=True,
+                       help="benchmark name or design JSON path")
+    p_run.add_argument("--policy", default="smart",
+                       choices=[p.value for p in Policy])
+    p_run.add_argument("--slack", type=float, default=0.15,
+                       help="budget slack over the all-NDR reference")
+    p_run.add_argument("--save-rules", default="",
+                       help="write the rule assignment to this JSON path")
+    p_run.add_argument("--wire-report", default="",
+                       help="write a per-wire report to this path")
+    p_run.add_argument("--svg", default="",
+                       help="render the routed clock tree to this SVG path")
+    p_run.add_argument("--verbose", action="store_true",
+                       help="print the full signoff-style summary")
+
+    p_cmp = sub.add_parser("compare", help="compare policies on one design")
+    p_cmp.add_argument("--design", required=True)
+    p_cmp.add_argument("--slack", type=float, default=0.15)
+    p_cmp.add_argument("--with-ml", action="store_true",
+                       help="include the ML-guided policy (trains inline)")
+
+    p_sweep = sub.add_parser("sweep", help="sweep budget slack (smart policy)")
+    p_sweep.add_argument("--design", required=True)
+    p_sweep.add_argument("--slacks", default="0.6,0.3,0.15",
+                         help="comma-separated slack values")
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "suite": cmd_suite,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "sweep": cmd_sweep,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

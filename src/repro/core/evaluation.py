@@ -1,0 +1,74 @@
+"""One-stop analysis bundle: everything a rule assignment is judged on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.targets import RobustnessTargets
+from repro.extract.extractor import Extraction
+from repro.power.clockpower import PowerReport, analyze_power
+from repro.reliability.em import DEFAULT_EM_FACTOR, EmReport, analyze_em
+from repro.tech.technology import Technology
+from repro.timing.arrival import ClockTiming, analyze_clock_timing
+from repro.timing.crosstalk import CrosstalkReport, analyze_crosstalk
+from repro.timing.montecarlo import MonteCarloResult, run_monte_carlo
+
+
+@dataclass
+class AnalysisBundle:
+    """All robustness/power analyses of one extracted clock network."""
+
+    timing: ClockTiming
+    crosstalk: CrosstalkReport
+    em: EmReport
+    power: PowerReport
+    mc: MonteCarloResult
+
+    def violations(self, targets: RobustnessTargets) -> dict[str, float]:
+        """Positive excess per violated constraint (empty when feasible)."""
+        out: dict[str, float] = {}
+        dd = self.crosstalk.worst_delta - targets.max_worst_delta
+        if dd > 0.0:
+            out["delta_delay"] = dd
+        sigma = self.mc.skew_3sigma - targets.max_skew_3sigma
+        if sigma > 0.0:
+            out["skew_3sigma"] = sigma
+        slew = self.timing.worst_slew - targets.max_slew
+        if slew > 0.0:
+            out["slew"] = slew
+        em = self.em.worst_utilization - targets.max_em_util
+        if em > 0.0:
+            out["em"] = em
+        return out
+
+    def feasible(self, targets: RobustnessTargets) -> bool:
+        """True when no constraint in ``targets`` is violated."""
+        return not self.violations(targets)
+
+
+def analyze_all(extraction: Extraction, tech: Technology,
+                freq: float, targets: RobustnessTargets) -> AnalysisBundle:
+    """Run the full analysis stack on one extraction."""
+    timing = analyze_clock_timing(extraction.network, tech)
+    crosstalk = analyze_crosstalk(extraction.network, extraction.wires,
+                                  alignment=targets.alignment)
+    em = analyze_em(extraction.network, extraction.routing, tech.vdd, freq,
+                    em_factor=DEFAULT_EM_FACTOR)
+    power = analyze_power(extraction, tech, freq)
+    mc = run_monte_carlo(extraction.network, extraction.wires,
+                         extraction.routing, tech,
+                         n_samples=targets.mc_samples, seed=targets.mc_seed)
+    return AnalysisBundle(timing=timing, crosstalk=crosstalk, em=em,
+                          power=power, mc=mc)
+
+
+def targets_from_reference(reference: AnalysisBundle, tech: Technology,
+                           slack: float = 0.15, **kwargs) -> RobustnessTargets:
+    """Robustness budgets pegged to a reference (usually all-NDR) run."""
+    return RobustnessTargets.from_reference(
+        worst_delta=reference.crosstalk.worst_delta,
+        skew_3sigma=reference.mc.skew_3sigma,
+        max_slew=tech.max_slew,
+        slack=slack,
+        **kwargs,
+    )

@@ -1,0 +1,207 @@
+"""The end-to-end smart-NDR flow.
+
+``run_flow`` is the library's front door: given a placed design and a
+policy, it synthesizes the clock tree, routes clock and aggressors,
+trims skew, assigns routing rules per the policy, re-trims, and returns
+a fully analyzed :class:`FlowResult`.
+
+Every policy starts from a *fresh* physical build of the same design so
+comparisons are apples-to-apples (the skew-trimming pads are re-derived
+under each policy's own extraction).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.evaluation import AnalysisBundle, analyze_all
+from repro.core.optimizer import OptimizeResult, SmartNdrOptimizer
+from repro.core.policies import (Policy, apply_random_policy,
+                                 apply_uniform_policy)
+from repro.core.targets import RobustnessTargets
+from repro.cts.refine import RefineResult, refine_skew
+from repro.cts.synthesize import CtsResult, synthesize_clock_tree
+from repro.cts.tree import ClockTree
+from repro.extract.extractor import Extraction, extract
+from repro.netlist.design import Design
+from repro.route.router import Router, RoutingResult
+from repro.tech.technology import Technology, default_technology
+
+
+@dataclass
+class PhysicalDesign:
+    """A synthesized, routed, skew-trimmed clock implementation."""
+
+    design: Design
+    tech: Technology
+    tree: ClockTree
+    routing: RoutingResult
+    cts: CtsResult
+    refine: RefineResult
+
+    @property
+    def extraction(self) -> Extraction:
+        return self.refine.extraction
+
+
+@dataclass
+class FlowResult:
+    """Everything one policy run produces on one design."""
+
+    design_name: str
+    policy: Policy
+    targets: RobustnessTargets
+    physical: PhysicalDesign
+    analyses: AnalysisBundle
+    rule_histogram: dict[str, int] = field(default_factory=dict)
+    ndr_track_cost: float = 0.0
+    optimize: Optional[OptimizeResult] = None
+    runtime: float = 0.0
+
+    @property
+    def feasible(self) -> bool:
+        return self.analyses.feasible(self.targets)
+
+    @property
+    def clock_power(self) -> float:
+        """Total clock power, uW."""
+        return self.analyses.power.p_total
+
+    @property
+    def switched_cap(self) -> float:
+        """Total switched capacitance, fF."""
+        return self.analyses.power.total_cap
+
+    def summary(self) -> dict[str, float]:
+        """Flat metric dict for tables."""
+        a = self.analyses
+        return {
+            "power_uw": a.power.p_total,
+            "wire_cap_ff": a.power.wire_cap,
+            "total_cap_ff": a.power.total_cap,
+            "skew_ps": a.timing.skew,
+            "latency_ps": a.timing.latency,
+            "worst_slew_ps": a.timing.worst_slew,
+            "worst_delta_ps": a.crosstalk.worst_delta,
+            "skew_3sigma_ps": a.mc.skew_3sigma,
+            "em_violations": float(a.em.num_violations),
+            "em_worst_util": a.em.worst_utilization,
+            "ndr_track_um": self.ndr_track_cost,
+            "feasible": 1.0 if self.feasible else 0.0,
+        }
+
+
+def build_physical_design(design: Design, tech: Optional[Technology] = None,
+                          max_stage_cap: float = 0.0) -> PhysicalDesign:
+    """CTS + routing + skew trim, with all wires on the default rule."""
+    tech = tech if tech is not None else default_technology()
+    cts = synthesize_clock_tree(design, tech, max_stage_cap=max_stage_cap)
+    routing = Router(design, tech).route(cts.tree)
+    refine = refine_skew(cts.tree, routing, tech)
+    return PhysicalDesign(design=design, tech=tech, tree=cts.tree,
+                          routing=routing, cts=cts, refine=refine)
+
+
+def run_flow(design: Design, tech: Optional[Technology] = None,
+             policy: Policy = Policy.SMART,
+             targets: Optional[RobustnessTargets] = None,
+             random_fraction: float = 0.3, random_seed: int = 0,
+             guide=None, lambda_track: float = 0.05) -> FlowResult:
+    """Run one policy end to end on ``design``.
+
+    Parameters
+    ----------
+    policy:
+        Which rule-assignment strategy to use.  ``SMART_ML`` requires a
+        fitted :class:`~repro.core.mlguide.NdrClassifierGuide` passed as
+        ``guide``.
+    targets:
+        Robustness budgets; defaults to the period-derived spec
+        (:meth:`RobustnessTargets.for_period`).
+    random_fraction / random_seed:
+        Only used by ``Policy.RANDOM``.
+
+    For the optimizing policies, an EM violation that survives with
+    every violating wire already at the widest rule means no rule
+    assignment can fix it — the charge per trunk is too high.  The flow
+    then re-synthesizes with a halved stage-capacitance budget (more,
+    smaller stages carry less charge per trunk) and retries, up to two
+    times; this is the CTS/NDR interaction a real flow iterates on.
+    """
+    tech = tech if tech is not None else default_technology()
+    if targets is None:
+        targets = RobustnessTargets.for_period(design.clock_period,
+                                               tech.max_slew)
+    start = time.perf_counter()
+    freq = design.clock_freq
+    optimizing = policy in (Policy.SMART, Policy.SMART_SHIELD,
+                            Policy.SMART_ML)
+    # Track the stage budget explicitly so retries actually shrink it
+    # (insert_buffers uses 25% of the largest buffer's load by default).
+    stage_budget = 0.25 * tech.buffers.largest.max_cap
+    max_stage_cap = 0.0  # build_physical_design's default (== stage_budget)
+    widest = max(tech.rules, key=lambda r: r.width_mult)
+
+    for attempt in range(3):
+        physical = build_physical_design(design, tech,
+                                         max_stage_cap=max_stage_cap)
+        tree, routing = physical.tree, physical.routing
+
+        optimize: Optional[OptimizeResult] = None
+        if policy in (Policy.NO_NDR, Policy.ALL_NDR, Policy.WIDTH_ONLY,
+                      Policy.SPACE_ONLY):
+            apply_uniform_policy(routing, policy)
+        elif policy == Policy.RANDOM:
+            apply_random_policy(routing, random_fraction, seed=random_seed)
+        elif policy in (Policy.SMART, Policy.SMART_SHIELD):
+            optimizer = SmartNdrOptimizer(
+                tree, routing, tech, targets, freq,
+                lambda_track=lambda_track,
+                use_shielding=(policy == Policy.SMART_SHIELD))
+            optimize = optimizer.run()
+        elif policy == Policy.SMART_ML:
+            if guide is None:
+                raise ValueError("Policy.SMART_ML requires a fitted guide")
+            optimize = guide.assign(tree, routing, tech, targets, freq)
+        else:  # pragma: no cover - exhaustive over the enum
+            raise ValueError(f"unhandled policy {policy}")
+
+        # Rule changes shift stage delays; re-trim and take final analyses.
+        refine = refine_skew(tree, routing, tech)
+        physical.refine = refine
+        analyses = analyze_all(refine.extraction, tech, freq, targets)
+
+        if not optimizing or _em_fixable_by_rules(analyses, routing, widest) \
+                or analyses.feasible(targets) or attempt == 2:
+            break
+        # Re-synthesize with smaller stages: less charge per trunk wire.
+        stage_budget /= 2.0
+        max_stage_cap = stage_budget
+
+    return FlowResult(
+        design_name=design.name,
+        policy=policy,
+        targets=targets,
+        physical=physical,
+        analyses=analyses,
+        rule_histogram=routing.rule_histogram(),
+        ndr_track_cost=routing.ndr_track_cost(),
+        optimize=optimize,
+        runtime=time.perf_counter() - start,
+    )
+
+
+def _em_fixable_by_rules(analyses: AnalysisBundle, routing: RoutingResult,
+                         widest) -> bool:
+    """False when EM violations persist on wires already at the widest rule.
+
+    That is the signature of a structural problem (too much charge per
+    trunk) that only re-synthesis can address.
+    """
+    for record in analyses.em.violations:
+        wire = routing.tracks.wire(record.wire_id)
+        if wire.rule.width_mult >= widest.width_mult:
+            return False
+    return True

@@ -1,0 +1,195 @@
+"""Classifier-guided rule assignment (the "smart" predictive variant).
+
+The greedy optimizer makes good decisions but pays for them in repeated
+extraction/analysis loops.  The guide learns those decisions offline:
+
+1. **Training**: run the greedy optimizer on (small) training designs;
+   record every clock wire's *default-state* features
+   (:mod:`repro.core.features`) and the rule the optimizer finally gave
+   it.
+2. **Inference**: on a new design, predict each wire's rule directly
+   from its features, stamp the predictions, then run a short repair
+   pass (the greedy planner with a low iteration cap) to mop up any
+   residual constraint violations the classifier missed.
+
+The classifier is the from-scratch random forest in :mod:`repro.ml`;
+labels are the four rules.  Because features are computed at the
+default-rule state, training and inference see identical
+distributions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.evaluation import targets_from_reference
+from repro.core.features import WIRE_FEATURE_NAMES, wire_feature_matrix
+from repro.core.flow import build_physical_design, run_flow
+from repro.core.optimizer import OptimizeResult, SmartNdrOptimizer
+from repro.core.policies import Policy
+from repro.core.targets import RobustnessTargets
+from repro.cts.tree import ClockTree
+from repro.extract.extractor import extract
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy
+from repro.netlist.design import Design
+from repro.reliability.em import DEFAULT_EM_FACTOR, analyze_em
+from repro.route.router import RoutingResult
+from repro.tech.ndr import RULE_SET, rule_by_name
+from repro.tech.technology import Technology, default_technology
+
+#: Label index per rule name (classifier classes).
+RULE_CLASSES: tuple[str, ...] = tuple(rule.name.value for rule in RULE_SET)
+
+
+@dataclass
+class TrainingStats:
+    """What the guide saw during fitting."""
+
+    n_samples: int
+    label_counts: dict[str, int]
+    train_accuracy: float
+    feature_importances: dict[str, float] = field(default_factory=dict)
+
+
+class NdrClassifierGuide:
+    """Learns greedy rule decisions; predicts them on new designs."""
+
+    def __init__(self, n_trees: int = 20, max_depth: int = 10,
+                 seed: int = 0) -> None:
+        self.model = RandomForestClassifier(n_trees=n_trees,
+                                            max_depth=max_depth, seed=seed)
+        self.stats: Optional[TrainingStats] = None
+
+    # -- training -----------------------------------------------------------------
+
+    def collect(self, design: Design, tech: Technology,
+                targets: RobustnessTargets) -> tuple[np.ndarray, np.ndarray]:
+        """Run the greedy teacher on one design; return (X, y)."""
+        physical = build_physical_design(design, tech)
+        tree, routing = physical.tree, physical.routing
+        freq = design.clock_freq
+        # Default-state features (before the optimizer touches rules).
+        extraction = physical.extraction
+        em = analyze_em(extraction.network, routing, tech.vdd, freq,
+                        em_factor=DEFAULT_EM_FACTOR)
+        wire_ids, X = wire_feature_matrix(tree, extraction, em)
+
+        optimizer = SmartNdrOptimizer(tree, routing, tech, targets, freq)
+        optimizer.run()
+        label_of = {name: i for i, name in enumerate(RULE_CLASSES)}
+        y = np.array([label_of[routing.tracks.wire(wid).rule.name.value]
+                      for wid in wire_ids], dtype=int)
+        return X, y
+
+    def fit_designs(self, designs: Sequence[Design],
+                    tech: Optional[Technology] = None,
+                    targets: Optional[RobustnessTargets] = None) -> TrainingStats:
+        """Train on the greedy optimizer's decisions over ``designs``."""
+        if not designs:
+            raise ValueError("need at least one training design")
+        tech = tech if tech is not None else default_technology()
+        xs, ys = [], []
+        for design in designs:
+            if targets is not None:
+                design_targets = targets
+            else:
+                # Peg the teacher's budgets to the design's own all-NDR
+                # reference — the same protocol evaluation uses — so the
+                # learned labels transfer.
+                reference = run_flow(design, tech, policy=Policy.ALL_NDR)
+                design_targets = targets_from_reference(reference.analyses,
+                                                        tech)
+            X, y = self.collect(design, tech, design_targets)
+            xs.append(X)
+            ys.append(y)
+        X = np.vstack(xs)
+        y = np.concatenate(ys)
+        self.model.fit(X, y)
+        pred = self.model.predict(X)
+        counts = {name: int(np.sum(y == i))
+                  for i, name in enumerate(RULE_CLASSES)}
+        importances = dict(zip(WIRE_FEATURE_NAMES,
+                               (float(v) for v in
+                                self.model.feature_importances_)))
+        self.stats = TrainingStats(
+            n_samples=int(X.shape[0]),
+            label_counts=counts,
+            train_accuracy=accuracy(y, pred),
+            feature_importances=importances,
+        )
+        return self.stats
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the fitted guide (model + training stats) to JSON."""
+        from repro.ml.serialize import forest_to_dict
+
+        if self.stats is None:
+            raise RuntimeError("guide is not fitted")
+        payload = {
+            "schema": 1,
+            "forest": forest_to_dict(self.model),
+            "stats": asdict(self.stats),
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "NdrClassifierGuide":
+        """Rebuild a guide saved with :meth:`save`."""
+        from repro.ml.serialize import forest_from_dict
+
+        payload = json.loads(Path(path).read_text())
+        if payload.get("schema") != 1:
+            raise ValueError(f"unsupported guide schema "
+                             f"{payload.get('schema')!r}")
+        guide = cls()
+        guide.model = forest_from_dict(payload["forest"])
+        guide.stats = TrainingStats(**payload["stats"])
+        return guide
+
+    # -- inference ----------------------------------------------------------------
+
+    def predict_rules(self, tree: ClockTree, routing: RoutingResult,
+                      tech: Technology, freq: float) -> dict[int, str]:
+        """Predicted rule name per clock wire (no mutation)."""
+        if self.stats is None:
+            raise RuntimeError("guide is not fitted")
+        extraction = extract(tree, routing)
+        em = analyze_em(extraction.network, routing, tech.vdd, freq,
+                        em_factor=DEFAULT_EM_FACTOR)
+        wire_ids, X = wire_feature_matrix(tree, extraction, em)
+        labels = self.model.predict(X)
+        return {wid: RULE_CLASSES[label]
+                for wid, label in zip(wire_ids, labels)}
+
+    def assign(self, tree: ClockTree, routing: RoutingResult,
+               tech: Technology, targets: RobustnessTargets,
+               freq: float, repair_iterations: int = 2) -> OptimizeResult:
+        """Stamp predicted rules, then run a short greedy repair pass."""
+        predictions = self.predict_rules(tree, routing, tech, freq)
+        upgraded: dict[int, str] = {}
+        for wire_id, rule_name in predictions.items():
+            rule = rule_by_name(rule_name)
+            routing.assign_rule(wire_id, rule)
+            if not rule.is_default:
+                upgraded[wire_id] = rule_name
+
+        repair = SmartNdrOptimizer(tree, routing, tech, targets, freq,
+                                   max_iterations=repair_iterations)
+        result = repair.run()
+        # Merge the ML-stamped upgrades with the repairs (repair entries
+        # win: they are the final state of those wires).
+        merged = dict(upgraded)
+        merged.update(result.upgraded)
+        # Drop anything the repair's downgrade pass reverted to default.
+        merged = {wid: name for wid, name in merged.items()
+                  if not routing.tracks.wire(wid).rule.is_default}
+        result.upgraded = merged
+        return result

@@ -1,0 +1,29 @@
+"""Clock tree synthesis: topology, zero-skew embedding, buffering.
+
+Substrate S4 in DESIGN.md.  The pipeline is the classic academic CTS
+stack:
+
+1. :func:`~repro.cts.topology.build_topology` — balanced binary
+   connection topology over the sinks (recursive geometric bisection).
+2. :func:`~repro.cts.embedding.embed_zero_skew` — bottom-up Elmore
+   zero-skew merging (Tsay-style tapping points with wire snaking).
+3. :func:`~repro.cts.buffering.insert_buffers` — symmetric, level-based
+   slew-constrained buffer insertion.
+4. :func:`~repro.cts.synthesize.synthesize_clock_tree` — the one-call
+   driver used by the flow.
+"""
+
+from repro.cts.tree import ClockNode, ClockTree
+from repro.cts.topology import build_topology
+from repro.cts.embedding import embed_zero_skew
+from repro.cts.buffering import insert_buffers
+from repro.cts.synthesize import synthesize_clock_tree
+
+__all__ = [
+    "ClockNode",
+    "ClockTree",
+    "build_topology",
+    "embed_zero_skew",
+    "insert_buffers",
+    "synthesize_clock_tree",
+]

@@ -1,0 +1,222 @@
+"""Level-based buffer insertion with delay-equalising sizing and padding.
+
+Buffers are inserted at whole topological *levels* of the (balanced)
+tree so every root-to-sink path crosses the same number of buffers —
+the precondition for the zero-skew embedding to survive buffering.
+
+Level selection is capacitance-budget driven: walking down from the
+root, a new buffer level is opened just before the worst-case stage
+capacitance (wire + pins + next-level buffer inputs) would exceed the
+budget.  Buffer levels are only placed at depths *above* the shallowest
+leaf, so no sink path can skip a level.
+
+Stage loads at the same level differ (geometry is never perfectly
+symmetric), and with a uniform buffer size that load spread becomes
+stage-delay spread — i.e. skew.  We therefore equalise per level, the
+way production CTS does:
+
+1. **Per-stage sizing.**  For each stage, every library cell that meets
+   max-cap and slew is a candidate; the level's target delay ``T`` is
+   the *slowest stage's fastest option* (so every stage can reach it).
+2. **Dummy-load padding.**  Each stage picks the candidate cell that
+   reaches ``T`` with the least added capacitance
+   ``pad = (T - d_cell(C)) / r_drive`` and records that pad on the
+   node (``ClockNode.load_pad``); the extractor hangs it on the buffer
+   output.  Stage delays across the level then match *exactly* under
+   the linear gate model.
+
+Sizing runs bottom-up over levels because a stage's load includes the
+chosen input capacitances of the buffers below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cts.delaytrim import TrimChoice, cheapest_trim
+from repro.cts.tree import ClockTree
+from repro.tech.buffers import BufferCell
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class BufferingResult:
+    """Summary of an insertion run."""
+
+    buffer_levels: tuple[int, ...]
+    num_buffers: int
+    worst_stage_cap: float
+    total_pad_cap: float
+
+
+def _unit_cap(tech: Technology) -> float:
+    """Average default-rule wire cap per um over the clock layer pair."""
+    rule = tech.default_rule
+    layer_h = tech.layer_for(horizontal=True)
+    layer_v = tech.layer_for(horizontal=False)
+    return (layer_h.isolated_cap_per_um(rule.width_on(layer_h))
+            + layer_v.isolated_cap_per_um(rule.width_on(layer_v))) / 2.0
+
+
+def _stage_cap(tree: ClockTree, node_id: int, cut_depths: set[int],
+               depth: int, unit_cap: float, cin_of, sink_default: float) -> float:
+    """Capacitance of the stage rooted at ``node_id``.
+
+    Descends until it hits a depth in ``cut_depths`` — where
+    ``cin_of(node_id)`` (the next buffer level's input cap) terminates
+    the stage — or a leaf.
+    """
+    total = 0.0
+    stack = [(node_id, depth)]
+    while stack:
+        nid, d = stack.pop()
+        node = tree.node(nid)
+        if d != depth and d in cut_depths:
+            total += cin_of(nid)
+            continue
+        if node.is_leaf:
+            total += node.sink_pin.cap if node.sink_pin is not None else sink_default
+            continue
+        for child_id in node.children:
+            total += unit_cap * tree.edge_length(child_id)
+            stack.append((child_id, d + 1))
+    return total
+
+
+def _candidates(tech: Technology, load: float) -> list[BufferCell]:
+    """Library cells that legally drive ``load`` (max-cap and slew)."""
+    out = [cell for cell in tech.buffers
+           if load <= cell.max_cap
+           and cell.output_slew(load) <= tech.max_slew]
+    return out if out else [tech.buffers.largest]
+
+
+def _select_levels(tree: ClockTree, tech: Technology, max_stage_cap: float,
+                   depths: dict[int, int], min_leaf_depth: int) -> list[int]:
+    """Choose buffer levels top-down under the stage-capacitance budget."""
+    unit_cap = _unit_cap(tech)
+    smallest_cin = tech.buffers.smallest.c_in
+    levels = [0]
+    while True:
+        current = levels[-1]
+        nodes_at_current = [nid for nid, d in depths.items() if d == current]
+        placed = False
+        for candidate in range(current + 1, min_leaf_depth):
+            cut = {candidate}
+            worst = max(
+                _stage_cap(tree, nid, cut, current, unit_cap,
+                           lambda _nid: smallest_cin, tech.flop_cin)
+                for nid in nodes_at_current)
+            if worst > max_stage_cap:
+                # The stage busts its budget when extended to ``candidate``,
+                # so the next buffer level is the last depth that fit (or
+                # current+1 when even the shortest stage is over budget).
+                next_level = candidate - 1 if candidate - 1 > current else current + 1
+                levels.append(next_level)
+                placed = True
+                break
+        if not placed:
+            break  # the remaining stage (to the leaves) fits in budget
+        if levels[-1] >= min_leaf_depth:
+            levels.pop()
+            break
+    return levels
+
+
+def insert_buffers(tree: ClockTree, tech: Technology,
+                   max_stage_cap: float = 0.0) -> BufferingResult:
+    """Insert, size and pad clock buffers in place; returns a summary.
+
+    Parameters
+    ----------
+    tree:
+        An embedded clock tree (locations set).
+    tech:
+        Technology (buffer library, layers, slew limit).
+    max_stage_cap:
+        Capacitance budget per buffered stage, fF.  The default (25% of
+        the largest buffer's max load) yields 2-4 buffer levels on the
+        benchmark suite with comfortable slew headroom.
+    """
+    library = tech.buffers
+    if max_stage_cap <= 0.0:
+        max_stage_cap = 0.25 * library.largest.max_cap
+    unit_cap = _unit_cap(tech)
+
+    depths = {node.node_id: tree.depth(node.node_id) for node in tree}
+    leaf_depths = [depths[n.node_id] for n in tree.leaves()]
+    min_leaf_depth = min(leaf_depths)
+
+    levels = _select_levels(tree, tech, max_stage_cap, depths, min_leaf_depth)
+    level_set = set(levels)
+
+    # -- per-stage sizing and padding, deepest level first ---------------------
+    rule = tech.default_rule
+    layer_h = tech.layer_for(horizontal=True)
+    snake_r = layer_h.resistance_per_um(rule.width_on(layer_h))
+    snake_c = layer_h.isolated_cap_per_um(rule.width_on(layer_h))
+    chosen: dict[int, BufferCell] = {}    # node id -> cell
+    trims: dict[int, TrimChoice] = {}     # node id -> pad/snake decision
+    worst_stage_cap = 0.0
+    total_pad = 0.0
+    ordered = sorted(levels, reverse=True)
+    for i, level in enumerate(ordered):
+        deeper = ordered[i - 1] if i > 0 else None
+        cut = {deeper} if deeper is not None else set()
+
+        def cin_of(nid: int) -> float:
+            return chosen[nid].c_in
+
+        nodes_at = [nid for nid, d in depths.items() if d == level]
+        loads = {nid: _stage_cap(tree, nid, cut, level, unit_cap, cin_of,
+                                 tech.flop_cin)
+                 for nid in nodes_at}
+        # Target: the slowest stage's fastest legal option.
+        target = max(min(cell.delay(load) for cell in _candidates(tech, load))
+                     for load in loads.values())
+        for nid in sorted(nodes_at):
+            load = loads[nid]
+            best_cell = None
+            best_trim = None
+            best_cost = float("inf")
+            for cell in _candidates(tech, load):
+                d = cell.delay(load)
+                if d > target + 1e-9:
+                    continue
+                # The missing delay is bought by the cheaper of a dummy
+                # load or a series root snake.
+                trim = cheapest_trim(target - d, cell.r_drive, load,
+                                     snake_r, snake_c)
+                padded = load + trim.added_cap
+                if padded > cell.max_cap or cell.output_slew(padded) > tech.max_slew:
+                    continue
+                if trim.added_cap < best_cost:
+                    best_cost, best_cell, best_trim = trim.added_cap, cell, trim
+            if best_cell is None:
+                # No candidate reaches the target within limits; fall
+                # back to the fastest legal cell, untrimmed.
+                best_cell = min(_candidates(tech, load),
+                                key=lambda cell: cell.delay(load))
+                best_trim = cheapest_trim(0.0, best_cell.r_drive, load,
+                                          snake_r, snake_c)
+            chosen[nid] = best_cell
+            trims[nid] = best_trim
+            total_pad += best_trim.added_cap
+            worst_stage_cap = max(worst_stage_cap, load + best_trim.added_cap)
+
+    for nid, cell in chosen.items():
+        node = tree.node(nid)
+        node.buffer = cell
+        trim = trims[nid]
+        node.base_pad = trim.pad_cap
+        node.base_snake = trim.snake_len
+        node.snake_r_per_um = snake_r
+        node.snake_c_per_um = snake_c
+
+    tree.validate()
+    return BufferingResult(
+        buffer_levels=tuple(sorted(level_set)),
+        num_buffers=len(chosen),
+        worst_stage_cap=worst_stage_cap,
+        total_pad_cap=total_pad,
+    )

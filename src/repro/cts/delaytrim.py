@@ -1,0 +1,56 @@
+"""Delay-trim cost model: load pad vs. series root snake.
+
+Two mechanisms insert a controlled delay at a buffered stage's root:
+
+* a **load pad** of ``C_pad`` fF delays by ``r_drive * C_pad`` — cheap
+  when the driver is small (high ``r_drive``);
+* a **series snake** of length ``L`` (a routing detour between the
+  buffer output and the stage tree) delays by
+  ``r_um * L * (C_stage + c_um * L / 2)`` at a capacitance cost of
+  ``c_um * L`` — cheap when the stage load is large.
+
+Both are standard CTS trim moves; :func:`cheapest_trim` picks whichever
+buys the needed delay with less added capacitance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrimChoice:
+    """One delay-trim decision."""
+
+    pad_cap: float      # fF of dummy load (0 when snaking)
+    snake_len: float    # um of series detour (0 when padding)
+    added_cap: float    # total capacitance cost, fF
+
+
+def snake_length_for_delay(gap: float, stage_load: float,
+                           r_per_um: float, c_per_um: float) -> float:
+    """Series-snake length whose delay equals ``gap`` ps into ``stage_load``."""
+    if gap <= 0.0:
+        return 0.0
+    if r_per_um <= 0.0 or c_per_um <= 0.0:
+        raise ValueError("snake RC coefficients must be positive")
+    a = r_per_um * c_per_um / 2.0
+    b = r_per_um * stage_load
+    disc = b * b + 4.0 * a * gap
+    return (-b + math.sqrt(disc)) / (2.0 * a)
+
+
+def cheapest_trim(gap: float, r_drive: float, stage_load: float,
+                  r_per_um: float, c_per_um: float) -> TrimChoice:
+    """Choose pad vs. snake for a delay of ``gap`` ps, minimising capacitance."""
+    if gap <= 0.0:
+        return TrimChoice(pad_cap=0.0, snake_len=0.0, added_cap=0.0)
+    if r_drive <= 0.0:
+        raise ValueError("driver resistance must be positive")
+    pad = gap / r_drive
+    snake = snake_length_for_delay(gap, stage_load, r_per_um, c_per_um)
+    snake_cap = snake * c_per_um
+    if snake_cap < pad:
+        return TrimChoice(pad_cap=0.0, snake_len=snake, added_cap=snake_cap)
+    return TrimChoice(pad_cap=pad, snake_len=0.0, added_cap=pad)

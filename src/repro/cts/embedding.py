@@ -1,0 +1,141 @@
+"""Zero-skew embedding: Elmore-balanced merge points with wire snaking.
+
+Bottom-up pass over the topology (Tsay's classic construction): each
+internal node merges two subtrees whose root-to-sink Elmore delays are
+``d1``/``d2`` and downstream capacitances ``c1``/``c2``.  With per-um
+wire resistance ``r`` and capacitance ``c`` and Manhattan distance ``L``
+between the subtree roots, the tapping point ``x`` (distance from child
+1) that equalises delay satisfies a linear equation:
+
+    x = (r c L^2 / 2 + r c2 L + d2 - d1) / (r (c L + c1 + c2))
+
+If ``x`` falls outside ``[0, L]`` one side is intrinsically slower, so
+the merge point sits at the faster subtree's root and the slower... the
+*faster* side's wire is lengthened ("snaked") until delays match; the
+detour length is the positive root of the wire-delay quadratic.
+
+The embedding is done with default-rule RC values; the later rule
+assignment perturbs segment RC slightly, which is exactly the skew
+perturbation the optimizer's constraints watch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cts.tree import ClockTree
+from repro.geom.segment import l_route
+from repro.tech.technology import Technology
+
+
+@dataclass
+class _SubtreeState:
+    """Elmore state of an embedded subtree, measured at its root."""
+
+    delay: float  # root-to-sink delay, ps (equal to all sinks by construction)
+    cap: float    # total downstream capacitance, fF
+
+
+def _wire_delay(r: float, c: float, length: float, cload: float) -> float:
+    """Elmore delay of a distributed-RC wire of ``length`` driving ``cload``."""
+    return r * length * (c * length / 2.0 + cload)
+
+
+def _snake_length(r: float, c: float, delay_gap: float, cload: float) -> float:
+    """Wire length whose Elmore delay into ``cload`` equals ``delay_gap``.
+
+    Solves ``r*l*(c*l/2 + cload) = delay_gap`` for ``l >= 0``.
+    """
+    if delay_gap <= 0.0:
+        return 0.0
+    a = r * c / 2.0
+    b = r * cload
+    disc = b * b + 4.0 * a * delay_gap
+    return (-b + math.sqrt(disc)) / (2.0 * a)
+
+
+def _point_along_route(src, dst, distance: float):
+    """The point ``distance`` um along the L-route from src to dst."""
+    remaining = distance
+    for seg in l_route(src, dst):
+        if remaining <= seg.length or seg.length == 0.0:
+            fraction = 0.0 if seg.length == 0.0 else remaining / seg.length
+            return seg.point_at(min(1.0, max(0.0, fraction)))
+        remaining -= seg.length
+    return dst
+
+
+def embed_zero_skew(tree: ClockTree, tech: Technology) -> None:
+    """Place internal nodes and snaking for (nominal) zero skew, in place.
+
+    Uses the default-rule RC of the clock layers (average of the H and V
+    layers, since L-routes use both).
+    """
+    rule = tech.default_rule
+    layer_h = tech.layer_for(horizontal=True)
+    layer_v = tech.layer_for(horizontal=False)
+    r = (layer_h.resistance_per_um(rule.width_on(layer_h))
+         + layer_v.resistance_per_um(rule.width_on(layer_v))) / 2.0
+    c = (layer_h.isolated_cap_per_um(rule.width_on(layer_h))
+         + layer_v.isolated_cap_per_um(rule.width_on(layer_v))) / 2.0
+
+    states: dict[int, _SubtreeState] = {}
+    for node in tree.postorder():
+        if node.is_leaf:
+            cap = node.sink_pin.cap if node.sink_pin is not None else 0.0
+            states[node.node_id] = _SubtreeState(delay=0.0, cap=cap)
+            continue
+        if len(node.children) == 1:
+            # Degenerate unary node (can appear after buffer insertion
+            # re-embedding); colocate with its child.
+            child = tree.node(node.children[0])
+            node.location = child.location
+            states[node.node_id] = states[child.node_id]
+            continue
+        if len(node.children) != 2:
+            raise ValueError(
+                f"zero-skew embedding requires a binary topology; node "
+                f"{node.node_id} has {len(node.children)} children")
+
+        ch1 = tree.node(node.children[0])
+        ch2 = tree.node(node.children[1])
+        s1, s2 = states[ch1.node_id], states[ch2.node_id]
+        length = ch1.location.manhattan_to(ch2.location)
+
+        if length == 0.0:
+            node.location = ch1.location
+            x = 0.0
+            slower_first = s1.delay >= s2.delay
+        else:
+            x = ((r * c * length * length / 2.0 + r * s2.cap * length
+                  + (s2.delay - s1.delay))
+                 / (r * (c * length + s1.cap + s2.cap)))
+            slower_first = x <= 0.0
+            x = min(max(x, 0.0), length)
+            node.location = _point_along_route(ch1.location, ch2.location, x)
+
+        d1 = s1.delay + _wire_delay(r, c, x, s1.cap)
+        d2 = s2.delay + _wire_delay(r, c, length - x, s2.cap)
+        snake = 0.0
+        if abs(d1 - d2) > 1e-9:
+            # Snake the faster branch until it matches the slower one.
+            if d1 < d2:
+                base = x
+                gap_len = _snake_length(r, c, d2 - s1.delay, s1.cap) - base
+                ch1.snake = max(0.0, gap_len)
+                snake = ch1.snake
+                d1 = s1.delay + _wire_delay(r, c, base + ch1.snake, s1.cap)
+            else:
+                base = length - x
+                gap_len = _snake_length(r, c, d1 - s2.delay, s2.cap) - base
+                ch2.snake = max(0.0, gap_len)
+                snake = ch2.snake
+                d2 = s2.delay + _wire_delay(r, c, base + ch2.snake, s2.cap)
+
+        merged_delay = max(d1, d2)
+        merged_cap = s1.cap + s2.cap + c * (length + snake)
+        states[node.node_id] = _SubtreeState(delay=merged_delay, cap=merged_cap)
+        del slower_first  # direction is fully captured by which snake was set
+
+    tree.validate()

@@ -1,0 +1,92 @@
+"""One-call clock tree synthesis driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cts.buffering import BufferingResult, insert_buffers
+from repro.cts.embedding import embed_zero_skew
+from repro.cts.topology import build_topology
+from repro.cts.tree import ClockTree
+from repro.netlist.design import Design
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class CtsResult:
+    """A synthesized clock tree plus its buffering summary."""
+
+    tree: ClockTree
+    buffering: BufferingResult
+
+
+def synthesize_clock_tree(design: Design, tech: Technology,
+                          max_stage_cap: float = 0.0) -> CtsResult:
+    """Topology + zero-skew embedding + buffering for ``design``'s clock.
+
+    The tree root is attached to the clock source: a dedicated top node
+    at the source location is added above the merged tree so the first
+    wire segment (source -> tree) is explicit and routable.  Internal
+    nodes that the embedding placed inside a macro are nudged to the
+    nearest macro edge (buffers cannot sit on hard blockages); the skew
+    perturbation this causes is absorbed by the trim pass.
+    """
+    design.validate()
+    assert design.clock_root is not None  # validate() guarantees this
+    return synthesize_tree_for(design.clock_sinks,
+                               design.clock_root.location, design, tech,
+                               max_stage_cap=max_stage_cap)
+
+
+def synthesize_tree_for(sinks, source, design: Design, tech: Technology,
+                        max_stage_cap: float = 0.0) -> CtsResult:
+    """Synthesize a clock tree over an explicit sink subset and source.
+
+    The multi-domain entry point: each clock domain calls this with its
+    own sinks and source point; ``design`` supplies the die and
+    blockages.
+    """
+    if not sinks:
+        raise ValueError("cannot synthesize a clock tree over zero sinks")
+    tree = build_topology(list(sinks))
+    embed_zero_skew(tree, tech)
+    _nudge_off_blockages(tree, design)
+
+    # Hang the tree from the clock source location.
+    if tree.root.location != source:
+        top = tree.insert_above(tree.root_id)
+        top.location = source
+
+    buffering = insert_buffers(tree, tech, max_stage_cap=max_stage_cap)
+    # The root must carry a buffer (it is the clock driver); level 0 is
+    # always selected by insert_buffers, but the root may have moved to
+    # the new source node, which sits at depth 0 now.
+    if tree.root.buffer is None:
+        tree.root.buffer = tech.buffers.largest
+    return CtsResult(tree=tree, buffering=buffering)
+
+
+def _nudge_off_blockages(tree: ClockTree, design: Design,
+                         margin: float = 1.0) -> None:
+    """Move internal nodes out of hard macros, to the nearest edge."""
+    if not design.blockages:
+        return
+    from repro.geom.point import Point
+
+    for node in tree:
+        if node.is_sink:
+            continue  # sinks are placed instances, already legal
+        for blockage in design.blockages:
+            if not blockage.contains(node.location):
+                continue
+            x, y = node.location.x, node.location.y
+            moves = [
+                (abs(x - blockage.xlo), Point(blockage.xlo - margin, y)),
+                (abs(blockage.xhi - x), Point(blockage.xhi + margin, y)),
+                (abs(y - blockage.ylo), Point(x, blockage.ylo - margin)),
+                (abs(blockage.yhi - y), Point(x, blockage.yhi + margin)),
+            ]
+            legal = [(d, p) for d, p in moves if design.die.contains(p)]
+            if legal:
+                node.location = min(legal)[1]
+            break

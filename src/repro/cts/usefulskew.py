@@ -1,0 +1,232 @@
+"""Useful skew: per-sink arrival offsets from datapath slacks.
+
+Zero skew is not actually optimal: a failing setup path gains slack if
+its capture flop's clock arrives *later* (or its launch flop's clock
+earlier).  Useful-skew flows therefore schedule per-flop arrival
+offsets from the datapath slack profile and let CTS balance toward the
+offsets instead of toward zero.
+
+This module provides the scheduling half; the trimming half is
+:func:`repro.cts.refine.refine_skew` with its ``offsets`` argument
+(the trimmer equalises *offset-corrected* arrivals, so a flop with
+offset +10 ps ends up 10 ps later than the common base).
+
+The scheduler is the classic iterative relaxation: every failing path
+asks its capture flop to move later and its launch flop earlier by half
+the remaining deficit, clamped to a window; a few passes converge for
+the sparse path sets that matter.  Offsets of flops on no failing path
+stay zero, so the clock stays as balanced as possible (offsets cost
+trim capacitance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """One launch->capture datapath with its setup and hold slacks.
+
+    ``slack`` in ps: negative means the path fails setup by that much
+    at zero skew.  ``hold_slack`` is the zero-skew hold margin: moving
+    the *capture* clock later eats it one-for-one (the razor edge of
+    useful skew), moving the launch later restores it.  The default
+    (infinite) means "no hold concern on this path".
+    """
+
+    launch_pin: str
+    capture_pin: str
+    slack: float
+    hold_slack: float = math.inf
+
+
+def path_slack_with_offsets(path: TimingPath,
+                            offsets: dict[str, float]) -> float:
+    """Setup slack of ``path`` once clock offsets are applied.
+
+    Capture arriving later adds slack; launch arriving later removes it.
+    """
+    capture = offsets.get(path.capture_pin, 0.0)
+    launch = offsets.get(path.launch_pin, 0.0)
+    return path.slack + capture - launch
+
+
+def path_hold_slack_with_offsets(path: TimingPath,
+                                 offsets: dict[str, float]) -> float:
+    """Hold slack of ``path`` under clock offsets (the setup mirror)."""
+    capture = offsets.get(path.capture_pin, 0.0)
+    launch = offsets.get(path.launch_pin, 0.0)
+    return path.hold_slack - capture + launch
+
+
+def schedule_offsets(paths: list[TimingPath], max_offset: float = 30.0,
+                     passes: int = 25, capture_only: bool = False,
+                     min_positive: float = 0.0,
+                     hold_margin: float = 0.0) -> dict[str, float]:
+    """Per-flop clock arrival offsets repairing failing paths.
+
+    Parameters
+    ----------
+    paths:
+        The datapath slack profile (only near-critical paths matter).
+    max_offset:
+        Clamp on |offset| per flop, ps — the window CTS can implement
+        without excessive trim capacitance.
+    passes:
+        Relaxation iterations.
+    capture_only:
+        Only move capture clocks later (positive offsets).  Positive
+        offsets are the cheap direction to implement — a delay buffer
+        on the offset flop's leaf — whereas a negative offset forces
+        every *other* flop to be delayed instead.
+    min_positive:
+        Implementation quantum: any positive offset is at least this
+        (a delay buffer cannot add less).  Pass the value from
+        :func:`delay_buffer_quantum` so paths *launched* by an offset
+        flop see the offset that will actually be built.
+    hold_margin:
+        Minimum hold slack every path must retain.  Moving a capture
+        clock later eats that flop's incoming hold margins one-for-one;
+        the scheduler never takes more than the paths can give.
+
+    Returns a dict mapping flop clock-pin names to offsets (ps);
+    unmentioned flops are 0.
+    """
+    if max_offset <= 0.0:
+        raise ValueError("max_offset must be positive")
+    if min_positive > max_offset:
+        raise ValueError("min_positive exceeds the offset window")
+    offsets: dict[str, float] = {}
+
+    captured_at: dict[str, list[TimingPath]] = {}
+    launched_at: dict[str, list[TimingPath]] = {}
+    for p in paths:
+        captured_at.setdefault(p.capture_pin, []).append(p)
+        launched_at.setdefault(p.launch_pin, []).append(p)
+
+    def hold_headroom_capture(pin: str) -> float:
+        """How much later this capture clock may move before a hold fails."""
+        return min((path_hold_slack_with_offsets(q, offsets) - hold_margin
+                    for q in captured_at.get(pin, [])), default=math.inf)
+
+    def hold_headroom_launch(pin: str) -> float:
+        """How much earlier this launch clock may move before a hold fails."""
+        return min((path_hold_slack_with_offsets(q, offsets) - hold_margin
+                    for q in launched_at.get(pin, [])), default=math.inf)
+    for _ in range(passes):
+        worst_fix = 0.0
+        for path in paths:
+            slack = path_slack_with_offsets(path, offsets)
+            if slack >= 0.0:
+                continue
+            deficit = -slack
+            # Ask each side for its share of the deficit, within its
+            # remaining window.
+            cap_now = offsets.get(path.capture_pin, 0.0)
+            lau_now = offsets.get(path.launch_pin, 0.0)
+            cap_room = min(max_offset - cap_now,
+                           hold_headroom_capture(path.capture_pin))
+            lau_room = 0.0 if capture_only else min(
+                max_offset + lau_now, hold_headroom_launch(path.launch_pin))
+            cap_share = deficit if capture_only else deficit / 2.0
+            give_cap = min(cap_share, max(0.0, cap_room))
+            give_lau = min(deficit / 2.0, max(0.0, lau_room))
+            if give_cap > 0.0:
+                new_cap = cap_now + give_cap
+                if 0.0 < new_cap < min_positive:
+                    # Quantising up must not bust a hold margin either.
+                    if min_positive - cap_now <= cap_room + 1e-12:
+                        new_cap = min_positive
+                    else:
+                        new_cap = cap_now  # cannot take this step
+                if new_cap != cap_now:
+                    offsets[path.capture_pin] = new_cap
+            if give_lau > 0.0:
+                offsets[path.launch_pin] = lau_now - give_lau
+            worst_fix = max(worst_fix, give_cap + give_lau)
+        if worst_fix <= 1e-9:
+            break
+    return offsets
+
+
+def delay_buffer_quantum(tech, flop_cin: float, leaf_edge: float = 0.0,
+                         margin: float = 8.0) -> float:
+    """The smallest *reliably implementable* positive offset, ps.
+
+    A leaf delay buffer adds at least its own stage delay — the cell
+    delay into the leaf wire plus that wire's Elmore share
+    (``leaf_edge`` um of default-rule clock wire).  Offsets are
+    quantised up to a bound guaranteed to exceed the realised delay, so
+    the offset flop always lands *early* in the corrected frame and its
+    private stage pad — which affects no other flop — closes the gap.
+    """
+    cell = tech.buffers.smallest
+    rule = tech.default_rule
+    layer = tech.layer_for(horizontal=True)
+    r = layer.resistance_per_um(rule.width_on(layer))
+    c = layer.isolated_cap_per_um(rule.width_on(layer))
+    wire_cap = c * leaf_edge
+    wire_elmore = r * leaf_edge * (wire_cap / 2.0 + flop_cin)
+    return cell.delay(flop_cin + wire_cap) + wire_elmore + margin
+
+
+def apply_useful_skew(tree, tech, offsets: dict[str, float]) -> dict[str, float]:
+    """Make positive offsets implementable: leaf delay buffers.
+
+    A per-flop offset cannot be realised by stage-level trims when the
+    flop shares its driving stage with zero-offset flops — the stage
+    trim shifts them all.  The real flows insert a *delay buffer* on
+    the offset flop's leaf edge, which (a) adds roughly one buffer
+    quantum of delay and (b) gives the flop its own stage, so the
+    normal trimmer (:func:`repro.cts.refine.refine_skew` with
+    ``offsets``) can fine-tune it with a private pad.
+
+    The buffer is inserted at the *head* of the flop's leaf edge: it
+    drives the leaf wire plus the flop, and that wire's Elmore delay is
+    part of the added quantum (``delay_buffer_quantum`` accounts for
+    it).  Requested offsets below the quantum are quantised *up* to it
+    — extra setup slack for the repaired path, never less (hold margins
+    are outside this model; see DESIGN.md).
+
+    Call this once before the offset-aware refine, and refine with the
+    *returned* effective offsets.  Non-positive offsets are dropped
+    (see ``capture_only`` in :func:`schedule_offsets`).
+    """
+    leaf_by_pin = {node.sink_pin.full_name: node for node in tree.sinks()}
+    cell = tech.buffers.smallest
+    effective: dict[str, float] = {}
+    for pin, offset in offsets.items():
+        if pin not in leaf_by_pin:
+            raise KeyError(f"no sink pin named {pin!r} in the clock tree")
+        if offset <= 0.0:
+            continue
+        leaf = leaf_by_pin[pin]
+        leaf_edge = (tree.edge_length(leaf.node_id)
+                     if leaf.parent is not None else 0.0)
+        quantum = delay_buffer_quantum(tech, leaf.sink_pin.cap, leaf_edge)
+        effective[pin] = max(offset, quantum)
+        parent = tree.node(leaf.parent) if leaf.parent is not None else None
+        if parent is not None and parent.buffer is not None \
+                and len(parent.children) == 1:
+            continue  # already has a private delay buffer
+        delay_node = tree.insert_above(leaf.node_id)
+        delay_node.buffer = cell
+    return effective
+
+
+def worst_path_slack(paths: list[TimingPath],
+                     offsets: dict[str, float]) -> float:
+    """The minimum setup slack over ``paths`` under ``offsets``."""
+    if not paths:
+        raise ValueError("no paths given")
+    return min(path_slack_with_offsets(p, offsets) for p in paths)
+
+
+def worst_hold_slack(paths: list[TimingPath],
+                     offsets: dict[str, float]) -> float:
+    """The minimum hold slack over ``paths`` under ``offsets``."""
+    if not paths:
+        raise ValueError("no paths given")
+    return min(path_hold_slack_with_offsets(p, offsets) for p in paths)

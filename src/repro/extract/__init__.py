@@ -1,0 +1,25 @@
+"""RC extraction: wire parasitics and the buffered clock RC network.
+
+Substrate S6 in DESIGN.md.
+
+* :mod:`repro.extract.capmodel` — per-wire R and C from geometry,
+  routing rule and track neighbors.
+* :mod:`repro.extract.rcnetwork` — the stage-structured RC tree of the
+  buffered clock network (what the timer consumes).
+* :mod:`repro.extract.extractor` — drives both over a routing result.
+"""
+
+from repro.extract.capmodel import WireParasitics, extract_wire
+from repro.extract.rcnetwork import ClockRcNetwork, RcNode, Stage, StageSink
+from repro.extract.extractor import Extraction, extract
+
+__all__ = [
+    "WireParasitics",
+    "extract_wire",
+    "ClockRcNetwork",
+    "RcNode",
+    "Stage",
+    "StageSink",
+    "Extraction",
+    "extract",
+]

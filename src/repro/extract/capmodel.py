@@ -1,0 +1,148 @@
+"""Per-wire parasitic extraction.
+
+For a wire of electrical length ``l`` drawn with width ``w`` at rule-
+guaranteed spacing ``s`` to its track neighbors:
+
+* resistance          ``R = (rho_sheet / w) * l``
+* area (ground) cap   ``C_area = c_area * w * l``       — scales with w
+* edge-to-ground cap  ``2 * c_fringe * l``              — width-independent
+* lateral cap, per side: neighbor-covered portions couple at
+  ``k_couple / s`` per um; uncovered portions see the far-field term.
+
+The split between the width-proportional part (``c_area``) and the rest
+matters downstream: under width variation only the area part tracks the
+width, which is why doubling the width halves the *relative* RC noise.
+
+Coupling to *same-net* neighbors (two branches of the clock running
+side by side) is tracked separately: both ends switch together, so this
+capacitance neither loads the transition (Miller factor 0) nor burns
+switching power, but it still exists physically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.route.wires import NeighborCoupling, RoutedWire
+
+
+@dataclass(frozen=True)
+class CouplingEntry:
+    """One victim-side coupling capacitor relevant to delta delay."""
+
+    cc: float          # coupling capacitance, fF
+    activity: float    # aggressor toggle probability per cycle
+    window: tuple = None  # aggressor switching window (ps), if known
+
+
+@dataclass
+class WireParasitics:
+    """Extracted parasitics of one routed wire.
+
+    Attributes
+    ----------
+    wire_id:
+        The routed wire this describes.
+    r:
+        Total series resistance, kOhm.
+    c_area:
+        Width-proportional ground capacitance, fF (scales with width
+        variation).
+    c_rest:
+        Width-independent capacitance, fF: fringe, far-field, and
+        nominal (grounded-aggressor) signal coupling.
+    cc_signal:
+        Total coupling capacitance to switching-independent (signal)
+        neighbors, fF.  Included in ``c_rest`` for nominal delay and in
+        switched capacitance for power.
+    cc_clock:
+        Total coupling to same-net clock neighbors, fF.  Excluded from
+        delay and power (Miller factor 0), reported for completeness.
+    couplings:
+        Per-aggressor entries for delta-delay analysis.
+    """
+
+    wire_id: int
+    r: float
+    c_area: float
+    c_rest: float
+    cc_signal: float
+    cc_clock: float
+    couplings: list[CouplingEntry] = field(default_factory=list)
+
+    @property
+    def c_total(self) -> float:
+        """Nominal (quiet-aggressor) capacitance used for delay, fF."""
+        return self.c_area + self.c_rest
+
+    @property
+    def c_switched(self) -> float:
+        """Capacitance charged per clock transition, for power, fF."""
+        return self.c_area + self.c_rest
+
+
+def extract_wire(wire: RoutedWire,
+                 neighbors: list[NeighborCoupling]) -> WireParasitics:
+    """Extract one wire given its track-neighbor list.
+
+    ``neighbors`` comes from
+    :meth:`repro.route.tracks.TrackManager.neighbors_of`, with spacings
+    already clamped to rule guarantees.
+    """
+    layer = wire.layer
+    length = wire.length          # includes snaking detour
+    span = wire.segment.length    # geometric span exposed to neighbors
+    width = wire.width
+
+    r = layer.resistance_per_um(width) * length
+    c_area = layer.ground_cap_per_um(width) * length
+    c_rest = 2.0 * layer.c_fringe * length
+
+    # Snaking detour couples to nothing: both sides see far field.
+    detour = wire.extra_length
+    c_rest += 2.0 * layer.c_fringe_far * detour
+
+    if wire.shielded:
+        # Grounded shields on both adjacent tracks: no aggressor
+        # coupling at all, but the victim now sees two grounded lines
+        # at minimum spacing over its whole span — a static cap cost.
+        c_rest += 2.0 * layer.coupling_cap_per_um(layer.min_spacing) * span
+        return WireParasitics(
+            wire_id=wire.wire_id,
+            r=r,
+            c_area=c_area,
+            c_rest=c_rest,
+            cc_signal=0.0,
+            cc_clock=0.0,
+            couplings=[],
+        )
+
+    cc_signal = 0.0
+    cc_clock = 0.0
+    couplings: list[CouplingEntry] = []
+    covered = 0.0
+    for nb in neighbors:
+        overlap = min(nb.overlap, span)
+        cc = layer.coupling_cap_per_um(nb.spacing) * overlap
+        if nb.same_net:
+            cc_clock += cc
+        else:
+            cc_signal += cc
+            couplings.append(CouplingEntry(cc=cc, activity=nb.neighbor_activity,
+                                           window=nb.neighbor_window))
+        covered += overlap
+
+    # Uncovered span portions (per side; 2 sides total = 2 * span).
+    uncovered = max(0.0, 2.0 * span - covered)
+    c_rest += layer.c_fringe_far * uncovered
+
+    c_rest += cc_signal  # quiet aggressors load the wire like ground
+    return WireParasitics(
+        wire_id=wire.wire_id,
+        r=r,
+        c_area=c_area,
+        c_rest=c_rest,
+        cc_signal=cc_signal,
+        cc_clock=cc_clock,
+        couplings=couplings,
+    )

@@ -1,0 +1,62 @@
+"""Drives extraction over a routing result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cts.tree import ClockTree
+from repro.extract.capmodel import WireParasitics, extract_wire
+from repro.extract.rcnetwork import ClockRcNetwork, build_rc_network
+from repro.route.router import RoutingResult
+
+
+@dataclass
+class Extraction:
+    """Extracted parasitics plus the assembled clock RC network.
+
+    Re-extraction after a rule re-assignment is cheap: only the touched
+    wires change, and the network rebuild is linear.
+    """
+
+    routing: RoutingResult
+    wires: dict[int, WireParasitics] = field(default_factory=dict)
+    network: ClockRcNetwork = field(default_factory=ClockRcNetwork)
+
+    @property
+    def clock_wire_cap(self) -> float:
+        """Total clock wire capacitance counted for power, fF."""
+        return sum(self.wires[w.wire_id].c_switched
+                   for w in self.routing.clock_wires)
+
+    @property
+    def clock_coupling_cap(self) -> float:
+        """Total clock-to-signal coupling capacitance, fF."""
+        return sum(self.wires[w.wire_id].cc_signal
+                   for w in self.routing.clock_wires)
+
+
+def extract(tree: ClockTree, routing: RoutingResult) -> Extraction:
+    """Extract every clock wire and build the clock RC network.
+
+    Signal wires are not individually extracted (they only matter as
+    aggressors, which the clock-side extraction already captures), which
+    keeps extraction proportional to the clock, not the design.
+    """
+    result = Extraction(routing=routing)
+    for wire in routing.clock_wires:
+        neighbors = routing.tracks.neighbors_of(wire)
+        result.wires[wire.wire_id] = extract_wire(wire, neighbors)
+    result.network = build_rc_network(tree, routing, result.wires)
+    return result
+
+
+def re_extract(extraction: Extraction, tree: ClockTree,
+               wire_ids: list[int]) -> Extraction:
+    """Update only ``wire_ids`` (after a rule change) and rebuild the network."""
+    routing = extraction.routing
+    for wire_id in wire_ids:
+        wire = routing.tracks.wire(wire_id)
+        neighbors = routing.tracks.neighbors_of(wire)
+        extraction.wires[wire_id] = extract_wire(wire, neighbors)
+    extraction.network = build_rc_network(tree, routing, extraction.wires)
+    return extraction

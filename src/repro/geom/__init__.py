@@ -1,0 +1,20 @@
+"""Geometry substrate: points, rectangles, Manhattan segments, Steiner trees.
+
+Substrate S2 in DESIGN.md.  All coordinates are in micrometers.
+"""
+
+from repro.geom.point import Point, manhattan
+from repro.geom.rect import Rect
+from repro.geom.segment import Segment
+from repro.geom.steiner import SteinerTree, build_steiner_tree
+from repro.geom.grid import RoutingGrid
+
+__all__ = [
+    "Point",
+    "manhattan",
+    "Rect",
+    "Segment",
+    "SteinerTree",
+    "build_steiner_tree",
+    "RoutingGrid",
+]

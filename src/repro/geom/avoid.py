@@ -1,0 +1,133 @@
+"""Obstacle-avoiding Manhattan routing.
+
+Hard macros (RAMs, IP blocks) block the routing layers the clock uses;
+wires must detour around them.  The router here is the practical
+pattern-route: try the two L-shapes, and for a leg crossing a macro,
+bypass it along the nearer macro edge (a three-bend detour), recursing
+on the pieces.  This handles the convex, sparsely-placed blockages of
+the benchmark generator; it is not a maze router (no routing through
+mazes of overlapping macros — the generator keeps macros disjoint).
+"""
+
+from __future__ import annotations
+
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.geom.segment import Segment, l_route
+
+#: Clearance kept between a wire centerline and a macro edge, um.
+CLEARANCE: float = 0.5
+
+
+def segment_blocked(seg: Segment, blockage: Rect,
+                    clearance: float = CLEARANCE) -> bool:
+    """True if ``seg`` passes through ``blockage`` (with clearance)."""
+    if seg.length == 0.0:
+        return blockage.expanded(clearance).contains(seg.a)
+    grown = blockage.expanded(clearance)
+    if seg.horizontal:
+        y = seg.track_coord
+        return grown.ylo < y < grown.yhi and \
+            seg.lo < grown.xhi and seg.hi > grown.xlo
+    x = seg.track_coord
+    return grown.xlo < x < grown.xhi and \
+        seg.lo < grown.yhi and seg.hi > grown.ylo
+
+
+def _first_blocker(seg: Segment, blockages: list[Rect]) -> Rect | None:
+    for blockage in blockages:
+        if segment_blocked(seg, blockage):
+            return blockage
+    return None
+
+
+def _bypass_leg(seg: Segment, blockage: Rect, die: Rect) -> list[Segment]:
+    """Replace one blocked leg with a three-bend detour around ``blockage``."""
+    grown = blockage.expanded(2.0 * CLEARANCE)
+    if seg.horizontal:
+        y = seg.track_coord
+        below = grown.ylo
+        above = grown.yhi
+        # Pick the nearer macro edge that stays on the die.
+        candidates = sorted((abs(y - c), c) for c in (below, above)
+                            if die.ylo <= c <= die.yhi)
+        if not candidates:
+            return [seg]  # nowhere to go; give up (flagged by caller)
+        y_by = candidates[0][1]
+        a, b = seg.a, seg.b
+        return [
+            Segment(a, Point(a.x, y_by)),
+            Segment(Point(a.x, y_by), Point(b.x, y_by)),
+            Segment(Point(b.x, y_by), b),
+        ]
+    x = seg.track_coord
+    left = grown.xlo
+    right = grown.xhi
+    candidates = sorted((abs(x - c), c) for c in (left, right)
+                        if die.xlo <= c <= die.xhi)
+    if not candidates:
+        return [seg]
+    x_by = candidates[0][1]
+    a, b = seg.a, seg.b
+    return [
+        Segment(a, Point(x_by, a.y)),
+        Segment(Point(x_by, a.y), Point(x_by, b.y)),
+        Segment(Point(x_by, b.y), b),
+    ]
+
+
+def _clear_route(legs: list[Segment], blockages: list[Rect], die: Rect,
+                 depth: int) -> list[Segment] | None:
+    """Recursively bypass blockers; None when the depth budget runs out."""
+    if depth <= 0:
+        return None
+    out: list[Segment] = []
+    for leg in legs:
+        if leg.length == 0.0:
+            continue
+        blocker = _first_blocker(leg, blockages)
+        if blocker is None:
+            out.append(leg)
+            continue
+        cleared = None
+        detour = _bypass_leg(leg, blocker, die)
+        if detour != [leg]:
+            cleared = _clear_route(detour, blockages, die, depth - 1)
+        if cleared is None:
+            # Bypass failed.  A leg that merely grazes the clearance
+            # ring (endpoints near a macro edge) may hug the macro; only
+            # crossing the macro proper is fatal.
+            if segment_blocked(leg, blocker, clearance=0.0):
+                return None
+            out.append(leg)
+            continue
+        out.extend(cleared)
+    return out
+
+
+def route_avoiding(src: Point, dst: Point, blockages: list[Rect],
+                   die: Rect, max_depth: int = 6) -> list[Segment]:
+    """Manhattan route from src to dst around ``blockages``.
+
+    Tries both L orientations and returns the shorter cleared route.
+    Raises RuntimeError when no route is found within the detour depth
+    (the generator's disjoint-macro guarantee makes this unreachable in
+    practice; real mazes need a real maze router).
+    """
+    if not blockages:
+        return l_route(src, dst)
+    best: list[Segment] | None = None
+    for horizontal_first in (True, False):
+        legs = l_route(src, dst, horizontal_first=horizontal_first)
+        cleared = _clear_route(legs, blockages, die, max_depth)
+        if cleared is None:
+            continue
+        if best is None or _length(cleared) < _length(best):
+            best = cleared
+    if best is None:
+        raise RuntimeError(f"no blockage-avoiding route from {src} to {dst}")
+    return best
+
+
+def _length(legs: list[Segment]) -> float:
+    return sum(leg.length for leg in legs)

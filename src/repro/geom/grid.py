@@ -1,0 +1,63 @@
+"""Routing grid: maps continuous coordinates to per-layer track indices.
+
+Each metal layer carries equally spaced routing tracks at its pitch,
+running in its preferred direction across the die.  The track router
+(:mod:`repro.route`) assigns every wire segment to a track index; the
+grid owns the coordinate <-> index mapping so router, extractor and
+benchmark generator all agree on geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geom.rect import Rect
+from repro.tech.layers import MetalLayer
+
+
+@dataclass(frozen=True)
+class RoutingGrid:
+    """Track geometry for one die.
+
+    Attributes
+    ----------
+    die:
+        The die bounding box (um).
+    """
+
+    die: Rect
+
+    def num_tracks(self, layer: MetalLayer) -> int:
+        """Number of routing tracks ``layer`` provides across the die."""
+        extent = self.die.height if layer.direction == "H" else self.die.width
+        return max(1, int(extent / layer.pitch))
+
+    def track_index(self, layer: MetalLayer, coord: float) -> int:
+        """Nearest track index for a perpendicular coordinate, clamped to the die."""
+        origin = self.die.ylo if layer.direction == "H" else self.die.xlo
+        idx = int(round((coord - origin) / layer.pitch))
+        return min(max(idx, 0), self.num_tracks(layer) - 1)
+
+    def track_coord(self, layer: MetalLayer, index: int) -> float:
+        """Perpendicular coordinate of track ``index`` on ``layer``."""
+        if not 0 <= index < self.num_tracks(layer):
+            raise IndexError(
+                f"track {index} out of range for {layer.name} "
+                f"({self.num_tracks(layer)} tracks)")
+        origin = self.die.ylo if layer.direction == "H" else self.die.xlo
+        return origin + index * layer.pitch
+
+    def snap(self, layer: MetalLayer, coord: float) -> float:
+        """Snap a perpendicular coordinate onto the nearest track."""
+        return self.track_coord(layer, self.track_index(layer, coord))
+
+    def track_distance(self, layer: MetalLayer, idx_a: int, idx_b: int) -> float:
+        """Center-to-center distance (um) between two tracks on ``layer``."""
+        return abs(idx_a - idx_b) * layer.pitch
+
+    def edge_spacing(self, layer: MetalLayer, idx_a: int, width_a: float,
+                     idx_b: int, width_b: float) -> float:
+        """Edge-to-edge spacing between wires of given widths on two tracks."""
+        if idx_a == idx_b:
+            return 0.0
+        return self.track_distance(layer, idx_a, idx_b) - (width_a + width_b) / 2.0

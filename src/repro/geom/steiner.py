@@ -1,0 +1,145 @@
+"""Rectilinear Steiner tree construction.
+
+Signal (aggressor) nets and clock leaf-level connections are routed as
+rectilinear Steiner trees.  The constructor is the classic practical
+pipeline:
+
+1. Prim's MST over the terminals under Manhattan distance (exact MST,
+   O(n^2) which is fine at net fan-outs).
+2. Each MST edge is realised as an L-shaped route; the bend orientation
+   is chosen greedily to maximise overlap with already-placed segments
+   (a one-pass Steinerisation that recovers most of the easy sharing).
+3. Overlapping collinear segments are merged so total wirelength counts
+   shared trunks once.
+
+The result is within the usual few percent of an optimal RSMT for the
+fan-outs that matter here, and — more importantly for this library —
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geom.point import Point
+from repro.geom.segment import Segment, l_route
+
+
+@dataclass
+class SteinerTree:
+    """A routed rectilinear tree.
+
+    Attributes
+    ----------
+    root:
+        The driver terminal.
+    terminals:
+        All terminals including the root.
+    segments:
+        The wire segments realising the tree (merged, non-redundant).
+    """
+
+    root: Point
+    terminals: tuple[Point, ...]
+    segments: list[Segment] = field(default_factory=list)
+
+    @property
+    def wirelength(self) -> float:
+        return sum(seg.length for seg in self.segments)
+
+
+def _mst_edges(terminals: list[Point]) -> list[tuple[int, int]]:
+    """Prim's MST over Manhattan distance; returns (parent, child) index pairs."""
+    n = len(terminals)
+    in_tree = [False] * n
+    best_dist = [float("inf")] * n
+    best_parent = [0] * n
+    in_tree[0] = True
+    for j in range(1, n):
+        best_dist[j] = terminals[0].manhattan_to(terminals[j])
+    edges: list[tuple[int, int]] = []
+    for _ in range(n - 1):
+        # Pick the closest out-of-tree terminal (ties broken by index for
+        # determinism).
+        pick = -1
+        pick_dist = float("inf")
+        for j in range(n):
+            if not in_tree[j] and best_dist[j] < pick_dist:
+                pick, pick_dist = j, best_dist[j]
+        edges.append((best_parent[pick], pick))
+        in_tree[pick] = True
+        for j in range(n):
+            if not in_tree[j]:
+                d = terminals[pick].manhattan_to(terminals[j])
+                if d < best_dist[j]:
+                    best_dist[j] = d
+                    best_parent[j] = pick
+    return edges
+
+
+def _overlap_score(candidate: list[Segment], placed: list[Segment]) -> float:
+    """Total collinear overlap between a candidate route and placed wires."""
+    score = 0.0
+    for seg in candidate:
+        for other in placed:
+            if seg.horizontal == other.horizontal and seg.track_coord == other.track_coord:
+                score += seg.overlap_with(other)
+    return score
+
+
+def _merge_collinear(segments: list[Segment]) -> list[Segment]:
+    """Merge overlapping/abutting collinear segments on the same track."""
+    by_track: dict[tuple[bool, float], list[Segment]] = {}
+    for seg in segments:
+        if seg.length == 0.0:
+            continue
+        by_track.setdefault((seg.horizontal, seg.track_coord), []).append(seg)
+    merged: list[Segment] = []
+    for (horizontal, coord), group in sorted(by_track.items()):
+        intervals = sorted((s.lo, s.hi) for s in group)
+        cur_lo, cur_hi = intervals[0]
+        spans = []
+        for lo, hi in intervals[1:]:
+            if lo <= cur_hi:
+                cur_hi = max(cur_hi, hi)
+            else:
+                spans.append((cur_lo, cur_hi))
+                cur_lo, cur_hi = lo, hi
+        spans.append((cur_lo, cur_hi))
+        for lo, hi in spans:
+            if horizontal:
+                merged.append(Segment(Point(lo, coord), Point(hi, coord)))
+            else:
+                merged.append(Segment(Point(coord, lo), Point(coord, hi)))
+    return merged
+
+
+def build_steiner_tree(root: Point, sinks: list[Point]) -> SteinerTree:
+    """Build a rectilinear Steiner tree from ``root`` to ``sinks``.
+
+    Duplicate terminals are tolerated; a single-terminal net yields an
+    empty segment list.
+    """
+    terminals = [root] + [p for p in sinks if p != root]
+    # De-duplicate while preserving order (root stays first).
+    seen: set[Point] = set()
+    unique: list[Point] = []
+    for p in terminals:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    tree = SteinerTree(root=root, terminals=tuple(unique))
+    if len(unique) < 2:
+        return tree
+
+    placed: list[Segment] = []
+    for parent_idx, child_idx in _mst_edges(unique):
+        a, b = unique[parent_idx], unique[child_idx]
+        route_h = l_route(a, b, horizontal_first=True)
+        route_v = l_route(a, b, horizontal_first=False)
+        if _overlap_score(route_v, placed) > _overlap_score(route_h, placed):
+            placed.extend(route_v)
+        else:
+            placed.extend(route_h)
+    tree.segments = _merge_collinear(placed)
+    return tree

@@ -1,0 +1,22 @@
+"""Serialization: designs to/from JSON, rule assignments, wire reports.
+
+Lets a downstream user persist generated benchmarks, exchange designs
+with other tools, and save/re-apply a smart-NDR solution without
+re-running the optimizer.
+"""
+
+from repro.io.design_json import design_to_dict, design_from_dict, save_design, load_design
+from repro.io.rules_json import (save_rule_assignment, load_rule_assignment,
+                                 apply_rule_assignment)
+from repro.io.report import write_wire_report
+
+__all__ = [
+    "design_to_dict",
+    "design_from_dict",
+    "save_design",
+    "load_design",
+    "save_rule_assignment",
+    "load_rule_assignment",
+    "apply_rule_assignment",
+    "write_wire_report",
+]

@@ -1,0 +1,96 @@
+"""Design <-> JSON.
+
+The schema captures exactly what the flow consumes: die, clock period,
+clock source, sink flops, and signal (aggressor) nets with activities.
+Geometry is stored as plain [x, y] pairs in um.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.netlist.cell import CellKind, PinDirection
+from repro.netlist.design import Design
+from repro.netlist.net import NetKind
+
+SCHEMA_VERSION = 1
+
+
+def design_to_dict(design: Design) -> dict:
+    """Serialise a design to a JSON-ready dict."""
+    design.validate()
+    flops = [
+        {"name": pin.instance.name,
+         "xy": [pin.location.x, pin.location.y],
+         "cin": pin.cap}
+        for pin in design.clock_sinks
+    ]
+    nets = []
+    for net in design.signal_nets:
+        nets.append({
+            "name": net.name,
+            "activity": net.activity,
+            "driver": {"name": net.driver.instance.name,
+                       "xy": [net.driver.location.x, net.driver.location.y]},
+            "sinks": [{"name": pin.instance.name,
+                       "xy": [pin.location.x, pin.location.y],
+                       "cin": pin.cap}
+                      for pin in net.sinks],
+        })
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": design.name,
+        "die": [design.die.xlo, design.die.ylo, design.die.xhi, design.die.yhi],
+        "clock_period": design.clock_period,
+        "clock_source": [design.clock_root.location.x,
+                         design.clock_root.location.y],
+        "blockages": [[b.xlo, b.ylo, b.xhi, b.yhi]
+                      for b in design.blockages],
+        "flops": flops,
+        "signal_nets": nets,
+    }
+
+
+def design_from_dict(data: dict) -> Design:
+    """Rebuild a design from :func:`design_to_dict` output."""
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"unsupported design schema {schema!r} "
+                         f"(expected {SCHEMA_VERSION})")
+    die = Rect(*data["die"])
+    design = Design(name=data["name"], die=die,
+                    clock_period=data["clock_period"])
+    design.add_clock_source(Point(*data["clock_source"]))
+    for coords in data.get("blockages", []):
+        design.add_blockage(Rect(*coords))
+    for flop in data["flops"]:
+        design.add_flop(flop["name"], Point(*flop["xy"]),
+                        clock_pin_cap=flop["cin"])
+    for net_data in data["signal_nets"]:
+        driver_data = net_data["driver"]
+        driver_inst = design.add_instance(
+            driver_data["name"], CellKind.GATE, Point(*driver_data["xy"]))
+        net = design.add_net(net_data["name"], NetKind.SIGNAL,
+                             activity=net_data["activity"])
+        net.connect_driver(driver_inst.add_pin("Z", PinDirection.OUTPUT))
+        for sink_data in net_data["sinks"]:
+            sink_inst = design.add_instance(
+                sink_data["name"], CellKind.GATE, Point(*sink_data["xy"]))
+            net.connect_sink(sink_inst.add_pin(
+                "A", PinDirection.INPUT, cap=sink_data["cin"]))
+    design.validate()
+    return design
+
+
+def save_design(design: Design, path: Union[str, Path]) -> None:
+    """Write a design to a JSON file."""
+    Path(path).write_text(json.dumps(design_to_dict(design), indent=1))
+
+
+def load_design(path: Union[str, Path]) -> Design:
+    """Read a design from a JSON file."""
+    return design_from_dict(json.loads(Path(path).read_text()))

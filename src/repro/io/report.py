@@ -1,0 +1,40 @@
+"""Human-readable per-wire report of a routed, analyzed clock network."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.extract.extractor import Extraction
+from repro.reporting.tables import format_table
+
+
+def write_wire_report(extraction: Extraction, path: Union[str, Path],
+                      title: str = "clock wire report") -> int:
+    """Write one row per clock wire: geometry, rule, parasitics.
+
+    Returns the number of wires reported.
+    """
+    routing = extraction.routing
+    rows = []
+    for wire in sorted(routing.clock_wires, key=lambda w: w.wire_id):
+        para = extraction.wires.get(wire.wire_id)
+        if para is None:
+            continue
+        rows.append([
+            str(wire.wire_id),
+            wire.layer.name,
+            str(wire.track),
+            f"{wire.length:.1f}",
+            wire.rule.name.value,
+            f"{para.r * 1000:.1f}",        # ohm
+            f"{para.c_total:.2f}",
+            f"{para.cc_signal:.3f}",
+        ])
+    text = format_table(
+        title,
+        ["wire", "layer", "track", "len um", "rule", "R ohm", "C fF",
+         "cc fF"],
+        rows)
+    Path(path).write_text(text + "\n")
+    return len(rows)

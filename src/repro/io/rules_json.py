@@ -1,0 +1,77 @@
+"""Persist and re-apply a rule assignment.
+
+The routing is deterministic given the design, so wire ids are stable;
+each entry nevertheless carries a geometric signature (layer, track,
+span) that is verified on re-application, so a stale file against a
+changed design fails loudly instead of silently mis-assigning.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.route.router import RoutingResult
+from repro.tech.ndr import rule_by_name
+
+SCHEMA_VERSION = 1
+
+
+def _signature(wire) -> list:
+    return [wire.layer.name, wire.track,
+            round(wire.segment.lo, 4), round(wire.segment.hi, 4)]
+
+
+def save_rule_assignment(routing: RoutingResult,
+                         path: Union[str, Path],
+                         design_name: str = "") -> int:
+    """Write the non-default clock wire rules to a JSON file.
+
+    Returns the number of entries written (default-rule wires are
+    omitted — they are the baseline).
+    """
+    entries = []
+    for wire in routing.clock_wires:
+        if wire.rule.is_default:
+            continue
+        entries.append({
+            "wire_id": wire.wire_id,
+            "rule": wire.rule.name.value,
+            "sig": _signature(wire),
+        })
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "design": design_name,
+        "rules": entries,
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+    return len(entries)
+
+
+def load_rule_assignment(path: Union[str, Path]) -> dict:
+    """Read a rule-assignment file (validated for schema)."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported rules schema "
+                         f"{payload.get('schema')!r}")
+    return payload
+
+
+def apply_rule_assignment(routing: RoutingResult, payload: dict) -> int:
+    """Stamp a loaded assignment onto a routing; returns entries applied.
+
+    Every entry's geometric signature must match the live wire; a
+    mismatch raises ValueError (the file belongs to a different design
+    or flow version).
+    """
+    applied = 0
+    for entry in payload["rules"]:
+        wire = routing.tracks.wire(entry["wire_id"])
+        if _signature(wire) != entry["sig"]:
+            raise ValueError(
+                f"wire {entry['wire_id']} signature mismatch: file has "
+                f"{entry['sig']}, design has {_signature(wire)}")
+        routing.assign_rule(entry["wire_id"], rule_by_name(entry["rule"]))
+        applied += 1
+    return applied

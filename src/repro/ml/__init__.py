@@ -1,0 +1,34 @@
+"""From-scratch machine-learning substrate (no sklearn dependency).
+
+Substrate S12 in DESIGN.md.  Provides exactly what the ML-guided rule
+assignment (:mod:`repro.core.mlguide`) needs:
+
+* :class:`~repro.ml.tree.DecisionTreeClassifier` — CART with Gini
+  impurity,
+* :class:`~repro.ml.forest.RandomForestClassifier` — bagged CART trees
+  with feature subsampling,
+* :class:`~repro.ml.logistic.LogisticRegression` — L2-regularised,
+  gradient-descent trained,
+* :mod:`repro.ml.metrics` — accuracy/precision/recall/F1/confusion,
+* :mod:`repro.ml.data` — train/test split, standardisation.
+"""
+
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import (accuracy, precision, recall, f1_score,
+                              confusion_matrix)
+from repro.ml.data import train_test_split, Standardizer
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "LogisticRegression",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "confusion_matrix",
+    "train_test_split",
+    "Standardizer",
+]

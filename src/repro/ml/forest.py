@@ -1,0 +1,76 @@
+"""Random forest: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bagging ensemble of :class:`DecisionTreeClassifier`.
+
+    Each tree trains on a bootstrap sample and considers
+    ``sqrt(n_features)`` features per split (the standard default).
+    Probabilities are the average of tree leaf distributions.
+    """
+
+    def __init__(self, n_trees: int = 25, max_depth: int = 10,
+                 min_samples_leaf: int = 3, seed: int = 0) -> None:
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.n_features_: int = 0
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        """Fit the ensemble on bootstrap samples of (X, y)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be 2-D and aligned with y")
+        rng = np.random.default_rng(self.seed)
+        n, self.n_features_ = X.shape
+        max_features = max(1, int(math.sqrt(self.n_features_)))
+        self.trees_ = []
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=rng,
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities averaged over the ensemble."""
+        if not self.trees_:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        # Trees may disagree on class count if a bootstrap missed the
+        # top class; pad to the widest.
+        probs = [t.predict_proba(X) for t in self.trees_]
+        width = max(p.shape[1] for p in probs)
+        acc = np.zeros((X.shape[0], width))
+        for p in probs:
+            acc[:, :p.shape[1]] += p
+        return acc / len(probs)
+
+    def predict(self, X) -> np.ndarray:
+        """Majority-probability class per row of ``X``."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("classifier is not fitted")
+        return np.mean([t.feature_importances_ for t in self.trees_], axis=0)

@@ -1,0 +1,68 @@
+"""L2-regularised logistic regression trained by batch gradient descent."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clip to keep exp() in range; gradients saturate anyway out there.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class LogisticRegression:
+    """Binary logistic regression.
+
+    Expects standardized features (see :class:`repro.ml.data.Standardizer`)
+    for sensible convergence at the default learning rate.
+    """
+
+    def __init__(self, learning_rate: float = 0.1, n_iterations: int = 500,
+                 l2: float = 1e-3) -> None:
+        if learning_rate <= 0.0:
+            raise ValueError("learning_rate must be positive")
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        if l2 < 0.0:
+            raise ValueError("l2 must be non-negative")
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: float = 0.0
+
+    def fit(self, X, y) -> "LogisticRegression":
+        """Train weights by batch gradient descent on (X, y)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be 2-D and aligned with y")
+        if not np.all((y == 0) | (y == 1)):
+            raise ValueError("labels must be binary (0/1)")
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.n_iterations):
+            p = _sigmoid(X @ w + b)
+            err = p - y
+            grad_w = X.T @ err / n + self.l2 * w
+            grad_b = float(err.mean())
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+        self.weights_ = w
+        self.bias_ = b
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """(P(class 0), P(class 1)) per row of ``X``."""
+        if self.weights_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        p1 = _sigmoid(X @ self.weights_ + self.bias_)
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X) -> np.ndarray:
+        """Class labels at the 0.5 probability threshold."""
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(int)

@@ -1,0 +1,58 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    yt = np.asarray(y_true, dtype=int)
+    yp = np.asarray(y_pred, dtype=int)
+    if yt.shape != yp.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if yt.size == 0:
+        raise ValueError("empty label arrays")
+    return yt, yp
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of predictions matching the labels."""
+    yt, yp = _validate(y_true, y_pred)
+    return float(np.mean(yt == yp))
+
+
+def precision(y_true, y_pred, positive: int = 1) -> float:
+    """Fraction of predicted positives that are true positives (1.0 if none predicted)."""
+    yt, yp = _validate(y_true, y_pred)
+    predicted = yp == positive
+    if not predicted.any():
+        return 1.0
+    return float(np.mean(yt[predicted] == positive))
+
+
+def recall(y_true, y_pred, positive: int = 1) -> float:
+    """Fraction of actual positives found (1.0 if no actual positives)."""
+    yt, yp = _validate(y_true, y_pred)
+    actual = yt == positive
+    if not actual.any():
+        return 1.0
+    return float(np.mean(yp[actual] == positive))
+
+
+def f1_score(y_true, y_pred, positive: int = 1) -> float:
+    """Harmonic mean of precision and recall (0 when both absent)."""
+    p = precision(y_true, y_pred, positive)
+    r = recall(y_true, y_pred, positive)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """Square matrix with true classes as rows, predicted as columns."""
+    yt, yp = _validate(y_true, y_pred)
+    k = int(max(yt.max(), yp.max())) + 1
+    matrix = np.zeros((k, k), dtype=int)
+    for t, p in zip(yt, yp):
+        matrix[t, p] += 1
+    return matrix

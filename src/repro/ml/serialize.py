@@ -1,0 +1,97 @@
+"""JSON serialization for the from-scratch classifiers.
+
+Training the NDR guide costs several greedy optimizer runs; a team
+wants to train once and ship the model.  Trees serialise to nested
+dicts; the forest adds its hyperparameters; the round trip is exact
+(identical predictions), which the tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier, _Node
+
+FOREST_SCHEMA = 1
+
+
+def _node_to_dict(node: Optional[_Node]) -> Optional[dict]:
+    if node is None:
+        return None
+    return {
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "prediction": node.prediction,
+        "proba": None if node.proba is None else [float(p)
+                                                  for p in node.proba],
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(data: Optional[dict]) -> Optional[_Node]:
+    if data is None:
+        return None
+    return _Node(
+        feature=data["feature"],
+        threshold=data["threshold"],
+        prediction=data["prediction"],
+        proba=None if data["proba"] is None else np.asarray(data["proba"]),
+        left=_node_from_dict(data["left"]),
+        right=_node_from_dict(data["right"]),
+    )
+
+
+def tree_to_dict(tree: DecisionTreeClassifier) -> dict:
+    """Serialise a fitted CART tree."""
+    if tree._root is None:
+        raise ValueError("cannot serialise an unfitted tree")
+    return {
+        "max_depth": tree.max_depth,
+        "min_samples_leaf": tree.min_samples_leaf,
+        "n_classes": tree._n_classes,
+        "n_features": tree.n_features_,
+        "importances": [float(v) for v in tree.feature_importances_],
+        "root": _node_to_dict(tree._root),
+    }
+
+
+def tree_from_dict(data: dict) -> DecisionTreeClassifier:
+    """Rebuild a CART tree from :func:`tree_to_dict` output."""
+    tree = DecisionTreeClassifier(max_depth=data["max_depth"],
+                                  min_samples_leaf=data["min_samples_leaf"])
+    tree._n_classes = data["n_classes"]
+    tree.n_features_ = data["n_features"]
+    tree.feature_importances_ = np.asarray(data["importances"])
+    tree._root = _node_from_dict(data["root"])
+    return tree
+
+
+def forest_to_dict(forest: RandomForestClassifier) -> dict:
+    """Serialise a fitted random forest."""
+    if not forest.trees_:
+        raise ValueError("cannot serialise an unfitted forest")
+    return {
+        "schema": FOREST_SCHEMA,
+        "n_trees": forest.n_trees,
+        "max_depth": forest.max_depth,
+        "min_samples_leaf": forest.min_samples_leaf,
+        "seed": forest.seed,
+        "n_features": forest.n_features_,
+        "trees": [tree_to_dict(tree) for tree in forest.trees_],
+    }
+
+
+def forest_from_dict(data: dict) -> RandomForestClassifier:
+    """Rebuild a random forest from :func:`forest_to_dict` output."""
+    if data.get("schema") != FOREST_SCHEMA:
+        raise ValueError(f"unsupported forest schema {data.get('schema')!r}")
+    forest = RandomForestClassifier(
+        n_trees=data["n_trees"], max_depth=data["max_depth"],
+        min_samples_leaf=data["min_samples_leaf"], seed=data["seed"])
+    forest.n_features_ = data["n_features"]
+    forest.trees_ = [tree_from_dict(t) for t in data["trees"]]
+    return forest

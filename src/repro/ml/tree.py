@@ -1,0 +1,175 @@
+"""CART decision tree classifier (Gini impurity, binary splits).
+
+A deliberately small, readable implementation: vectorised split search
+with NumPy, depth/leaf-size regularisation, and per-feature importance
+accounting.  Binary or multi-class labels (dense integer classes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    prediction: int = 0
+    proba: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTreeClassifier:
+    """CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_leaf:
+        Minimum samples each child of a split must retain.
+    max_features:
+        If set, the number of features randomly considered per split
+        (used by the random forest); ``None`` considers all.
+    rng:
+        NumPy generator for feature subsampling (only needed when
+        ``max_features`` is set).
+    """
+
+    def __init__(self, max_depth: int = 8, min_samples_leaf: int = 5,
+                 max_features: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+        self._n_classes = 0
+        self.n_features_: int = 0
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    # -- training -----------------------------------------------------------------
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        """Grow the CART tree on (X, y)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y length mismatch")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        self._n_classes = int(y.max()) + 1 if y.size else 1
+        self.n_features_ = X.shape[1]
+        self.feature_importances_ = np.zeros(self.n_features_)
+        self._root = self._grow(X, y, depth=0)
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ /= total
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(y, minlength=self._n_classes).astype(float)
+        node = _Node(prediction=int(counts.argmax()),
+                     proba=counts / counts.sum())
+        if (depth >= self.max_depth
+                or len(y) < 2 * self.min_samples_leaf
+                or _gini(counts) == 0.0):
+            return node
+        split = self._best_split(X, y, counts)
+        if split is None:
+            return node
+        feature, threshold, gain = split
+        mask = X[:, feature] <= threshold
+        self.feature_importances_[feature] += gain * len(y)
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray,
+                    counts: np.ndarray) -> Optional[tuple[int, float, float]]:
+        n = len(y)
+        parent_gini = _gini(counts)
+        best: Optional[tuple[int, float, float]] = None
+        features = np.arange(X.shape[1])
+        if self.max_features is not None and self.max_features < len(features):
+            features = self._rng.choice(features, size=self.max_features,
+                                        replace=False)
+        for feature in features:
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            # Cumulative class counts left of each candidate boundary.
+            onehot = np.zeros((n, self._n_classes))
+            onehot[np.arange(n), ys] = 1.0
+            left_counts = np.cumsum(onehot, axis=0)
+            for i in range(self.min_samples_leaf - 1,
+                           n - self.min_samples_leaf):
+                if xs[i] == xs[i + 1]:
+                    continue  # cannot split between equal values
+                lc = left_counts[i]
+                rc = counts - lc
+                n_left = i + 1
+                n_right = n - n_left
+                gini = (n_left * _gini(lc) + n_right * _gini(rc)) / n
+                gain = parent_gini - gini
+                if best is None or gain > best[2]:
+                    best = (int(feature), float((xs[i] + xs[i + 1]) / 2.0), gain)
+        if best is None or best[2] <= 1e-12:
+            return None
+        return best
+
+    # -- inference ----------------------------------------------------------------
+
+    def predict(self, X) -> np.ndarray:
+        """Most probable class per row of ``X``."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Leaf class distributions per row of ``X``."""
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(f"X must be 2-D with {self.n_features_} features")
+        out = np.zeros((X.shape[0], self._n_classes))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold \
+                    else node.right
+            out[i] = node.proba
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        return walk(self._root)

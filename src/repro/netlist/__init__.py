@@ -1,0 +1,21 @@
+"""Design database: instances, pins, nets, the design container.
+
+Substrate S3 in DESIGN.md.  The database is intentionally small — it
+models exactly what clock routing needs: the clock source, the sink
+flops, and the signal (aggressor) nets that share routing layers with
+the clock.
+"""
+
+from repro.netlist.cell import CellKind, Instance, Pin, PinDirection
+from repro.netlist.net import Net, NetKind
+from repro.netlist.design import Design
+
+__all__ = [
+    "CellKind",
+    "Instance",
+    "Pin",
+    "PinDirection",
+    "Net",
+    "NetKind",
+    "Design",
+]

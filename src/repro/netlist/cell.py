@@ -1,0 +1,79 @@
+"""Placed instances and their pins."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geom.point import Point
+
+
+class CellKind(str, enum.Enum):
+    """What a placed instance is, as far as clock routing cares."""
+
+    FLOP = "flop"          # clock sink
+    CLKBUF = "clkbuf"      # clock tree buffer
+    GATE = "gate"          # combinational logic (aggressor driver/sink)
+    PORT = "port"          # top-level port (e.g. the clock root)
+
+
+class PinDirection(str, enum.Enum):
+    """Whether a pin receives (input) or drives (output) its net."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass
+class Instance:
+    """A placed cell instance."""
+
+    name: str
+    kind: CellKind
+    location: Point
+    cell_name: str = ""
+    pins: dict[str, "Pin"] = field(default_factory=dict)
+
+    def add_pin(self, pin_name: str, direction: PinDirection, cap: float = 0.0,
+                offset: Optional[Point] = None) -> "Pin":
+        """Create and attach a pin; pin location = instance location + offset."""
+        if pin_name in self.pins:
+            raise ValueError(f"instance {self.name} already has pin {pin_name!r}")
+        location = self.location + offset if offset is not None else self.location
+        pin = Pin(name=pin_name, instance=self, direction=direction,
+                  cap=cap, location=location)
+        self.pins[pin_name] = pin
+        return pin
+
+    def pin(self, pin_name: str) -> "Pin":
+        """The named pin (KeyError if absent)."""
+        try:
+            return self.pins[pin_name]
+        except KeyError:
+            raise KeyError(f"instance {self.name} has no pin {pin_name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"Instance({self.name!r}, {self.kind.value}, {self.location})"
+
+
+@dataclass
+class Pin:
+    """A pin on a placed instance.
+
+    ``cap`` is the pin's input capacitance in fF (0 for outputs).
+    """
+
+    name: str
+    instance: Instance
+    direction: PinDirection
+    cap: float
+    location: Point
+    net: Optional["object"] = None  # back-reference set by Net.connect
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.instance.name}/{self.name}"
+
+    def __repr__(self) -> str:
+        return f"Pin({self.full_name!r})"

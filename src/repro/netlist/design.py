@@ -1,0 +1,120 @@
+"""The design container tying floorplan, instances and nets together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.netlist.cell import CellKind, Instance, Pin, PinDirection
+from repro.netlist.net import Net, NetKind
+
+
+@dataclass
+class Design:
+    """A placed design: die, instances, clock net, signal nets.
+
+    The clock net is logical here — its physical tree (topology, buffers,
+    wires) is produced by :mod:`repro.cts` and routed by
+    :mod:`repro.route`.
+
+    Attributes
+    ----------
+    name:
+        Design name.
+    die:
+        Die bounding box, um.
+    clock_period:
+        Clock period in ps (frequency = 1000 / period GHz).
+    """
+
+    name: str
+    die: Rect
+    clock_period: float = 1000.0
+    instances: dict[str, Instance] = field(default_factory=dict)
+    nets: dict[str, Net] = field(default_factory=dict)
+    clock_root: Optional[Pin] = None
+    clock_sinks: list[Pin] = field(default_factory=list)
+    #: Hard macros: placement and routing keep-outs.
+    blockages: list[Rect] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.clock_period <= 0.0:
+            raise ValueError("clock period must be positive")
+
+    @property
+    def clock_freq(self) -> float:
+        """Clock frequency in GHz."""
+        return 1000.0 / self.clock_period
+
+    # -- construction helpers -------------------------------------------------
+
+    def add_blockage(self, rect: Rect) -> None:
+        """Register a hard macro (placement and routing keep-out)."""
+        if not (self.die.contains(Point(rect.xlo, rect.ylo))
+                and self.die.contains(Point(rect.xhi, rect.yhi))):
+            raise ValueError(f"blockage {rect} extends outside the die")
+        self.blockages.append(rect)
+
+    def add_instance(self, name: str, kind: CellKind, location: Point,
+                     cell_name: str = "") -> Instance:
+        """Place a cell instance on the die (outside any blockage)."""
+        if name in self.instances:
+            raise ValueError(f"design already has an instance named {name!r}")
+        if not self.die.contains(location):
+            raise ValueError(f"instance {name!r} at {location} is outside the die")
+        for blockage in self.blockages:
+            if blockage.contains(location):
+                raise ValueError(
+                    f"instance {name!r} at {location} sits inside a blockage")
+        inst = Instance(name=name, kind=kind, location=location, cell_name=cell_name)
+        self.instances[name] = inst
+        return inst
+
+    def add_net(self, name: str, kind: NetKind, activity: float = 0.15) -> Net:
+        """Create and register a net (name must be unique)."""
+        if name in self.nets:
+            raise ValueError(f"design already has a net named {name!r}")
+        net = Net(name=name, kind=kind, activity=activity)
+        self.nets[name] = net
+        return net
+
+    def add_clock_source(self, location: Point) -> Pin:
+        """Create the clock entry port and remember its output pin as root."""
+        if self.clock_root is not None:
+            raise ValueError("design already has a clock source")
+        port = self.add_instance("clk_port", CellKind.PORT, location)
+        self.clock_root = port.add_pin("CLK", PinDirection.OUTPUT)
+        return self.clock_root
+
+    def add_flop(self, name: str, location: Point, clock_pin_cap: float) -> Pin:
+        """Create a sink flop; returns its clock pin and registers it as a sink."""
+        flop = self.add_instance(name, CellKind.FLOP, location, cell_name="DFF")
+        clock_pin = flop.add_pin("CK", PinDirection.INPUT, cap=clock_pin_cap)
+        self.clock_sinks.append(clock_pin)
+        return clock_pin
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def signal_nets(self) -> list[Net]:
+        return [net for net in self.nets.values() if net.kind == NetKind.SIGNAL]
+
+    @property
+    def num_sinks(self) -> int:
+        return len(self.clock_sinks)
+
+    def validate(self) -> None:
+        """Raise ValueError if the design is not ready for CTS."""
+        if self.clock_root is None:
+            raise ValueError(f"design {self.name}: no clock source")
+        if not self.clock_sinks:
+            raise ValueError(f"design {self.name}: no clock sinks")
+        for net in self.nets.values():
+            if net.driver is None:
+                raise ValueError(f"design {self.name}: net {net.name} has no driver")
+
+    def __repr__(self) -> str:
+        return (f"Design({self.name!r}, {self.num_sinks} sinks, "
+                f"{len(self.signal_nets)} signal nets)")

@@ -1,0 +1,19 @@
+"""Clock power model, with optional clock gating.
+
+Substrate S9 in DESIGN.md.
+"""
+
+from repro.power.clockpower import PowerReport, analyze_power
+from repro.power.gating import (ClockGateCell, GatingPlan,
+                                analyze_gated_power, stage_activities,
+                                uniform_gating_plan)
+
+__all__ = [
+    "PowerReport",
+    "analyze_power",
+    "ClockGateCell",
+    "GatingPlan",
+    "analyze_gated_power",
+    "stage_activities",
+    "uniform_gating_plan",
+]

@@ -1,0 +1,213 @@
+"""Clock gating on top of the routed network.
+
+Gating is orthogonal to NDR selection but interacts with everything
+this library measures: an integrated clock gate (ICG) at a buffered
+stage stops the subtree below it from toggling in cycles its enable is
+low, scaling that subtree's *dynamic* power — and its EM current — by
+the enable probability, while worst-case SI and skew analyses still
+assume the enabled (toggling) case.
+
+Model:
+
+* A :class:`GatingPlan` maps buffered tree nodes to enable
+  probabilities.  A stage's *effective activity* is the product of the
+  enable probabilities of all gates on its chain from the root.
+* Each gate is an ICG cell (:class:`ClockGateCell`): it loads its
+  parent stage with an input capacitance and burns internal energy at
+  the parent's (pre-gate) rate.
+* :func:`analyze_gated_power` mirrors
+  :func:`repro.power.clockpower.analyze_power` with per-stage activity
+  scaling; :func:`gated_em_utilization` gives the EM relief.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extract.extractor import Extraction
+from repro.extract.rcnetwork import ClockRcNetwork
+from repro.power.clockpower import PowerReport
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class ClockGateCell:
+    """An integrated clock gate (ICG) cell.
+
+    ``c_in`` loads the parent stage (fF); ``e_internal`` is burned per
+    parent-clock cycle (fJ); ``p_leak`` in uW.
+    """
+
+    name: str = "ICG_X2"
+    c_in: float = 2.2
+    e_internal: float = 1.1
+    p_leak: float = 0.03
+
+
+@dataclass
+class GatingPlan:
+    """Which buffered tree nodes carry a clock gate, and their enables."""
+
+    gates: dict[int, float] = field(default_factory=dict)
+    cell: ClockGateCell = field(default_factory=ClockGateCell)
+
+    def add(self, tree_node_id: int, enable_probability: float) -> None:
+        """Gate the stage rooted at ``tree_node_id`` with this enable."""
+        if not 0.0 <= enable_probability <= 1.0:
+            raise ValueError(
+                f"enable probability must be in [0, 1], got "
+                f"{enable_probability}")
+        self.gates[tree_node_id] = enable_probability
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+
+def stage_activities(network: ClockRcNetwork,
+                     plan: GatingPlan) -> dict[int, float]:
+    """Effective toggle activity per stage index under ``plan``.
+
+    The root stage toggles every cycle; each gate scales its subtree by
+    its enable probability (gates compose multiplicatively down the
+    chain).
+    """
+    activity: dict[int, float] = {}
+
+    def walk(stage_idx: int, upstream: float) -> None:
+        own = upstream * plan.gates.get(
+            network.stages[stage_idx].tree_node_id, 1.0)
+        activity[stage_idx] = own
+        for child in network.stage_children(stage_idx):
+            walk(child, own)
+
+    walk(network.root_stage, 1.0)
+    return activity
+
+
+def analyze_gated_power(extraction: Extraction, tech: Technology,
+                        freq: float, plan: GatingPlan) -> PowerReport:
+    """Clock power with per-stage activity scaling from ``plan``.
+
+    Capacitance fields report the *effective switched* capacitance
+    (physical capacitance weighted by its stage's activity), so the
+    ``C * V^2 * f`` relation of the report still holds.
+    """
+    if freq <= 0.0:
+        raise ValueError("clock frequency must be positive")
+    network = extraction.network
+    vdd = tech.vdd
+    cv2f = vdd * vdd * freq
+    activity = stage_activities(network, plan)
+
+    # Map each clock wire to its stage for activity weighting.
+    stage_of_wire: dict[int, int] = {}
+    for idx, stage in enumerate(network.stages):
+        for node in stage.nodes:
+            if node.wire_id is not None:
+                stage_of_wire[node.wire_id] = idx
+
+    wire_cap = 0.0
+    coupling_cap = 0.0
+    for wire in extraction.routing.clock_wires:
+        para = extraction.wires.get(wire.wire_id)
+        if para is None:
+            continue
+        act = activity.get(stage_of_wire.get(wire.wire_id, -1), 1.0)
+        wire_cap += act * para.c_switched
+        coupling_cap += act * para.cc_signal
+
+    parent_of = _parent_map(network)
+
+    def parent_activity(stage_idx: int) -> float:
+        parent = parent_of.get(stage_idx)
+        return activity[parent] if parent is not None else 1.0
+
+    pin_cap = 0.0
+    buffer_in_cap = 0.0
+    pad_cap = 0.0
+    p_internal = 0.0
+    p_leak = 0.0
+    for idx, stage in enumerate(network.stages):
+        act = activity[idx]
+        pad_cap += act * (stage.pad_cap + stage.snake_cap)
+        p_internal += act * freq * stage.driver.e_internal
+        p_leak += stage.driver.p_leak
+        for sink in stage.sinks:
+            if sink.is_flop:
+                pin_cap += act * sink.sink_pin.cap
+        if idx != network.root_stage:
+            # A stage driver's input pin toggles at its *parent's* rate
+            # (the gate sits between the pin and the subtree).
+            buffer_in_cap += parent_activity(idx) * stage.driver.c_in
+
+    # Gate cells: loaded and clocked at their parent stage's rate.
+    cell = plan.cell
+    for tree_node_id in plan.gates:
+        stage_idx = network.stage_of_tree_node.get(tree_node_id)
+        if stage_idx is None:
+            raise KeyError(f"gated node {tree_node_id} is not a buffered "
+                           "stage root")
+        parent_act = parent_activity(stage_idx)
+        buffer_in_cap += parent_act * cell.c_in
+        p_internal += parent_act * freq * cell.e_internal
+        p_leak += cell.p_leak
+
+    return PowerReport(
+        wire_cap=wire_cap,
+        pin_cap=pin_cap,
+        buffer_in_cap=buffer_in_cap,
+        pad_cap=pad_cap,
+        coupling_cap=coupling_cap,
+        p_wire=cv2f * wire_cap,
+        p_pin=cv2f * pin_cap,
+        p_buffer_cap=cv2f * buffer_in_cap,
+        p_pad=cv2f * pad_cap,
+        p_buffer_internal=p_internal,
+        p_leakage=p_leak,
+    )
+
+
+def _parent_map(network: ClockRcNetwork) -> dict[int, int]:
+    """Child stage index -> parent stage index."""
+    parent: dict[int, int] = {}
+    for idx in range(len(network.stages)):
+        for child in network.stage_children(idx):
+            parent[child] = idx
+    return parent
+
+
+def uniform_gating_plan(network: ClockRcNetwork, enable: float,
+                        min_flops: int = 2) -> GatingPlan:
+    """Gate each subtree once: the shallowest non-root stages covering
+    >= ``min_flops`` flops, never nesting gates (a flop sees at most one
+    gate, as in a one-level enable structure).
+
+    A simple coverage policy for experiments; real plans come from the
+    RTL's enable structure.
+    """
+    plan = GatingPlan()
+    flops_below: dict[int, int] = {}
+
+    def count(stage_idx: int) -> int:
+        total = 0
+        for sink in network.stages[stage_idx].sinks:
+            if sink.is_flop:
+                total += 1
+            else:
+                total += count(
+                    network.stage_of_tree_node[sink.next_stage_tree_id])
+        flops_below[stage_idx] = total
+        return total
+
+    count(network.root_stage)
+
+    def place(stage_idx: int) -> None:
+        if stage_idx != network.root_stage \
+                and flops_below[stage_idx] >= min_flops:
+            plan.add(network.stages[stage_idx].tree_node_id, enable)
+            return  # one gate per chain: don't descend
+        for child in network.stage_children(stage_idx):
+            place(child)
+
+    place(network.root_stage)
+    return plan

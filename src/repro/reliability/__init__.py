@@ -1,0 +1,8 @@
+"""Reliability checks: electromigration current density on clock wires.
+
+Substrate S8 in DESIGN.md.
+"""
+
+from repro.reliability.em import EmReport, WireCurrent, analyze_em
+
+__all__ = ["EmReport", "WireCurrent", "analyze_em"]

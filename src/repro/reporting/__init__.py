@@ -1,0 +1,12 @@
+"""Reporting: ASCII tables and experiment records.
+
+Substrate S14 in DESIGN.md.  Used by the benchmark harness to print the
+paper-style tables and figure series.
+"""
+
+from repro.reporting.tables import Table, format_table
+from repro.reporting.record import ExperimentRecord, Series
+from repro.reporting.summary import analysis_summary
+
+__all__ = ["Table", "format_table", "ExperimentRecord", "Series",
+           "analysis_summary"]

@@ -1,0 +1,70 @@
+"""Experiment records: named metric series for figures and regressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """One named (x, y) series of a figure."""
+
+    name: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one (x, y) point."""
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        """The series as a list of (x, y) tuples."""
+        return list(zip(self.xs, self.ys))
+
+
+@dataclass
+class ExperimentRecord:
+    """All series of one experiment (one figure), printable as text."""
+
+    experiment_id: str
+    description: str
+    x_label: str
+    y_label: str
+    series: dict[str, Series] = field(default_factory=dict)
+
+    def series_named(self, name: str) -> Series:
+        """Get (or create) the series with this name."""
+        if name not in self.series:
+            self.series[name] = Series(name=name)
+        return self.series[name]
+
+    def render(self) -> str:
+        """The record as indented plain text."""
+        out = [f"{self.experiment_id}: {self.description}",
+               f"  x = {self.x_label}, y = {self.y_label}"]
+        for name, series in self.series.items():
+            points = ", ".join(f"({x:g}, {y:.4g})"
+                               for x, y in series.as_rows())
+            out.append(f"  {name}: {points}")
+        return "\n".join(out)
+
+    def to_csv(self) -> str:
+        """The record as CSV: ``series,x,y`` rows (plot-tool friendly)."""
+        lines = ["series,x,y"]
+        for name, series in self.series.items():
+            for x, y in series.as_rows():
+                lines.append(f"{name},{x:g},{y:g}")
+        return "\n".join(lines) + "\n"
+
+    def save_csv(self, path) -> None:
+        """Write :meth:`to_csv` output to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_csv())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

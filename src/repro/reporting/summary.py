@@ -1,0 +1,68 @@
+"""Human-readable summary of a full analysis bundle.
+
+One screen of text answering the signoff questions in order: does the
+clock meet timing, SI, variation, EM — and what does it cost.  Used by
+``python -m repro run --verbose`` and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import AnalysisBundle
+from repro.core.targets import RobustnessTargets
+
+
+def _check(ok: bool) -> str:
+    return "PASS" if ok else "FAIL"
+
+
+def analysis_summary(bundle: AnalysisBundle, targets: RobustnessTargets,
+                     title: str = "clock network") -> str:
+    """Render the signoff-style summary of one analyzed clock network."""
+    t = bundle.timing
+    xt = bundle.crosstalk
+    mc = bundle.mc
+    em = bundle.em
+    p = bundle.power
+
+    lines = [
+        f"=== {title} ===",
+        "",
+        "timing",
+        f"  latency        {t.latency:9.1f} ps",
+        f"  skew           {t.skew:9.2f} ps",
+        f"  worst slew     {t.worst_slew:9.1f} ps   "
+        f"(limit {targets.max_slew:.0f})  "
+        f"{_check(t.worst_slew <= targets.max_slew)}",
+        "",
+        "signal integrity",
+        f"  worst delta    {xt.worst_delta:9.2f} ps   "
+        f"(budget {targets.max_worst_delta:.2f})  "
+        f"{_check(xt.worst_delta <= targets.max_worst_delta)}",
+        f"  mean delta     {xt.mean_worst_delta:9.2f} ps",
+        "",
+        "process variation",
+        f"  mean skew      {mc.mean_skew:9.2f} ps   "
+        f"({mc.n_samples} samples)",
+        f"  mu + 3 sigma   {mc.skew_3sigma:9.2f} ps   "
+        f"(budget {targets.max_skew_3sigma:.2f})  "
+        f"{_check(mc.skew_3sigma <= targets.max_skew_3sigma)}",
+        "",
+        "electromigration",
+        f"  violations     {em.num_violations:9d}      "
+        f"{_check(em.num_violations == 0)}",
+        f"  worst util     {em.worst_utilization:9.2f}",
+        "",
+        "power",
+        f"  wire           {p.p_wire:9.1f} uW  ({p.wire_cap:.0f} fF, "
+        f"{p.coupling_cap:.0f} fF coupling)",
+        f"  flop pins      {p.p_pin:9.1f} uW",
+        f"  buffer inputs  {p.p_buffer_cap:9.1f} uW",
+        f"  delay trims    {p.p_pad:9.1f} uW",
+        f"  buffer internal{p.p_buffer_internal:9.1f} uW",
+        f"  leakage        {p.p_leakage:9.1f} uW",
+        f"  TOTAL          {p.p_total:9.1f} uW",
+        "",
+        f"verdict: {_check(bundle.feasible(targets))}"
+        f" ({len(bundle.violations(targets))} violated constraints)",
+    ]
+    return "\n".join(lines)

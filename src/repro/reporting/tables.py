@@ -1,0 +1,83 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table assembled row by row."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append one row (arity-checked against the columns)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns")
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        """The table as boxed ASCII text."""
+        return format_table(self.title, self.columns, self.rows)
+
+    def to_csv(self) -> str:
+        """The table as CSV (header row + data rows)."""
+        def esc(cell: str) -> str:
+            text = str(cell).replace('"', '""')
+            if "," in text or '"' in text:
+                return f'"{text}"'
+            return text
+
+        lines = [",".join(esc(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(esc(c.replace(",", ""))
+                                  for c in row))
+        return "\n".join(lines) + "\n"
+
+    def save_csv(self, path) -> None:
+        """Write :meth:`to_csv` output to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_csv())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[str]],
+                 min_width: int = 6) -> str:
+    """Render a boxed ASCII table."""
+    cols = [str(c) for c in columns]
+    widths = [max(min_width, len(c)) for c in cols]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(str(c).rjust(w)
+                                 for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [title, sep, line(cols), sep]
+    for row in rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)

@@ -1,0 +1,26 @@
+"""Track-based router for clock and aggressor (signal) wires.
+
+Substrate S5 in DESIGN.md.  Wires are assigned to per-layer routing
+tracks; the :class:`~repro.route.tracks.TrackManager` keeps interval
+occupancy per track so the extractor can ask "who are this segment's
+same-layer neighbors, at what spacing, for how long a parallel run?"
+
+Routing-rule semantics: a clock segment carrying a spacing NDR owns the
+adjacent track(s), which the real router enforces with DRC.  We emulate
+that by (a) charging the rule's ``track_span`` against capacity, and
+(b) clamping the *effective* spacing used in extraction to the rule's
+guaranteed spacing.  This keeps rule re-assignment cheap (no physical
+re-route needed) while charging its true congestion cost.
+"""
+
+from repro.route.wires import RoutedWire, NeighborCoupling
+from repro.route.tracks import TrackManager
+from repro.route.router import Router, RoutingResult
+
+__all__ = [
+    "RoutedWire",
+    "NeighborCoupling",
+    "TrackManager",
+    "Router",
+    "RoutingResult",
+]

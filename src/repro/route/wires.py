@@ -1,0 +1,111 @@
+"""Routed wire records and neighbor-coupling descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geom.segment import Segment
+from repro.netlist.net import NetKind
+from repro.tech.layers import MetalLayer
+from repro.tech.ndr import RoutingRule
+
+
+@dataclass
+class RoutedWire:
+    """One axis-parallel wire piece assigned to a routing track.
+
+    Attributes
+    ----------
+    wire_id:
+        Dense id unique within a :class:`~repro.route.router.RoutingResult`.
+    net_name:
+        Owning net (clock tree edges all belong to the clock net).
+    kind:
+        Clock or signal.
+    segment:
+        The track-snapped geometry.
+    layer:
+        The metal layer.
+    track:
+        Track index on ``layer``.
+    rule:
+        The routing rule the wire is drawn with.  Mutable: the optimizer
+        re-assigns clock wire rules after analysis.
+    edge_child_id:
+        For clock wires, the tree-node id of the child end of the tree
+        edge this wire realises (one edge may span several wires).
+    activity:
+        Toggle probability per cycle of the owning net.
+    extra_length:
+        Snaking detour length (um) charged electrically to this wire
+        (adds R and ground C) but assumed routed in quiet area, so it
+        does not participate in coupling.
+    shielded:
+        True when grounded shield wires occupy both adjacent tracks:
+        aggressor coupling is eliminated, replaced by (static) coupling
+        to the shields at minimum spacing, and two extra tracks are
+        consumed.  The classic alternative to a spacing NDR.
+    """
+
+    wire_id: int
+    net_name: str
+    kind: NetKind
+    segment: Segment
+    layer: MetalLayer
+    track: int
+    rule: RoutingRule
+    edge_child_id: Optional[int] = None
+    activity: float = 0.15
+    extra_length: float = 0.0
+    shielded: bool = False
+    #: Switching window of the owning net (ps within the cycle), if known.
+    window: Optional[tuple] = None
+
+    @property
+    def width(self) -> float:
+        return self.rule.width_on(self.layer)
+
+    @property
+    def length(self) -> float:
+        """Electrical length: geometric span plus snaking detour."""
+        return self.segment.length + self.extra_length
+
+    @property
+    def is_clock(self) -> bool:
+        return self.kind == NetKind.CLOCK
+
+    def guaranteed_spacing(self) -> float:
+        """Spacing the wire's rule guarantees to any same-layer neighbor."""
+        return self.rule.spacing_on(self.layer)
+
+
+@dataclass(frozen=True)
+class NeighborCoupling:
+    """A same-layer neighbor relationship seen from a victim wire.
+
+    Attributes
+    ----------
+    neighbor_id:
+        Wire id of the neighbor.
+    spacing:
+        Effective edge-to-edge spacing in um (already clamped to the
+        victim rule's guarantee).
+    overlap:
+        Parallel-run length in um.
+    neighbor_kind:
+        Net kind of the neighbor.
+    neighbor_activity:
+        Toggle probability of the neighbor's net.
+    same_net:
+        True when the neighbor belongs to the same net (e.g. two clock
+        branches running side by side).
+    """
+
+    neighbor_id: int
+    spacing: float
+    overlap: float
+    neighbor_kind: NetKind
+    neighbor_activity: float
+    same_net: bool
+    neighbor_window: Optional[tuple] = None

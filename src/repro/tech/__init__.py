@@ -1,0 +1,40 @@
+"""Technology modeling: metal stack, routing rules (NDRs), buffers, variation.
+
+This package is substrate S1 in DESIGN.md.  It provides everything a
+router/extractor/timer needs to know about the process:
+
+* :class:`~repro.tech.layers.MetalLayer` — per-layer geometry and RC
+  coefficients (sheet resistance, area/fringe/coupling capacitance).
+* :class:`~repro.tech.ndr.RoutingRule` / :data:`~repro.tech.ndr.RULE_SET`
+  — default and non-default routing rules (width/spacing multipliers).
+* :class:`~repro.tech.buffers.BufferCell` /
+  :class:`~repro.tech.buffers.BufferLibrary` — clock buffer cells with a
+  linear delay/slew model and power data.
+* :class:`~repro.tech.variation.VariationModel` — process-variation
+  magnitudes for Monte-Carlo analysis.
+* :class:`~repro.tech.technology.Technology` — the bundle handed to the
+  rest of the system, with a calibrated 45 nm-class default
+  (:func:`~repro.tech.technology.default_technology`).
+"""
+
+from repro.tech.layers import MetalLayer, MetalStack
+from repro.tech.ndr import RoutingRule, RuleName, RULE_SET, rule_by_name
+from repro.tech.buffers import BufferCell, BufferLibrary, default_buffer_library
+from repro.tech.variation import VariationModel, default_variation_model
+from repro.tech.technology import Technology, default_technology
+
+__all__ = [
+    "MetalLayer",
+    "MetalStack",
+    "RoutingRule",
+    "RuleName",
+    "RULE_SET",
+    "rule_by_name",
+    "BufferCell",
+    "BufferLibrary",
+    "default_buffer_library",
+    "VariationModel",
+    "default_variation_model",
+    "Technology",
+    "default_technology",
+]

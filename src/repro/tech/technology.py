@@ -1,0 +1,87 @@
+"""The technology bundle handed to the rest of the system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.buffers import BufferLibrary, default_buffer_library
+from repro.tech.layers import MetalLayer, MetalStack, default_metal_stack
+from repro.tech.ndr import RoutingRule, RULE_SET
+from repro.tech.variation import VariationModel, default_variation_model
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Everything process-dependent, in one immutable object.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"generic45"``.
+    stack:
+        The metal layer stack.
+    buffers:
+        The clock buffer library.
+    variation:
+        The process variation model.
+    rules:
+        Routing rules available to the optimizer (default first).
+    vdd:
+        Supply voltage, V.
+    clock_layer_h / clock_layer_v:
+        Names of the preferred horizontal/vertical clock routing layers.
+    signal_layer_h / signal_layer_v:
+        Names of the layers signal (aggressor) nets share with the clock.
+    max_slew:
+        Maximum allowed clock slew, ps.
+    flop_cin:
+        Clock-pin input capacitance of a sink flop, fF.
+    """
+
+    name: str
+    stack: MetalStack
+    buffers: BufferLibrary
+    variation: VariationModel
+    rules: tuple[RoutingRule, ...] = RULE_SET
+    vdd: float = 1.0
+    clock_layer_h: str = "M5"
+    clock_layer_v: str = "M4"
+    signal_layer_h: str = "M5"
+    signal_layer_v: str = "M4"
+    max_slew: float = 80.0
+    flop_cin: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        if not self.rules or not self.rules[0].is_default:
+            raise ValueError("rules must start with the default (1x/1x) rule")
+        # Validate the named layers exist and run the advertised direction.
+        for attr, want_dir in (("clock_layer_h", "H"), ("clock_layer_v", "V"),
+                               ("signal_layer_h", "H"), ("signal_layer_v", "V")):
+            layer = self.stack.by_name(getattr(self, attr))
+            if layer.direction != want_dir:
+                raise ValueError(
+                    f"{attr}={layer.name} routes {layer.direction}, expected {want_dir}")
+
+    @property
+    def default_rule(self) -> RoutingRule:
+        return self.rules[0]
+
+    def layer_for(self, horizontal: bool, clock: bool = True) -> MetalLayer:
+        """The routing layer for a wire of the given orientation/net class."""
+        if clock:
+            name = self.clock_layer_h if horizontal else self.clock_layer_v
+        else:
+            name = self.signal_layer_h if horizontal else self.signal_layer_v
+        return self.stack.by_name(name)
+
+
+def default_technology() -> Technology:
+    """The calibrated generic 45 nm-class technology used by all experiments."""
+    return Technology(
+        name="generic45",
+        stack=default_metal_stack(),
+        buffers=default_buffer_library(),
+        variation=default_variation_model(),
+    )

@@ -1,0 +1,73 @@
+"""Process-variation magnitudes for Monte-Carlo timing analysis.
+
+The model captures the variation sources that matter for clock skew and
+for the NDR decision:
+
+* **Wire width variation** (lithography/CMP): Gaussian, split into a
+  spatially-correlated systematic part (one draw per correlation-grid
+  cell) and a *random per-wire* part (line-edge roughness, local CMP) —
+  the random part is what actually differs between clock branches and
+  therefore drives skew.  Width variation moves both R (inversely) and
+  C (proportionally); crucially its *relative* impact shrinks on 2x-width
+  NDR wires — one of the reasons NDRs protect timing.
+* **Wire thickness variation** (CMP dishing): moves R inversely.
+* **Buffer channel-length variation**: moves buffer delay; split into a
+  die-to-die (fully correlated) and a random per-instance component.
+
+Magnitudes are 1-sigma *fractions* of nominal, in line with published
+45 nm numbers (several percent each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """1-sigma variation fractions and spatial-correlation settings.
+
+    Attributes
+    ----------
+    width_sigma:
+        1-sigma *systematic* wire width variation as a fraction of the
+        default (1x) width, shared by all wires in a correlation cell.
+        Absolute, not relative: a 2x-wide wire sees the same absolute
+        width noise, hence half the relative noise.
+    width_rand_sigma:
+        1-sigma *random per-wire* width variation (same normalisation),
+        independent between wires — the component that differs between
+        clock branches and drives skew.
+    thickness_sigma:
+        1-sigma wire thickness variation, fraction of nominal.
+    buffer_d2d_sigma:
+        1-sigma die-to-die buffer delay variation, fraction of nominal
+        stage delay (fully correlated across the die).
+    buffer_rand_sigma:
+        1-sigma random per-buffer delay variation, fraction of nominal.
+    corr_grid:
+        Edge length (um) of the spatial-correlation grid cells for wire
+        variation: segments in the same cell share one width/thickness
+        draw, modeling across-die systematic variation.
+    """
+
+    width_sigma: float = 0.08
+    width_rand_sigma: float = 0.06
+    thickness_sigma: float = 0.05
+    buffer_d2d_sigma: float = 0.03
+    buffer_rand_sigma: float = 0.008
+    corr_grid: float = 200.0
+
+    def __post_init__(self) -> None:
+        for name in ("width_sigma", "width_rand_sigma", "thickness_sigma",
+                     "buffer_d2d_sigma", "buffer_rand_sigma"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 0.5:
+                raise ValueError(f"{name} must be in [0, 0.5), got {value}")
+        if self.corr_grid <= 0.0:
+            raise ValueError("corr_grid must be positive")
+
+
+def default_variation_model() -> VariationModel:
+    """The calibrated 45 nm-class variation model."""
+    return VariationModel()

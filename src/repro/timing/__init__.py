@@ -1,0 +1,37 @@
+"""Clock timing analysis: Elmore delay, slew, skew, crosstalk, Monte Carlo.
+
+Substrate S7 in DESIGN.md.
+
+* :mod:`repro.timing.elmore` — RC-tree delay primitives (Elmore, D2M).
+* :mod:`repro.timing.slew` — slew propagation (PERI-style).
+* :mod:`repro.timing.arrival` — static analysis over the stage network:
+  per-sink arrival times and slews.
+* :mod:`repro.timing.skew` — skew metrics over arrival times.
+* :mod:`repro.timing.crosstalk` — coupling-induced delta delay and the
+  crosstalk-degraded skew.
+* :mod:`repro.timing.montecarlo` — vectorised process-variation engine.
+"""
+
+from repro.timing.elmore import wire_elmore, d2m_correction
+from repro.timing.arrival import ClockTiming, analyze_clock_timing
+from repro.timing.skew import global_skew, local_skew, latency_range
+from repro.timing.crosstalk import CrosstalkReport, analyze_crosstalk
+from repro.timing.montecarlo import MonteCarloResult, run_monte_carlo
+from repro.timing.corners import CornerReport, analyze_corners, corner_timing
+
+__all__ = [
+    "CornerReport",
+    "analyze_corners",
+    "corner_timing",
+    "wire_elmore",
+    "d2m_correction",
+    "ClockTiming",
+    "analyze_clock_timing",
+    "global_skew",
+    "local_skew",
+    "latency_range",
+    "CrosstalkReport",
+    "analyze_crosstalk",
+    "MonteCarloResult",
+    "run_monte_carlo",
+]

@@ -1,0 +1,129 @@
+"""Static clock timing: per-sink arrival times and slews over the stage network.
+
+Two delay models are supported:
+
+* ``"elmore"`` (default) — the first moment; additive, monotone, the
+  model every optimization decision uses.
+* ``"d2m"`` — the two-moment D2M estimate (Alpert et al.), which
+  tightens Elmore's pessimism on resistive paths.  Offered for accuracy
+  studies (see ``benchmarks/bench_table5_delaymodel.py``); rule
+  assignment deliberately stays on Elmore, whose monotonicity the
+  greedy relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extract.rcnetwork import ClockRcNetwork
+from repro.netlist.cell import Pin
+from repro.tech.technology import Technology
+from repro.timing.elmore import d2m_correction, stage_moments
+from repro.timing.slew import propagate_slew
+
+
+@dataclass
+class SinkTiming:
+    """Arrival and slew at one flop clock pin."""
+
+    pin: Pin
+    arrival: float  # ps from the clock source edge
+    slew: float     # ps
+
+
+@dataclass
+class ClockTiming:
+    """Full static-timing picture of one clock network."""
+
+    sinks: list[SinkTiming] = field(default_factory=list)
+    #: per-stage driver load capacitance, fF (stage index order)
+    stage_loads: list[float] = field(default_factory=list)
+    #: per-stage driver delay, ps
+    stage_delays: list[float] = field(default_factory=list)
+    max_slew_limit: float = 0.0
+
+    @property
+    def arrivals(self) -> list[float]:
+        return [s.arrival for s in self.sinks]
+
+    @property
+    def latency(self) -> float:
+        """Maximum source-to-sink insertion delay, ps."""
+        return max(s.arrival for s in self.sinks)
+
+    @property
+    def skew(self) -> float:
+        """Global skew: max minus min arrival, ps."""
+        arr = self.arrivals
+        return max(arr) - min(arr)
+
+    @property
+    def worst_slew(self) -> float:
+        return max(s.slew for s in self.sinks)
+
+    @property
+    def slew_violations(self) -> int:
+        return sum(1 for s in self.sinks if s.slew > self.max_slew_limit)
+
+    def arrival_of(self, pin_name: str) -> float:
+        """Arrival time of the named sink pin (KeyError if absent)."""
+        for s in self.sinks:
+            if s.pin.full_name == pin_name:
+                return s.arrival
+        raise KeyError(f"no sink pin named {pin_name!r}")
+
+
+def analyze_clock_timing(network: ClockRcNetwork, tech: Technology,
+                         delay_model: str = "elmore") -> ClockTiming:
+    """Propagate arrivals and slews from the clock source to every flop.
+
+    Per stage, the driver contributes ``d_intrinsic + r_drive * C_stage``
+    and the wire tree adds its per-sink delay under ``delay_model``
+    ("elmore" or "d2m"); slews compose by the PERI rule.  Stage entry
+    time/slew feed the next stage at each buffer-input sink.
+    """
+    if delay_model not in ("elmore", "d2m"):
+        raise ValueError(f"unknown delay model {delay_model!r}; "
+                         "expected 'elmore' or 'd2m'")
+    timing = ClockTiming(max_slew_limit=tech.max_slew)
+    timing.stage_loads = [0.0] * len(network.stages)
+    timing.stage_delays = [0.0] * len(network.stages)
+
+    # (stage index, entry arrival) — entry is when the stage driver's
+    # input switches; the driver's own delay is charged inside.
+    work: list[tuple[int, float]] = [(network.root_stage, 0.0)]
+    while work:
+        stage_idx, entry = work.pop()
+        stage = network.stages[stage_idx]
+        down = stage.downstream_caps()
+        total_cap = down[0]
+        driver_delay = stage.driver.delay(total_cap)
+        driver_slew = stage.driver.output_slew(total_cap)
+        timing.stage_loads[stage_idx] = total_cap
+        timing.stage_delays[stage_idx] = driver_delay
+
+        for sink in stage.sinks:
+            elmore = 0.0
+            for idx in stage.path_to_root(sink.node_idx):
+                node = stage.nodes[idx]
+                if node.parent is not None:
+                    elmore += node.r * down[idx]
+            if delay_model == "d2m":
+                # D2M replaces the (driver-R + wire) RC portion; the
+                # driver's intrinsic delay stays load-independent.
+                m1, m2 = stage_moments(stage, sink.node_idx,
+                                       stage.driver.r_drive)
+                rc_delay = min(d2m_correction(m1, m2), m1)
+                t = entry + stage.driver.d_intrinsic + rc_delay
+            else:
+                t = entry + driver_delay + elmore
+            if sink.is_flop:
+                timing.sinks.append(SinkTiming(
+                    pin=sink.sink_pin,
+                    arrival=t,
+                    slew=propagate_slew(driver_slew, elmore),
+                ))
+            else:
+                child_stage = network.stage_of_tree_node[sink.next_stage_tree_id]
+                work.append((child_stage, t))
+    return timing

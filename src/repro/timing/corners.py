@@ -1,0 +1,99 @@
+"""Multi-corner static timing over the stage network.
+
+Replays the static stage walk with a corner's multiplicative scales:
+wire R and the *wire* share of node capacitance scale with the corner;
+pin and gate capacitances stay (their shift is folded into the buffer
+delay scale, as cell characterisation does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extract.rcnetwork import ClockRcNetwork, Stage
+from repro.tech.corners import DEFAULT_CORNERS, ProcessCorner
+from repro.tech.technology import Technology
+from repro.timing.arrival import ClockTiming, SinkTiming
+from repro.timing.slew import propagate_slew
+
+
+def _stage_caps(stage: Stage, wire_c: float) -> list[float]:
+    caps = []
+    for node in stage.nodes:
+        wire_part = sum(a + b for _w, a, b in node.cap_wire)
+        caps.append(node.cap_fixed + wire_c * wire_part)
+    return caps
+
+
+def corner_timing(network: ClockRcNetwork, tech: Technology,
+                  corner: ProcessCorner) -> ClockTiming:
+    """Static arrivals/slews at one process corner."""
+    timing = ClockTiming(max_slew_limit=tech.max_slew)
+    timing.stage_loads = [0.0] * len(network.stages)
+    timing.stage_delays = [0.0] * len(network.stages)
+
+    work: list[tuple[int, float]] = [(network.root_stage, 0.0)]
+    while work:
+        stage_idx, entry = work.pop()
+        stage = network.stages[stage_idx]
+        caps = _stage_caps(stage, corner.wire_c)
+        down = list(caps)
+        for node in reversed(stage.nodes):
+            if node.parent is not None:
+                down[node.parent] += down[node.idx]
+        total = down[0]
+        driver_delay = stage.driver.delay(total) * corner.buffer_delay
+        driver_slew = stage.driver.output_slew(total) * corner.buffer_slew
+        timing.stage_loads[stage_idx] = total
+        timing.stage_delays[stage_idx] = driver_delay
+
+        for sink in stage.sinks:
+            elmore = 0.0
+            for idx in stage.path_to_root(sink.node_idx):
+                node = stage.nodes[idx]
+                if node.parent is not None:
+                    elmore += corner.wire_r * node.r * down[idx]
+            t = entry + driver_delay + elmore
+            if sink.is_flop:
+                timing.sinks.append(SinkTiming(
+                    pin=sink.sink_pin, arrival=t,
+                    slew=propagate_slew(driver_slew, elmore)))
+            else:
+                child = network.stage_of_tree_node[sink.next_stage_tree_id]
+                work.append((child, t))
+    return timing
+
+
+@dataclass
+class CornerReport:
+    """Static timing at every corner of a set."""
+
+    timings: dict[str, ClockTiming] = field(default_factory=dict)
+
+    @property
+    def worst_skew(self) -> float:
+        return max(t.skew for t in self.timings.values())
+
+    @property
+    def worst_slew(self) -> float:
+        return max(t.worst_slew for t in self.timings.values())
+
+    def latency_range(self) -> tuple[float, float]:
+        """(fastest-corner, slowest-corner) max insertion delay."""
+        latencies = [t.latency for t in self.timings.values()]
+        return min(latencies), max(latencies)
+
+    def slew_violations(self) -> int:
+        """Worst per-corner count of sinks over the slew limit."""
+        return max(t.slew_violations for t in self.timings.values())
+
+
+def analyze_corners(network: ClockRcNetwork, tech: Technology,
+                    corners=DEFAULT_CORNERS) -> CornerReport:
+    """Run static timing at every corner in ``corners``."""
+    if not corners:
+        raise ValueError("need at least one corner")
+    report = CornerReport()
+    for corner in corners:
+        report.timings[corner.name] = corner_timing(network, tech, corner)
+    return report

@@ -1,0 +1,69 @@
+"""RC-tree delay primitives.
+
+The Elmore delay (first moment of the impulse response) is the workhorse
+metric: it is additive along paths, monotone in every R and C, and
+therefore exactly what an optimizer needs for *relative* decisions.
+The D2M correction ("delay to mid-point", Alpert et al.) is provided for
+accuracy studies — it tightens Elmore's pessimism on far sinks using the
+second moment.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.extract.rcnetwork import Stage
+
+
+def wire_elmore(r_per_um: float, c_per_um: float, length: float,
+                c_load: float) -> float:
+    """Elmore delay of a uniform distributed-RC line into ``c_load``, ps."""
+    if length < 0.0:
+        raise ValueError("length must be non-negative")
+    return r_per_um * length * (c_per_um * length / 2.0 + c_load)
+
+
+def stage_moments(stage: Stage, node_idx: int,
+                  r_drive: float) -> tuple[float, float]:
+    """First and second moments (m1, m2) from driver to ``node_idx``.
+
+    ``m1`` is the Elmore delay including the driver resistance; ``m2``
+    uses the standard recursive moment computation
+    ``m2(sink) = sum_k R_shared(k, sink) * C_k * m1(k)``.
+    """
+    down = stage.downstream_caps()
+    # m1 per node (driver resistance charges everything).
+    m1 = [0.0] * len(stage.nodes)
+    total_cap = down[0]
+    for node in stage.nodes:
+        if node.parent is None:
+            m1[node.idx] = r_drive * total_cap
+        else:
+            m1[node.idx] = m1[node.parent] + node.r * down[node.idx]
+
+    path = set(stage.path_to_root(node_idx))
+    m2 = 0.0
+    for node in stage.nodes:
+        # Shared resistance between paths to `node` and to `node_idx`.
+        shared = r_drive
+        walk = node.idx
+        chain = []
+        while walk is not None:
+            chain.append(walk)
+            walk = stage.nodes[walk].parent
+        for idx in chain:
+            if idx in path and stage.nodes[idx].parent is not None:
+                shared += stage.nodes[idx].r
+        m2 += shared * stage.nodes[node.idx].cap_nominal * m1[node.idx]
+    return m1[node_idx], m2
+
+
+def d2m_correction(m1: float, m2: float) -> float:
+    """D2M delay estimate from the first two moments, ps.
+
+    ``D2M = (m1^2 / sqrt(m2)) * ln 2``; falls back to Elmore when the
+    moments degenerate (very small nets).
+    """
+    if m2 <= 0.0 or m1 <= 0.0:
+        return m1 * math.log(2.0) if m1 > 0.0 else 0.0
+    return (m1 * m1 / math.sqrt(m2)) * math.log(2.0)

@@ -1,0 +1,36 @@
+"""Skew metrics over per-sink arrival times."""
+
+from __future__ import annotations
+
+from repro.timing.arrival import ClockTiming
+
+
+def global_skew(timing: ClockTiming) -> float:
+    """Max minus min arrival over all sinks, ps."""
+    return timing.skew
+
+
+def latency_range(timing: ClockTiming) -> tuple[float, float]:
+    """(min, max) source-to-sink insertion delay, ps."""
+    arrivals = timing.arrivals
+    return min(arrivals), max(arrivals)
+
+
+def local_skew(timing: ClockTiming, radius: float) -> float:
+    """Worst skew between sink pairs within ``radius`` um of each other.
+
+    Local skew is the metric that actually constrains short register-to-
+    register paths; it is always <= global skew.  O(n^2) over sinks —
+    adequate for analysis reporting (not used in optimization loops).
+    """
+    if radius <= 0.0:
+        raise ValueError("radius must be positive")
+    worst = 0.0
+    sinks = timing.sinks
+    for i in range(len(sinks)):
+        pi = sinks[i].pin.location
+        for j in range(i + 1, len(sinks)):
+            pj = sinks[j].pin.location
+            if pi.manhattan_to(pj) <= radius:
+                worst = max(worst, abs(sinks[i].arrival - sinks[j].arrival))
+    return worst

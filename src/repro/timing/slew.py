@@ -1,0 +1,33 @@
+"""Slew (transition time) propagation.
+
+We use the PERI square-root composition rule: the transition at the end
+of an RC path is the RSS of the driver's output transition and the
+wire's own step response spread, with the latter approximated by the
+standard ``ln 9 * Elmore`` (10/90) metric:
+
+    slew_sink^2 = slew_driver^2 + (ln 9 * elmore_wire)^2
+
+This is the composition commercial timers reduce to at first order, and
+it is monotone in the wire Elmore — which is the property rule
+assignment relies on (wider wire -> lower R -> sharper edge).
+"""
+
+from __future__ import annotations
+
+import math
+
+LN9: float = math.log(9.0)
+
+
+def wire_slew(elmore: float) -> float:
+    """10/90 step-response transition of a wire path with ``elmore`` delay."""
+    if elmore < 0.0:
+        raise ValueError("Elmore delay must be non-negative")
+    return LN9 * elmore
+
+def propagate_slew(driver_slew: float, elmore: float) -> float:
+    """Transition time at the end of a wire path (PERI composition), ps."""
+    if driver_slew < 0.0:
+        raise ValueError("driver slew must be non-negative")
+    w = wire_slew(elmore)
+    return math.sqrt(driver_slew * driver_slew + w * w)

@@ -1,0 +1,71 @@
+"""Unit conventions used throughout the library.
+
+The library uses a single coherent unit system chosen so that the common
+physical products come out in convenient magnitudes with *no* conversion
+factors sprinkled through the code:
+
+===============  ==========  =======================================
+Quantity         Unit        Notes
+===============  ==========  =======================================
+length           micrometer  all geometry (die, wires, spacing)
+resistance       kiloohm     wire and driver resistance
+capacitance      femtofarad  wire, pin and gate capacitance
+time             picosecond  kOhm x fF = ps exactly
+voltage          volt
+frequency        gigahertz   1/ns; clock frequencies
+energy           femtojoule  fF x V^2 = fJ
+power            microwatt   fJ x GHz = uW exactly
+current          microamp    fF x V x GHz = uA exactly
+current density  uA/um^2
+===============  ==========  =======================================
+
+Because ``kOhm * fF == ps``, Elmore delays computed as plain products of
+resistances and capacitances are already in picoseconds, and because
+``fJ * GHz == uW``, switched-capacitance power ``alpha * f * C * V^2``
+is already in microwatts.  Helper constants below exist purely for
+readability at call sites.
+"""
+
+from __future__ import annotations
+
+# Length
+UM: float = 1.0
+NM: float = 1e-3
+MM: float = 1e3
+
+# Resistance
+KOHM: float = 1.0
+OHM: float = 1e-3
+
+# Capacitance
+FF: float = 1.0
+PF: float = 1e3
+AF: float = 1e-3
+
+# Time
+PS: float = 1.0
+NS: float = 1e3
+
+# Frequency
+GHZ: float = 1.0
+MHZ: float = 1e-3
+
+# Power / energy
+UW: float = 1.0
+MW: float = 1e3
+FJ: float = 1.0
+
+# Current
+UA: float = 1.0
+MA: float = 1e3
+
+
+def ohm_per_um(sheet_res_ohm: float, width_um: float) -> float:
+    """Wire resistance per micron of length, in kOhm/um.
+
+    ``sheet_res_ohm`` is the sheet resistance in ohms/square (the unit
+    foundry tech files use); ``width_um`` is the drawn wire width.
+    """
+    if width_um <= 0.0:
+        raise ValueError(f"wire width must be positive, got {width_um}")
+    return (sheet_res_ohm * OHM) / width_um

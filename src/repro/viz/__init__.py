@@ -1,0 +1,5 @@
+"""Visualization: self-contained SVG rendering of routed clock networks."""
+
+from repro.viz.svg import render_clock_svg, save_clock_svg
+
+__all__ = ["render_clock_svg", "save_clock_svg"]

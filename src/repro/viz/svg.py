@@ -1,0 +1,123 @@
+"""SVG rendering of a routed clock network, colored by routing rule.
+
+No plotting dependencies: the renderer emits plain SVG.  The picture a
+smart-NDR run produces is the paper's figure-1 intuition — a gray
+default-rule tree with a handful of colored (protected) wires on the
+trunks and hot spots.
+
+Colors: default gray; width upgrades in blues; spacing upgrades in
+greens; the full rules in orange/red; shielded wires drawn with a halo.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.cts.tree import ClockTree
+from repro.route.router import RoutingResult
+
+RULE_COLORS = {
+    "W1S1": "#9aa0a6",
+    "W2S1": "#1a73e8",
+    "W1S2": "#188038",
+    "W2S2": "#e8710a",
+    "W4S2": "#d93025",
+}
+RULE_WIDTHS = {
+    "W1S1": 1.0,
+    "W2S1": 2.0,
+    "W1S2": 1.0,
+    "W2S2": 2.0,
+    "W4S2": 3.5,
+}
+SHIELD_COLOR = "#b31412"
+SINK_COLOR = "#5f6368"
+BUFFER_COLOR = "#202124"
+
+
+def render_clock_svg(tree: ClockTree, routing: RoutingResult,
+                     size: float = 720.0,
+                     title: Optional[str] = None,
+                     blockages=None) -> str:
+    """Render the routed clock tree as an SVG string.
+
+    ``blockages`` (optional list of :class:`~repro.geom.rect.Rect`)
+    draws hard macros as hatched gray boxes under the wires.
+    """
+    die = routing.tracks.grid.die
+    scale = size / max(die.width, die.height)
+    pad = 12.0
+
+    def sx(x: float) -> float:
+        return pad + (x - die.xlo) * scale
+
+    def sy(y: float) -> float:
+        # SVG y grows downward; die y grows upward.
+        return pad + (die.yhi - y) * scale
+
+    width = die.width * scale + 2 * pad
+    height = die.height * scale + 2 * pad
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height + (22 if title else 0):.0f}" '
+        f'viewBox="0 0 {width:.0f} {height + (22 if title else 0):.0f}">',
+        f'<rect x="{pad}" y="{pad}" width="{die.width * scale:.1f}" '
+        f'height="{die.height * scale:.1f}" fill="#ffffff" '
+        f'stroke="#dadce0"/>',
+    ]
+
+    for blockage in blockages or []:
+        parts.append(
+            f'<rect x="{sx(blockage.xlo):.1f}" y="{sy(blockage.yhi):.1f}" '
+            f'width="{blockage.width * scale:.1f}" '
+            f'height="{blockage.height * scale:.1f}" fill="#e8eaed" '
+            f'stroke="#bdc1c6"/>')
+
+    # Wires (shield halos first so the wire draws on top).
+    for wire in routing.clock_wires:
+        seg = wire.segment
+        if seg.length == 0.0:
+            continue
+        x1, y1 = sx(seg.a.x), sy(seg.a.y)
+        x2, y2 = sx(seg.b.x), sy(seg.b.y)
+        rule = wire.rule.name.value
+        if wire.shielded:
+            parts.append(
+                f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+                f'y2="{y2:.1f}" stroke="{SHIELD_COLOR}" '
+                f'stroke-width="{RULE_WIDTHS[rule] + 4:.1f}" '
+                f'stroke-opacity="0.25"/>')
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{RULE_COLORS[rule]}" '
+            f'stroke-width="{RULE_WIDTHS[rule]:.1f}"/>')
+
+    # Buffers and sinks.
+    for node in tree:
+        x, y = sx(node.location.x), sy(node.location.y)
+        if node.buffer is not None:
+            parts.append(
+                f'<rect x="{x - 2.5:.1f}" y="{y - 2.5:.1f}" width="5" '
+                f'height="5" fill="{BUFFER_COLOR}"/>')
+        if node.is_sink:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="1.6" '
+                f'fill="{SINK_COLOR}"/>')
+
+    if title:
+        parts.append(
+            f'<text x="{pad}" y="{height + 15:.0f}" '
+            f'font-family="sans-serif" font-size="12" '
+            f'fill="#202124">{title}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_clock_svg(tree: ClockTree, routing: RoutingResult,
+                   path: Union[str, Path], size: float = 720.0,
+                   title: Optional[str] = None, blockages=None) -> None:
+    """Render and write the SVG to ``path``."""
+    Path(path).write_text(render_clock_svg(tree, routing, size=size,
+                                           title=title,
+                                           blockages=blockages))

@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+Expensive artefacts (generated designs, built physical designs) are
+session-scoped: tests treat them as read-only.  Tests that mutate state
+(rule assignment, trimming) build their own copies via the factories.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import DesignSpec, generate_design
+from repro.core.flow import PhysicalDesign, build_physical_design
+from repro.tech import Technology, default_technology
+
+
+TINY_SPEC = DesignSpec("tiny", n_sinks=24, die_edge=160.0,
+                       aggressors_per_sink=2.0, seed=5)
+SMALL_SPEC = DesignSpec("small", n_sinks=64, die_edge=280.0,
+                        aggressors_per_sink=2.0, seed=6)
+
+
+@pytest.fixture(scope="session")
+def tech() -> Technology:
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> DesignSpec:
+    return TINY_SPEC
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> DesignSpec:
+    return SMALL_SPEC
+
+
+@pytest.fixture(scope="session")
+def tiny_design():
+    """A 24-sink design; read-only (use make_tiny_physical to mutate)."""
+    return generate_design(TINY_SPEC)
+
+
+@pytest.fixture(scope="session")
+def small_design():
+    return generate_design(SMALL_SPEC)
+
+
+@pytest.fixture(scope="session")
+def tiny_physical(tech) -> PhysicalDesign:
+    """Built physical of the tiny design; treat as read-only."""
+    return build_physical_design(generate_design(TINY_SPEC), tech)
+
+
+@pytest.fixture(scope="session")
+def small_physical(tech) -> PhysicalDesign:
+    """Built physical of the 64-sink design; treat as read-only."""
+    return build_physical_design(generate_design(SMALL_SPEC), tech)
+
+
+@pytest.fixture
+def make_tiny_physical(tech):
+    """Factory for a fresh, mutable tiny physical design."""
+    def factory() -> PhysicalDesign:
+        return build_physical_design(generate_design(TINY_SPEC), tech)
+    return factory
+
+
+@pytest.fixture
+def make_small_physical(tech):
+    def factory() -> PhysicalDesign:
+        return build_physical_design(generate_design(SMALL_SPEC), tech)
+    return factory

@@ -1,0 +1,78 @@
+"""CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--design", "ckt64"])
+    assert args.command == "run" and args.policy == "smart"
+    args = parser.parse_args(["compare", "--design", "ckt64", "--with-ml"])
+    assert args.with_ml
+    args = parser.parse_args(["sweep", "--design", "ckt64",
+                              "--slacks", "0.5,0.2"])
+    assert args.slacks == "0.5,0.2"
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_smart_on_tiny_design(tmp_path, capsys, tiny_design):
+    from repro.io import save_design
+
+    design_path = tmp_path / "d.json"
+    save_design(tiny_design, design_path)
+    rules_path = tmp_path / "rules.json"
+    report_path = tmp_path / "wires.txt"
+    code = main(["run", "--design", str(design_path),
+                 "--policy", "smart",
+                 "--save-rules", str(rules_path),
+                 "--wire-report", str(report_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "smart" in out and "yes" in out
+    assert rules_path.exists() and report_path.exists()
+    payload = json.loads(rules_path.read_text())
+    assert payload["schema"] == 1
+
+
+def test_run_no_ndr_exits_nonzero_when_infeasible(tmp_path, capsys,
+                                                  tiny_design):
+    from repro.io import save_design
+
+    design_path = tmp_path / "d.json"
+    save_design(tiny_design, design_path)
+    code = main(["run", "--design", str(design_path), "--policy", "no-ndr"])
+    out = capsys.readouterr().out
+    assert "no-ndr" in out
+    assert code == 1  # infeasible -> nonzero exit
+
+
+def test_compare_prints_summary(tmp_path, capsys, tiny_design):
+    from repro.io import save_design
+
+    design_path = tmp_path / "d.json"
+    save_design(tiny_design, design_path)
+    code = main(["compare", "--design", str(design_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    for token in ("no-ndr", "all-ndr", "smart", "saves"):
+        assert token in out
+
+
+def test_sweep_prints_rows(tmp_path, capsys, tiny_design):
+    from repro.io import save_design
+
+    design_path = tmp_path / "d.json"
+    save_design(tiny_design, design_path)
+    code = main(["sweep", "--design", str(design_path),
+                 "--slacks", "0.6,0.2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0.60" in out and "0.20" in out

@@ -1,0 +1,58 @@
+"""Analysis bundle and violation accounting."""
+
+import pytest
+
+from repro.core.evaluation import analyze_all, targets_from_reference
+from repro.core.targets import RobustnessTargets
+
+
+@pytest.fixture(scope="module")
+def bundle(small_physical, small_design, tech):
+    targets = RobustnessTargets.for_period(small_design.clock_period,
+                                           tech.max_slew)
+    return analyze_all(small_physical.extraction, tech,
+                       small_design.clock_freq, targets)
+
+
+def test_bundle_complete(bundle, small_physical):
+    n = len(small_physical.tree.sinks())
+    assert len(bundle.timing.sinks) == n
+    assert len(bundle.crosstalk.sinks) == n
+    assert bundle.power.p_total > 0.0
+    assert bundle.mc.n_samples == 200
+
+
+def test_violations_positive_excess_only(bundle):
+    loose = RobustnessTargets(max_worst_delta=1e6, max_skew_3sigma=1e6,
+                              max_slew=1e6, max_em_util=1e6)
+    assert bundle.violations(loose) == {}
+    assert bundle.feasible(loose)
+
+    tight = RobustnessTargets(max_worst_delta=1e-6, max_skew_3sigma=1e-6,
+                              max_slew=1e-6, max_em_util=1e-6)
+    violations = bundle.violations(tight)
+    assert set(violations) == {"delta_delay", "skew_3sigma", "slew", "em"}
+    assert all(v > 0 for v in violations.values())
+    assert not bundle.feasible(tight)
+
+
+def test_violation_magnitudes(bundle):
+    tight = RobustnessTargets(max_worst_delta=1e-6, max_skew_3sigma=1e-6,
+                              max_slew=1e-6, max_em_util=1e-6)
+    v = bundle.violations(tight)
+    assert v["delta_delay"] == pytest.approx(
+        bundle.crosstalk.worst_delta - 1e-6)
+    assert v["slew"] == pytest.approx(bundle.timing.worst_slew - 1e-6)
+
+
+def test_targets_from_reference(bundle, tech):
+    targets = targets_from_reference(bundle, tech, slack=0.10)
+    assert targets.max_worst_delta == pytest.approx(
+        1.10 * bundle.crosstalk.worst_delta)
+    assert targets.max_skew_3sigma == pytest.approx(
+        1.10 * bundle.mc.skew_3sigma)
+    assert targets.max_slew == tech.max_slew
+    # The reference run itself is feasible against its own pegged budget
+    # (EM may still violate: the peg never relaxes hard limits).
+    v = bundle.violations(targets)
+    assert "delta_delay" not in v and "skew_3sigma" not in v

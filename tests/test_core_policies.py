@@ -1,0 +1,61 @@
+"""Baseline policies."""
+
+import pytest
+
+from repro.core.policies import (Policy, apply_random_policy,
+                                 apply_uniform_policy, uniform_rule_of)
+
+
+def test_uniform_rules():
+    assert uniform_rule_of(Policy.NO_NDR).name.value == "W1S1"
+    assert uniform_rule_of(Policy.ALL_NDR).name.value == "W2S2"
+    assert uniform_rule_of(Policy.WIDTH_ONLY).name.value == "W2S1"
+    assert uniform_rule_of(Policy.SPACE_ONLY).name.value == "W1S2"
+
+
+def test_smart_is_not_uniform():
+    with pytest.raises(ValueError):
+        uniform_rule_of(Policy.SMART)
+
+
+def test_apply_uniform(make_tiny_physical):
+    phys = make_tiny_physical()
+    apply_uniform_policy(phys.routing, Policy.ALL_NDR)
+    hist = phys.routing.rule_histogram()
+    assert hist == {"W2S2": len(phys.routing.clock_wires)}
+
+
+def test_apply_uniform_leaves_signals_alone(make_tiny_physical):
+    phys = make_tiny_physical()
+    apply_uniform_policy(phys.routing, Policy.ALL_NDR)
+    for wire in phys.routing.signal_wires:
+        assert wire.rule.is_default
+
+
+def test_random_policy_fraction(make_tiny_physical):
+    phys = make_tiny_physical()
+    upgraded = apply_random_policy(phys.routing, fraction=0.5, seed=1)
+    n = len(phys.routing.clock_wires)
+    assert 0.2 * n < len(upgraded) < 0.8 * n
+    hist = phys.routing.rule_histogram()
+    assert hist.get("W2S2", 0) == len(upgraded)
+    assert hist.get("W1S1", 0) == n - len(upgraded)
+
+
+def test_random_policy_extremes(make_tiny_physical):
+    phys = make_tiny_physical()
+    assert apply_random_policy(phys.routing, 0.0) == []
+    all_up = apply_random_policy(phys.routing, 1.0)
+    assert len(all_up) == len(phys.routing.clock_wires)
+
+
+def test_random_policy_deterministic(make_tiny_physical):
+    a = apply_random_policy(make_tiny_physical().routing, 0.3, seed=7)
+    b = apply_random_policy(make_tiny_physical().routing, 0.3, seed=7)
+    assert a == b
+
+
+def test_random_policy_validation(make_tiny_physical):
+    phys = make_tiny_physical()
+    with pytest.raises(ValueError):
+        apply_random_policy(phys.routing, 1.5)

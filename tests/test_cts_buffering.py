@@ -1,0 +1,136 @@
+"""Buffer insertion: levels, symmetry, sizing, trims."""
+
+import pytest
+
+from repro.cts.buffering import insert_buffers
+from repro.cts.embedding import embed_zero_skew
+from repro.cts.topology import build_topology
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.netlist.design import Design
+from repro.tech import default_technology
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+def _tree(n, tech, spread=400.0):
+    design = Design(name="t", die=Rect(0, 0, spread, spread))
+    for i in range(n):
+        x = (i * 37) % 97 * spread / 97.0
+        y = (i * 61) % 89 * spread / 89.0
+        design.add_flop(f"ff{i}", Point(x, y), clock_pin_cap=1.8)
+    tree = build_topology(design.clock_sinks)
+    embed_zero_skew(tree, tech)
+    return tree
+
+
+def test_root_always_buffered(tech):
+    tree = _tree(32, tech)
+    result = insert_buffers(tree, tech)
+    assert 0 in result.buffer_levels
+    assert tree.root.buffer is not None
+
+
+def test_every_path_crosses_every_level(tech):
+    tree = _tree(48, tech)
+    result = insert_buffers(tree, tech)
+    for sink in tree.sinks():
+        depths = {tree.depth(n.node_id)
+                  for n in tree.path_to_root(sink.node_id)
+                  if n.buffer is not None}
+        assert depths == set(result.buffer_levels)
+
+
+def test_buffer_count_matches_levels(tech):
+    tree = _tree(32, tech)
+    result = insert_buffers(tree, tech)
+    by_level = {}
+    for node in tree:
+        if node.buffer is not None:
+            by_level.setdefault(tree.depth(node.node_id), 0)
+            by_level[tree.depth(node.node_id)] += 1
+    assert sum(by_level.values()) == result.num_buffers
+    assert set(by_level) == set(result.buffer_levels)
+
+
+def test_levels_above_shallowest_leaf(tech):
+    tree = _tree(48, tech)
+    result = insert_buffers(tree, tech)
+    min_leaf = min(tree.depth(leaf.node_id) for leaf in tree.leaves())
+    assert all(level < min_leaf for level in result.buffer_levels)
+
+
+def test_stage_cap_budget_respected(tech):
+    tree = _tree(64, tech)
+    budget = 100.0
+    result = insert_buffers(tree, tech, max_stage_cap=budget)
+    # Trims can push above the wire budget, but not unboundedly.
+    assert result.worst_stage_cap < 2.5 * budget
+
+
+def test_smaller_budget_more_buffers(tech):
+    tree_a = _tree(64, tech)
+    tree_b = _tree(64, tech)
+    a = insert_buffers(tree_a, tech, max_stage_cap=150.0)
+    b = insert_buffers(tree_b, tech, max_stage_cap=60.0)
+    assert b.num_buffers >= a.num_buffers
+
+
+def test_trims_nonnegative(tech):
+    tree = _tree(32, tech)
+    insert_buffers(tree, tech)
+    for node in tree:
+        assert node.base_pad >= 0.0
+        assert node.base_snake >= 0.0
+        if node.buffer is None:
+            assert node.base_pad == 0.0 and node.base_snake == 0.0
+
+
+def test_per_level_delay_equalized(tech):
+    """After sizing+trim, same-level stage driver delays match closely."""
+    tree = _tree(64, tech)
+    insert_buffers(tree, tech)
+
+    # Recompute each buffered node's stage load (wires + pins + child
+    # buffer inputs + own trims) and its driver delay.
+    rule = tech.default_rule
+    lh = tech.layer_for(True)
+    lv = tech.layer_for(False)
+    unit_c = (lh.isolated_cap_per_um(rule.width_on(lh))
+              + lv.isolated_cap_per_um(rule.width_on(lv))) / 2.0
+
+    def stage_load(nid):
+        total = tree.node(nid).load_pad + tree.node(nid).root_snake_c
+        stack = list(tree.node(nid).children)
+        while stack:
+            cid = stack.pop()
+            child = tree.node(cid)
+            total += unit_c * tree.edge_length(cid)
+            if child.buffer is not None:
+                total += child.buffer.c_in
+                continue
+            if child.is_sink:
+                total += child.sink_pin.cap
+            stack.extend(child.children)
+        return total
+
+    by_level = {}
+    for node in tree:
+        if node.buffer is None:
+            continue
+        load = stage_load(node.node_id)
+        snake_delay = node.root_snake_r * (
+            load - node.root_snake_c / 2.0 - node.load_pad)
+        delay = node.buffer.delay(load) + snake_delay
+        by_level.setdefault(tree.depth(node.node_id), []).append(delay)
+
+    for level, delays in by_level.items():
+        if len(delays) < 2:
+            continue
+        spread = max(delays) - min(delays)
+        # The equalisation is exact under its own cap model; allow a few
+        # ps for the snake-delay approximation in this recomputation.
+        assert spread < 5.0, f"level {level} spread {spread:.2f} ps"

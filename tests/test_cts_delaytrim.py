@@ -1,0 +1,60 @@
+"""Delay-trim cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cts.delaytrim import TrimChoice, cheapest_trim, snake_length_for_delay
+
+
+def test_zero_gap_is_free():
+    trim = cheapest_trim(0.0, 0.5, 50.0, 0.001, 0.2)
+    assert trim.added_cap == 0.0
+    assert trim.pad_cap == 0.0 and trim.snake_len == 0.0
+
+
+def test_snake_length_delivers_delay():
+    r, c, load = 0.001, 0.2, 100.0
+    for gap in (1.0, 5.0, 20.0):
+        length = snake_length_for_delay(gap, load, r, c)
+        delivered = r * length * (load + c * length / 2.0)
+        assert delivered == pytest.approx(gap, rel=1e-9)
+
+
+def test_pad_wins_for_small_driver():
+    # High-resistance driver: pad is cheap (gap/r small).
+    trim = cheapest_trim(5.0, r_drive=2.2, stage_load=10.0,
+                         r_per_um=0.001, c_per_um=0.21)
+    assert trim.pad_cap > 0.0 and trim.snake_len == 0.0
+
+
+def test_snake_wins_for_big_driver_big_load():
+    # Low-resistance driver on a heavy stage: snake is cheap.
+    trim = cheapest_trim(10.0, r_drive=0.1375, stage_load=250.0,
+                         r_per_um=0.000857, c_per_um=0.21)
+    assert trim.snake_len > 0.0 and trim.pad_cap == 0.0
+
+
+def test_added_cap_matches_choice():
+    trim = cheapest_trim(5.0, 0.5, 50.0, 0.001, 0.2)
+    if trim.pad_cap > 0.0:
+        assert trim.added_cap == pytest.approx(trim.pad_cap)
+    else:
+        assert trim.added_cap == pytest.approx(trim.snake_len * 0.2)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        cheapest_trim(1.0, 0.0, 10.0, 0.001, 0.2)
+    with pytest.raises(ValueError):
+        snake_length_for_delay(1.0, 10.0, 0.0, 0.2)
+
+
+@given(gap=st.floats(0.01, 100.0), r_drive=st.floats(0.05, 5.0),
+       load=st.floats(1.0, 500.0))
+def test_choice_is_never_worse_than_either_option(gap, r_drive, load):
+    r_um, c_um = 0.000857, 0.21
+    trim = cheapest_trim(gap, r_drive, load, r_um, c_um)
+    pad_cost = gap / r_drive
+    snake_cost = snake_length_for_delay(gap, load, r_um, c_um) * c_um
+    assert trim.added_cap <= min(pad_cost, snake_cost) * (1 + 1e-9)
+    assert trim.added_cap > 0.0

@@ -1,0 +1,119 @@
+"""Zero-skew embedding: the Elmore balance invariant."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cts.embedding import embed_zero_skew, _snake_length, _wire_delay
+from repro.cts.topology import build_topology
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.netlist.design import Design
+from repro.tech import default_technology
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+def _embedded_tree(n, tech, spread=200.0):
+    design = Design(name="t", die=Rect(0, 0, spread, spread))
+    for i in range(n):
+        x = (i * 37) % 97 * spread / 97.0
+        y = (i * 61) % 89 * spread / 89.0
+        design.add_flop(f"ff{i}", Point(x, y), clock_pin_cap=1.8)
+    tree = build_topology(design.clock_sinks)
+    embed_zero_skew(tree, tech)
+    return tree
+
+
+def _unbuffered_elmore_skew(tree, tech):
+    """Recompute root-to-sink Elmore delays over the logical tree."""
+    rule = tech.default_rule
+    lh = tech.layer_for(True)
+    lv = tech.layer_for(False)
+    r = (lh.resistance_per_um(rule.width_on(lh))
+         + lv.resistance_per_um(rule.width_on(lv))) / 2.0
+    c = (lh.isolated_cap_per_um(rule.width_on(lh))
+         + lv.isolated_cap_per_um(rule.width_on(lv))) / 2.0
+
+    # Downstream caps.
+    down = {}
+    for node in tree.postorder():
+        cap = node.sink_pin.cap if node.is_sink else 0.0
+        for child_id in node.children:
+            cap += down[child_id] + c * tree.edge_length(child_id)
+        down[node.node_id] = cap
+
+    # Root-to-sink delays.
+    delay = {tree.root_id: 0.0}
+    for node in tree.topo_order():
+        for child_id in node.children:
+            length = tree.edge_length(child_id)
+            delay[child_id] = delay[node.node_id] + r * length * (
+                c * length / 2.0 + down[child_id])
+    sink_delays = [delay[s.node_id] for s in tree.sinks()]
+    return max(sink_delays) - min(sink_delays), max(sink_delays)
+
+
+@pytest.mark.parametrize("n", [2, 5, 16, 33])
+def test_embedding_is_elmore_zero_skew(n, tech):
+    tree = _embedded_tree(n, tech)
+    skew, latency = _unbuffered_elmore_skew(tree, tech)
+    # Exact merge: skew should be numerically zero relative to latency.
+    assert skew <= max(1e-6, 1e-6 * latency)
+
+
+def test_single_sink_trivial(tech):
+    tree = _embedded_tree(1, tech)
+    assert len(tree) == 1
+
+
+def test_internal_nodes_inside_children_bbox(tech):
+    tree = _embedded_tree(16, tech)
+    for node in tree:
+        if node.is_leaf:
+            continue
+        xs, ys = [], []
+        for nid in tree.subtree_ids(node.node_id):
+            leaf = tree.node(nid)
+            if leaf.is_leaf:
+                xs.append(leaf.location.x)
+                ys.append(leaf.location.y)
+        assert min(xs) - 1e-9 <= node.location.x <= max(xs) + 1e-9
+        assert min(ys) - 1e-9 <= node.location.y <= max(ys) + 1e-9
+
+
+def test_snakes_are_nonnegative(tech):
+    tree = _embedded_tree(33, tech)
+    for node in tree:
+        assert node.snake >= 0.0
+
+
+def test_wire_delay_helper():
+    # r*l*(c*l/2 + cl): 0.001 * 100 * (0.2*50 + 5) = 1.5
+    assert _wire_delay(0.001, 0.2, 100.0, 5.0) == pytest.approx(1.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 400), st.integers(0, 400)),
+                min_size=2, max_size=24, unique=True))
+def test_embedding_zero_skew_random_sinks(coords):
+    """The zero-skew invariant holds for arbitrary sink placements."""
+    tech = default_technology()
+    design = Design(name="h", die=Rect(0, 0, 400, 400))
+    for i, (x, y) in enumerate(coords):
+        design.add_flop(f"ff{i}", Point(float(x), float(y)), 1.8)
+    tree = build_topology(design.clock_sinks)
+    embed_zero_skew(tree, tech)
+    skew, latency = _unbuffered_elmore_skew(tree, tech)
+    assert skew <= max(1e-6, 1e-6 * latency)
+
+
+def test_snake_length_inverts_wire_delay():
+    r, c, cl = 0.001, 0.2, 5.0
+    for gap in (0.5, 2.0, 10.0):
+        length = _snake_length(r, c, gap, cl)
+        assert _wire_delay(r, c, length, cl) == pytest.approx(gap, rel=1e-9)
+    assert _snake_length(r, c, 0.0, cl) == 0.0
+    assert _snake_length(r, c, -1.0, cl) == 0.0

@@ -1,0 +1,49 @@
+"""End-to-end CTS driver."""
+
+import pytest
+
+from repro.cts import synthesize_clock_tree
+
+
+def test_synthesis_produces_valid_tree(tiny_design, tech):
+    result = synthesize_clock_tree(tiny_design, tech)
+    tree = result.tree
+    tree.validate()
+    assert tree.root.buffer is not None
+    assert len(tree.sinks()) == tiny_design.num_sinks
+
+
+def test_tree_hangs_from_clock_source(tiny_design, tech):
+    result = synthesize_clock_tree(tiny_design, tech)
+    assert result.tree.root.location == tiny_design.clock_root.location
+
+
+def test_all_sink_pins_covered(tiny_design, tech):
+    result = synthesize_clock_tree(tiny_design, tech)
+    tree_pins = {n.sink_pin.full_name for n in result.tree.sinks()}
+    design_pins = {p.full_name for p in tiny_design.clock_sinks}
+    assert tree_pins == design_pins
+
+
+def test_sink_leaves_at_sink_locations(tiny_design, tech):
+    result = synthesize_clock_tree(tiny_design, tech)
+    for leaf in result.tree.sinks():
+        assert leaf.location == leaf.sink_pin.location
+
+
+def test_buffering_summary_consistent(tiny_design, tech):
+    result = synthesize_clock_tree(tiny_design, tech)
+    placed = sum(1 for n in result.tree if n.buffer is not None)
+    # The summary counts level-inserted buffers; the root top-off (if
+    # any) adds at most one more.
+    assert placed in (result.buffering.num_buffers,
+                      result.buffering.num_buffers + 1)
+
+
+def test_unvalidated_design_rejected(tech):
+    from repro.geom.rect import Rect
+    from repro.netlist.design import Design
+
+    empty = Design(name="empty", die=Rect(0, 0, 10, 10))
+    with pytest.raises(ValueError):
+        synthesize_clock_tree(empty, tech)

@@ -1,0 +1,96 @@
+"""Topology generation: balanced binary trees over sinks."""
+
+import math
+
+import pytest
+
+from repro.cts.topology import build_topology
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.netlist.design import Design
+
+
+def _pins(n, spread=100.0):
+    design = Design(name="t", die=Rect(0, 0, spread, spread))
+    pins = []
+    for i in range(n):
+        x = (i * 37) % 97 * spread / 97.0
+        y = (i * 61) % 89 * spread / 89.0
+        pins.append(design.add_flop(f"ff{i}", Point(x, y), clock_pin_cap=1.0))
+    return pins
+
+
+def test_zero_sinks_rejected():
+    with pytest.raises(ValueError):
+        build_topology([])
+
+
+def test_single_sink():
+    pins = _pins(1)
+    tree = build_topology(pins)
+    assert len(tree) == 1
+    assert tree.root.sink_pin is pins[0]
+
+
+def test_leaf_count_matches_sinks():
+    pins = _pins(13)
+    tree = build_topology(pins)
+    leaves = tree.leaves()
+    assert len(leaves) == 13
+    assert {leaf.sink_pin.full_name for leaf in leaves} == \
+        {p.full_name for p in pins}
+
+
+def test_binary_internal_nodes():
+    tree = build_topology(_pins(16))
+    for node in tree:
+        assert len(node.children) in (0, 2)
+
+
+def test_balanced_depths():
+    n = 20
+    tree = build_topology(_pins(n))
+    depths = [tree.depth(leaf.node_id) for leaf in tree.leaves()]
+    # Median bisection: leaf depths differ by at most 1.
+    assert max(depths) - min(depths) <= 1
+    assert max(depths) == math.ceil(math.log2(n))
+
+
+def test_power_of_two_is_perfectly_balanced():
+    tree = build_topology(_pins(32))
+    depths = {tree.depth(leaf.node_id) for leaf in tree.leaves()}
+    assert depths == {5}
+
+
+def test_structure_valid():
+    tree = build_topology(_pins(10))
+    tree.validate()
+
+
+def test_deterministic():
+    a = build_topology(_pins(15))
+    b = build_topology(_pins(15))
+    assert [n.sink_pin.full_name for n in a.sinks()] == \
+        [n.sink_pin.full_name for n in b.sinks()]
+
+
+def test_spatial_locality_of_split():
+    """The first split separates left half from right half for wide sets."""
+    design = Design(name="t", die=Rect(0, 0, 100, 10))
+    left = [design.add_flop(f"l{i}", Point(float(i), 5.0), 1.0)
+            for i in range(4)]
+    right = [design.add_flop(f"r{i}", Point(90.0 + i, 5.0), 1.0)
+             for i in range(4)]
+    tree = build_topology(left + right)
+    top_children = [tree.node(c) for c in tree.root.children]
+    sides = []
+    for child in top_children:
+        names = {n.sink_pin.instance.name
+                 for n in tree.sinks() if _under(tree, n, child.node_id)}
+        sides.append(names)
+    assert {f"l{i}" for i in range(4)} in sides
+    assert {f"r{i}" for i in range(4)} in sides
+
+
+def _under(tree, node, ancestor_id) -> bool:
+    return ancestor_id in {n.node_id for n in tree.path_to_root(node.node_id)}

@@ -1,0 +1,115 @@
+"""Per-wire extraction: the capacitance model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.extract.capmodel import extract_wire
+from repro.geom.point import Point
+from repro.geom.segment import Segment
+from repro.netlist.net import NetKind
+from repro.route.wires import NeighborCoupling, RoutedWire
+from repro.tech import default_technology, rule_by_name
+
+
+TECH = default_technology()
+M5 = TECH.stack.by_name("M5")
+
+
+def _wire(length=100.0, rule="W1S1", extra=0.0):
+    return RoutedWire(
+        wire_id=0, net_name="clk", kind=NetKind.CLOCK,
+        segment=Segment(Point(0, 10), Point(length, 10)),
+        layer=M5, track=0, rule=rule_by_name(rule),
+        activity=1.0, extra_length=extra)
+
+
+def _nb(spacing, overlap, activity=0.2, same_net=False):
+    return NeighborCoupling(neighbor_id=1, spacing=spacing, overlap=overlap,
+                            neighbor_kind=NetKind.SIGNAL,
+                            neighbor_activity=activity, same_net=same_net)
+
+
+def test_isolated_wire_matches_layer_model():
+    para = extract_wire(_wire(100.0), [])
+    assert para.c_total == pytest.approx(100.0 * M5.isolated_cap_per_um(
+        M5.min_width), rel=1e-9)
+    assert para.cc_signal == 0.0
+    assert para.couplings == []
+
+
+def test_resistance_scales_with_length_and_width():
+    r1 = extract_wire(_wire(100.0), []).r
+    r2 = extract_wire(_wire(200.0), []).r
+    assert r2 == pytest.approx(2 * r1)
+    rw = extract_wire(_wire(100.0, rule="W2S1"), []).r
+    assert rw == pytest.approx(r1 / 2)
+
+
+def test_width_upgrade_raises_area_cap_only():
+    base = extract_wire(_wire(100.0), [])
+    wide = extract_wire(_wire(100.0, rule="W2S1"), [])
+    assert wide.c_area == pytest.approx(2 * base.c_area)
+    assert wide.c_rest == pytest.approx(base.c_rest)
+
+
+def test_coupling_counted_and_split():
+    spacing = M5.min_spacing
+    para = extract_wire(_wire(100.0), [_nb(spacing, 60.0)])
+    expected_cc = M5.coupling_cap_per_um(spacing) * 60.0
+    assert para.cc_signal == pytest.approx(expected_cc)
+    assert len(para.couplings) == 1
+    # Quiet aggressors count as ground: cc included in c_rest.
+    iso = extract_wire(_wire(100.0), [])
+    assert para.c_total > iso.c_total
+
+
+def test_same_net_coupling_excluded_from_power_and_delay():
+    spacing = M5.min_spacing
+    para = extract_wire(_wire(100.0), [_nb(spacing, 60.0, same_net=True)])
+    assert para.cc_clock > 0.0
+    assert para.cc_signal == 0.0
+    assert para.couplings == []
+
+
+def test_covered_span_not_double_counted():
+    """A fully covered side must not also get far-field cap."""
+    spacing = M5.min_spacing
+    one = extract_wire(_wire(100.0), [_nb(spacing, 100.0)])
+    two = extract_wire(_wire(100.0), [_nb(spacing, 100.0),
+                                      _nb(spacing, 100.0)])
+    # Second neighbor adds coupling but removes the remaining far-field.
+    added = two.c_total - one.c_total
+    full_cc = M5.coupling_cap_per_um(spacing) * 100.0
+    assert added == pytest.approx(full_cc - M5.c_fringe_far * 100.0)
+
+
+def test_snaking_detour_has_no_coupling():
+    plain = extract_wire(_wire(100.0), [])
+    snaked = extract_wire(_wire(100.0, extra=50.0), [])
+    assert snaked.r > plain.r
+    assert snaked.c_total > plain.c_total
+    assert snaked.cc_signal == plain.cc_signal == 0.0
+
+
+def test_spacing_upgrade_cuts_coupling():
+    near = extract_wire(_wire(100.0), [_nb(M5.min_spacing, 80.0)])
+    far = extract_wire(_wire(100.0), [_nb(2 * M5.min_spacing, 80.0)])
+    assert far.cc_signal < near.cc_signal / 2.0  # superlinear falloff
+
+
+@given(width_mult=st.sampled_from(["W1S1", "W2S1", "W4S2"]),
+       length=st.floats(1.0, 500.0))
+def test_rc_product_invariant_under_width(width_mult, length):
+    """R*C_area is width-invariant (R ~ 1/w, C_area ~ w)."""
+    para = extract_wire(_wire(length, rule=width_mult), [])
+    base = extract_wire(_wire(length), [])
+    assert para.r * para.c_area == pytest.approx(base.r * base.c_area,
+                                                 rel=1e-9)
+
+
+@given(spacing=st.floats(0.14, 0.8), overlap=st.floats(0.0, 100.0))
+def test_cap_components_nonnegative(spacing, overlap):
+    para = extract_wire(_wire(100.0), [_nb(spacing, overlap)])
+    assert para.c_area >= 0 and para.c_rest >= 0
+    assert para.cc_signal >= 0 and para.cc_clock >= 0
+    assert para.c_switched >= para.c_area

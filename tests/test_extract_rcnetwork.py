@@ -1,0 +1,121 @@
+"""Stage-structured RC network invariants."""
+
+import pytest
+
+from repro.extract import extract
+
+
+def test_one_stage_per_buffered_node(small_physical):
+    tree = small_physical.tree
+    network = small_physical.extraction.network
+    buffered = [n.node_id for n in tree if n.buffer is not None]
+    assert len(network.stages) == len(buffered)
+    assert set(network.stage_of_tree_node) == set(buffered)
+
+
+def test_root_stage_is_tree_root(small_physical):
+    network = small_physical.extraction.network
+    root_stage = network.stages[network.root_stage]
+    assert root_stage.tree_node_id == small_physical.tree.root_id
+
+
+def test_every_flop_appears_exactly_once(small_physical):
+    network = small_physical.extraction.network
+    pins = [sink.sink_pin.full_name for _idx, sink in network.flop_sinks()]
+    assert len(pins) == len(set(pins))
+    assert len(pins) == len(small_physical.tree.sinks())
+
+
+def test_stage_tree_is_connected(small_physical):
+    network = small_physical.extraction.network
+    seen = set()
+    stack = [network.root_stage]
+    while stack:
+        idx = stack.pop()
+        assert idx not in seen
+        seen.add(idx)
+        stack.extend(network.stage_children(idx))
+    assert seen == set(range(len(network.stages)))
+
+
+def test_rc_nodes_topologically_ordered(small_physical):
+    for stage in small_physical.extraction.network.stages:
+        for node in stage.nodes:
+            assert node.idx == stage.nodes.index(node)
+            if node.parent is not None:
+                assert node.parent < node.idx
+
+
+def test_cap_conservation(small_physical, tech):
+    """Sum of stage caps == wire caps + flop pins + buffer inputs + trims."""
+    extraction = small_physical.extraction
+    network = extraction.network
+    tree = small_physical.tree
+
+    total_stage_cap = sum(stage.total_cap for stage in network.stages)
+
+    wire_cap = sum(p.c_total for p in extraction.wires.values())
+    flop_cap = sum(n.sink_pin.cap for n in tree.sinks())
+    buffer_cin = sum(stage.driver.c_in
+                     for i, stage in enumerate(network.stages)
+                     if i != network.root_stage)
+    trim_cap = sum(n.load_pad + n.root_snake_c for n in tree)
+
+    assert total_stage_cap == pytest.approx(
+        wire_cap + flop_cap + buffer_cin + trim_cap, rel=1e-9)
+
+
+def test_downstream_caps_accumulate(small_physical):
+    for stage in small_physical.extraction.network.stages:
+        down = stage.downstream_caps()
+        assert down[0] == pytest.approx(stage.total_cap, rel=1e-9)
+        for node in stage.nodes:
+            assert down[node.idx] >= node.cap_nominal - 1e-12
+
+
+def test_elmore_monotone_along_path(small_physical):
+    """Elmore to a node is >= Elmore to any of its ancestors."""
+    for stage in small_physical.extraction.network.stages:
+        for sink in stage.sinks:
+            path = stage.path_to_root(sink.node_idx)
+            delays = [stage.elmore_to(idx) for idx in path]
+            # path goes sink -> root, so delays must be non-increasing.
+            for a, b in zip(delays, delays[1:]):
+                assert a >= b - 1e-12
+
+
+def test_wire_ids_match_routed_clock_wires(small_physical):
+    extraction = small_physical.extraction
+    rc_wire_ids = set()
+    for stage in extraction.network.stages:
+        for node in stage.nodes:
+            if node.wire_id is not None:
+                rc_wire_ids.add(node.wire_id)
+    routed = {w.wire_id for w in extraction.routing.clock_wires}
+    assert rc_wire_ids <= routed
+
+
+def test_root_buffer_required(small_physical, tech):
+    from repro.extract.rcnetwork import build_rc_network
+
+    tree = small_physical.tree
+    saved = tree.root.buffer
+    tree.root.buffer = None
+    try:
+        with pytest.raises(ValueError):
+            build_rc_network(tree, small_physical.routing,
+                             small_physical.extraction.wires)
+    finally:
+        tree.root.buffer = saved
+
+
+def test_re_extract_after_rule_change(make_small_physical, tech):
+    from repro.tech import rule_by_name
+
+    phys = make_small_physical()
+    before = extract(phys.tree, phys.routing)
+    wire = max(phys.routing.clock_wires, key=lambda w: w.segment.length)
+    phys.routing.assign_rule(wire.wire_id, rule_by_name("W2S1"))
+    after = extract(phys.tree, phys.routing)
+    assert after.wires[wire.wire_id].r < before.wires[wire.wire_id].r
+    assert after.clock_wire_cap > before.clock_wire_cap

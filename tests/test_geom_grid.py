@@ -1,0 +1,60 @@
+"""Routing grid coordinate <-> track mapping."""
+
+import pytest
+
+from repro.geom.grid import RoutingGrid
+from repro.geom.rect import Rect
+from repro.tech.layers import default_metal_stack
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return RoutingGrid(die=Rect(0, 0, 100, 100))
+
+
+@pytest.fixture(scope="module")
+def m5():
+    return default_metal_stack().by_name("M5")
+
+
+def test_num_tracks(grid, m5):
+    assert grid.num_tracks(m5) == int(100 / m5.pitch)
+
+
+def test_roundtrip(grid, m5):
+    for idx in (0, 10, grid.num_tracks(m5) - 1):
+        coord = grid.track_coord(m5, idx)
+        assert grid.track_index(m5, coord) == idx
+
+
+def test_track_index_clamped(grid, m5):
+    assert grid.track_index(m5, -50.0) == 0
+    assert grid.track_index(m5, 1e6) == grid.num_tracks(m5) - 1
+
+
+def test_track_coord_out_of_range(grid, m5):
+    with pytest.raises(IndexError):
+        grid.track_coord(m5, -1)
+    with pytest.raises(IndexError):
+        grid.track_coord(m5, grid.num_tracks(m5))
+
+
+def test_snap_is_idempotent(grid, m5):
+    snapped = grid.snap(m5, 33.33)
+    assert grid.snap(m5, snapped) == snapped
+
+
+def test_track_distance(grid, m5):
+    assert grid.track_distance(m5, 3, 7) == pytest.approx(4 * m5.pitch)
+    assert grid.track_distance(m5, 7, 3) == pytest.approx(4 * m5.pitch)
+
+
+def test_edge_spacing(grid, m5):
+    w = m5.min_width
+    # Adjacent tracks at min width: spacing = pitch - width.
+    assert grid.edge_spacing(m5, 0, w, 1, w) == pytest.approx(m5.pitch - w)
+    # Same track: zero.
+    assert grid.edge_spacing(m5, 4, w, 4, w) == 0.0
+    # Doubling one width eats half the gap.
+    assert grid.edge_spacing(m5, 0, 2 * w, 1, w) == pytest.approx(
+        m5.pitch - 1.5 * w)

@@ -1,0 +1,88 @@
+"""Rectilinear Steiner tree construction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geom.point import Point
+from repro.geom.steiner import build_steiner_tree
+
+
+def _connected_terminals(tree) -> bool:
+    """Every terminal must lie on some segment (or equal another terminal)."""
+    for t in tree.terminals:
+        if t == tree.root and len(tree.terminals) == 1:
+            return True
+        on_wire = any(_on_segment(t, seg) for seg in tree.segments)
+        if not on_wire:
+            return False
+    return True
+
+
+def _on_segment(p: Point, seg) -> bool:
+    if seg.horizontal:
+        return p.y == seg.track_coord and seg.lo <= p.x <= seg.hi
+    return p.x == seg.track_coord and seg.lo <= p.y <= seg.hi
+
+
+def test_single_terminal_empty():
+    tree = build_steiner_tree(Point(0, 0), [])
+    assert tree.segments == []
+    assert tree.wirelength == 0.0
+
+
+def test_two_terminals_is_l_route():
+    tree = build_steiner_tree(Point(0, 0), [Point(3, 4)])
+    assert tree.wirelength == pytest.approx(7.0)
+    assert _connected_terminals(tree)
+
+
+def test_collinear_terminals_share_trunk():
+    tree = build_steiner_tree(Point(0, 0), [Point(5, 0), Point(10, 0)])
+    assert tree.wirelength == pytest.approx(10.0)
+    assert len(tree.segments) == 1
+
+
+def test_steiner_sharing_beats_star():
+    # Three sinks to the right of the root at the same x: a shared trunk
+    # should cost less than three independent L-routes.
+    root = Point(0, 0)
+    sinks = [Point(10, -1), Point(10, 0), Point(10, 1)]
+    tree = build_steiner_tree(root, sinks)
+    star = sum(root.manhattan_to(s) for s in sinks)
+    assert tree.wirelength < star
+
+
+def test_duplicate_terminals_deduplicated():
+    tree = build_steiner_tree(Point(0, 0), [Point(3, 0), Point(3, 0)])
+    assert len(tree.terminals) == 2
+    assert tree.wirelength == pytest.approx(3.0)
+
+
+def test_deterministic():
+    sinks = [Point(7, 2), Point(3, 9), Point(5, 5), Point(1, 8)]
+    a = build_steiner_tree(Point(0, 0), list(sinks))
+    b = build_steiner_tree(Point(0, 0), list(sinks))
+    assert a.segments == b.segments
+
+
+points = st.tuples(st.integers(0, 50), st.integers(0, 50)).map(
+    lambda t: Point(float(t[0]), float(t[1])))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(points, min_size=1, max_size=8), points)
+def test_tree_connects_all_terminals(sinks, root):
+    tree = build_steiner_tree(root, sinks)
+    assert _connected_terminals(tree)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(points, min_size=1, max_size=8), points)
+def test_wirelength_bounded(sinks, root):
+    """Never worse than the star; never better than half the MST bound."""
+    tree = build_steiner_tree(root, sinks)
+    star = sum(root.manhattan_to(s) for s in set(sinks) if s != root)
+    assert tree.wirelength <= star + 1e-9
+    # Lower bound: at least the distance to the farthest terminal.
+    far = max((root.manhattan_to(s) for s in sinks), default=0.0)
+    assert tree.wirelength >= far - 1e-9

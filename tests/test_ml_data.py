@@ -1,0 +1,73 @@
+"""Dataset utilities."""
+
+import numpy as np
+import pytest
+
+from repro.ml.data import Standardizer, train_test_split
+
+
+def test_split_sizes():
+    X = np.arange(40).reshape(20, 2)
+    y = np.arange(20)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.25, seed=0)
+    assert len(Xte) == 5 and len(Xtr) == 15
+    assert len(ytr) == 15 and len(yte) == 5
+
+
+def test_split_is_partition():
+    X = np.arange(30).reshape(15, 2)
+    y = np.arange(15)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, seed=1)
+    combined = sorted(list(ytr) + list(yte))
+    assert combined == list(range(15))
+
+
+def test_split_deterministic_by_seed():
+    X = np.arange(30).reshape(15, 2)
+    y = np.arange(15)
+    _, _, a, _ = train_test_split(X, y, seed=2)
+    _, _, b, _ = train_test_split(X, y, seed=2)
+    _, _, c, _ = train_test_split(X, y, seed=3)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_split_validation():
+    X = np.zeros((4, 1))
+    y = np.zeros(4)
+    with pytest.raises(ValueError):
+        train_test_split(X, y, test_fraction=0.0)
+    with pytest.raises(ValueError):
+        train_test_split(X, y, test_fraction=1.0)
+    with pytest.raises(ValueError):
+        train_test_split(np.zeros((3, 1)), np.zeros(4))
+    with pytest.raises(ValueError):
+        train_test_split(np.zeros((1, 1)), np.zeros(1))  # no train left
+
+
+def test_standardizer_zero_mean_unit_var():
+    rng = np.random.default_rng(0)
+    X = rng.normal(loc=5.0, scale=3.0, size=(200, 3))
+    Z = Standardizer().fit_transform(X)
+    assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+
+def test_standardizer_constant_feature():
+    X = np.column_stack([np.ones(10), np.arange(10.0)])
+    Z = Standardizer().fit_transform(X)
+    assert np.allclose(Z[:, 0], 0.0)
+
+
+def test_standardizer_train_test_consistency():
+    scaler = Standardizer()
+    X_train = np.array([[0.0], [2.0]])
+    scaler.fit(X_train)
+    assert np.allclose(scaler.transform(np.array([[1.0]])), [[0.0]])
+
+
+def test_standardizer_unfitted():
+    with pytest.raises(RuntimeError):
+        Standardizer().transform(np.zeros((1, 1)))
+    with pytest.raises(ValueError):
+        Standardizer().fit(np.zeros((0, 2)))

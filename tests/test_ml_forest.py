@@ -1,0 +1,79 @@
+"""Random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+
+
+def _blob_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(loc=-1.0, scale=0.6, size=(n // 2, 4))
+    X1 = rng.normal(loc=+1.0, scale=0.6, size=(n // 2, 4))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+def test_fits_blobs():
+    X, y = _blob_data()
+    clf = RandomForestClassifier(n_trees=10, seed=1).fit(X, y)
+    assert (clf.predict(X) == y).mean() > 0.95
+
+
+def test_probabilities_average_over_trees():
+    X, y = _blob_data()
+    clf = RandomForestClassifier(n_trees=8, seed=1).fit(X, y)
+    proba = clf.predict_proba(X)
+    assert proba.shape[0] == X.shape[0]
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+
+def test_deterministic_given_seed():
+    X, y = _blob_data()
+    a = RandomForestClassifier(n_trees=5, seed=3).fit(X, y).predict(X)
+    b = RandomForestClassifier(n_trees=5, seed=3).fit(X, y).predict(X)
+    assert np.array_equal(a, b)
+
+
+def test_seed_changes_model():
+    X, y = _blob_data(100, seed=5)
+    a = RandomForestClassifier(n_trees=3, seed=1).fit(X, y).predict_proba(X)
+    b = RandomForestClassifier(n_trees=3, seed=2).fit(X, y).predict_proba(X)
+    assert not np.allclose(a, b)
+
+
+def test_feature_importances_shape():
+    X, y = _blob_data()
+    clf = RandomForestClassifier(n_trees=5, seed=0).fit(X, y)
+    imp = clf.feature_importances_
+    assert imp.shape == (4,)
+    assert imp.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_unfitted_raises():
+    clf = RandomForestClassifier()
+    with pytest.raises(RuntimeError):
+        clf.predict(np.zeros((1, 4)))
+    with pytest.raises(RuntimeError):
+        _ = clf.feature_importances_
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RandomForestClassifier(n_trees=0)
+    clf = RandomForestClassifier(n_trees=2)
+    with pytest.raises(ValueError):
+        clf.fit(np.zeros((3, 2)), np.zeros(5, dtype=int))
+
+
+def test_more_trees_not_worse():
+    X, y = _blob_data(200, seed=7)
+    rng = np.random.default_rng(8)
+    Xt = np.vstack([rng.normal(-1, 0.6, (50, 4)), rng.normal(1, 0.6, (50, 4))])
+    yt = np.array([0] * 50 + [1] * 50)
+    small = RandomForestClassifier(n_trees=1, seed=4).fit(X, y)
+    big = RandomForestClassifier(n_trees=20, seed=4).fit(X, y)
+    acc_small = (small.predict(Xt) == yt).mean()
+    acc_big = (big.predict(Xt) == yt).mean()
+    assert acc_big >= acc_small - 0.05

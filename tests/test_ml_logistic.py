@@ -1,0 +1,71 @@
+"""Logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.data import Standardizer
+from repro.ml.logistic import LogisticRegression
+
+
+def _linear_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    logits = 2.0 * X[:, 0] - 1.5 * X[:, 2]
+    y = (logits + rng.normal(scale=0.3, size=n) > 0).astype(int)
+    return X, y
+
+
+def test_fits_linear_boundary():
+    X, y = _linear_data()
+    clf = LogisticRegression(n_iterations=800).fit(X, y)
+    assert (clf.predict(X) == y).mean() > 0.92
+
+
+def test_learned_weights_signs():
+    X, y = _linear_data()
+    clf = LogisticRegression(n_iterations=800).fit(X, y)
+    assert clf.weights_[0] > 0.0
+    assert clf.weights_[2] < 0.0
+    assert abs(clf.weights_[1]) < abs(clf.weights_[0])
+
+
+def test_probabilities_valid():
+    X, y = _linear_data(100)
+    clf = LogisticRegression().fit(X, y)
+    proba = clf.predict_proba(X)
+    assert proba.shape == (100, 2)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert ((proba >= 0) & (proba <= 1)).all()
+
+
+def test_l2_shrinks_weights():
+    X, y = _linear_data()
+    loose = LogisticRegression(l2=0.0, n_iterations=500).fit(X, y)
+    tight = LogisticRegression(l2=1.0, n_iterations=500).fit(X, y)
+    assert np.linalg.norm(tight.weights_) < np.linalg.norm(loose.weights_)
+
+
+def test_works_with_standardizer():
+    X, y = _linear_data()
+    X_scaled = Standardizer().fit_transform(X * 1000.0)  # bad raw scale
+    clf = LogisticRegression(n_iterations=800).fit(X_scaled, y)
+    assert (clf.predict(X_scaled) == y).mean() > 0.92
+
+
+def test_nonbinary_labels_rejected():
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(np.zeros((3, 1)), np.array([0, 1, 2]))
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        LogisticRegression().predict(np.zeros((1, 2)))
+
+
+def test_hyperparameter_validation():
+    with pytest.raises(ValueError):
+        LogisticRegression(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        LogisticRegression(n_iterations=0)
+    with pytest.raises(ValueError):
+        LogisticRegression(l2=-1.0)

@@ -1,0 +1,72 @@
+"""Classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.metrics import (accuracy, confusion_matrix, f1_score,
+                              precision, recall)
+
+
+def test_accuracy_basic():
+    assert accuracy([1, 0, 1, 1], [1, 0, 0, 1]) == pytest.approx(0.75)
+
+
+def test_perfect_scores():
+    y = [0, 1, 1, 0]
+    assert accuracy(y, y) == 1.0
+    assert precision(y, y) == 1.0
+    assert recall(y, y) == 1.0
+    assert f1_score(y, y) == 1.0
+
+
+def test_precision_recall_asymmetry():
+    y_true = [1, 1, 0, 0]
+    y_pred = [1, 0, 0, 0]  # conservative predictor
+    assert precision(y_true, y_pred) == 1.0
+    assert recall(y_true, y_pred) == 0.5
+
+
+def test_no_predicted_positives_precision_is_one():
+    assert precision([1, 1], [0, 0]) == 1.0
+
+
+def test_no_actual_positives_recall_is_one():
+    assert recall([0, 0], [1, 0]) == 1.0
+
+
+def test_f1_zero_when_nothing_right():
+    assert f1_score([1, 1], [0, 0]) == 0.0
+
+
+def test_confusion_matrix():
+    m = confusion_matrix([0, 1, 2, 1], [0, 2, 2, 1])
+    assert m.shape == (3, 3)
+    assert m[0, 0] == 1 and m[1, 2] == 1 and m[2, 2] == 1 and m[1, 1] == 1
+    assert m.sum() == 4
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        accuracy([1, 0], [1])
+    with pytest.raises(ValueError):
+        confusion_matrix([], [])
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                min_size=1, max_size=50))
+def test_metric_bounds(pairs):
+    y_true = [p[0] for p in pairs]
+    y_pred = [p[1] for p in pairs]
+    for metric in (accuracy, precision, recall, f1_score):
+        value = metric(y_true, y_pred)
+        assert 0.0 <= value <= 1.0
+
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)),
+                min_size=1, max_size=50))
+def test_confusion_diagonal_is_accuracy(pairs):
+    y_true = np.array([p[0] for p in pairs])
+    y_pred = np.array([p[1] for p in pairs])
+    m = confusion_matrix(y_true, y_pred)
+    assert np.trace(m) / m.sum() == pytest.approx(accuracy(y_true, y_pred))

@@ -1,0 +1,101 @@
+"""CART decision tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _axis_separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 3))
+    y = (X[:, 1] > 0.2).astype(int)
+    return X, y
+
+
+def test_fits_axis_aligned_split():
+    X, y = _axis_separable()
+    clf = DecisionTreeClassifier(max_depth=3, min_samples_leaf=2).fit(X, y)
+    assert (clf.predict(X) == y).mean() > 0.98
+
+
+def test_feature_importances_identify_the_feature():
+    X, y = _axis_separable()
+    clf = DecisionTreeClassifier(max_depth=3, min_samples_leaf=2).fit(X, y)
+    assert clf.feature_importances_.argmax() == 1
+    assert clf.feature_importances_.sum() == pytest.approx(1.0)
+
+
+def test_pure_labels_yield_stump():
+    X = np.zeros((20, 2))
+    y = np.ones(20, dtype=int)
+    clf = DecisionTreeClassifier().fit(X, y)
+    assert clf.depth() == 0
+    assert (clf.predict(X) == 1).all()
+
+
+def test_max_depth_respected():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(size=(300, 4))
+    y = rng.integers(0, 2, size=300)
+    clf = DecisionTreeClassifier(max_depth=3, min_samples_leaf=1).fit(X, y)
+    assert clf.depth() <= 3
+
+
+def test_min_samples_leaf_limits_growth():
+    X, y = _axis_separable(60)
+    deep = DecisionTreeClassifier(max_depth=10, min_samples_leaf=1).fit(X, y)
+    shallow = DecisionTreeClassifier(max_depth=10, min_samples_leaf=25).fit(X, y)
+    assert shallow.depth() <= deep.depth()
+
+
+def test_multiclass():
+    rng = np.random.default_rng(2)
+    X = rng.uniform(size=(300, 1))
+    y = np.digitize(X[:, 0], [0.33, 0.66])
+    clf = DecisionTreeClassifier(max_depth=4, min_samples_leaf=3).fit(X, y)
+    assert (clf.predict(X) == y).mean() > 0.95
+    proba = clf.predict_proba(X)
+    assert proba.shape == (300, 3)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_unfitted_raises():
+    clf = DecisionTreeClassifier()
+    with pytest.raises(RuntimeError):
+        clf.predict(np.zeros((1, 2)))
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        DecisionTreeClassifier(max_depth=0)
+    with pytest.raises(ValueError):
+        DecisionTreeClassifier(min_samples_leaf=0)
+    clf = DecisionTreeClassifier()
+    with pytest.raises(ValueError):
+        clf.fit(np.zeros((3, 2)), np.zeros(4, dtype=int))
+    with pytest.raises(ValueError):
+        clf.fit(np.zeros((0, 2)), np.zeros(0, dtype=int))
+    clf.fit(np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+    with pytest.raises(ValueError):
+        clf.predict(np.zeros((2, 3)))  # wrong feature count
+
+
+def test_constant_features_fall_back_to_majority():
+    X = np.ones((30, 2))
+    y = np.array([0] * 20 + [1] * 10)
+    clf = DecisionTreeClassifier().fit(X, y)
+    assert (clf.predict(X) == 0).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(10, 60), st.integers(0, 1000))
+def test_probabilities_valid(n, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, 2))
+    y = rng.integers(0, 2, size=n)
+    clf = DecisionTreeClassifier(max_depth=4, min_samples_leaf=2).fit(X, y)
+    proba = clf.predict_proba(X)
+    assert (proba >= 0).all() and (proba <= 1).all()
+    assert np.allclose(proba.sum(axis=1), 1.0)

@@ -1,0 +1,80 @@
+"""Clock power model."""
+
+import pytest
+
+from repro.core.policies import Policy, apply_uniform_policy
+from repro.cts.refine import refine_skew
+from repro.extract import extract
+from repro.power import analyze_power
+
+
+@pytest.fixture(scope="module")
+def report(small_physical, small_design, tech):
+    return analyze_power(small_physical.extraction, tech,
+                         small_design.clock_freq)
+
+
+def test_components_sum(report):
+    assert report.p_dynamic == pytest.approx(
+        report.p_wire + report.p_pin + report.p_buffer_cap
+        + report.p_pad + report.p_buffer_internal)
+    assert report.p_total == pytest.approx(
+        report.p_dynamic + report.p_leakage)
+    assert report.total_cap == pytest.approx(
+        report.wire_cap + report.pin_cap + report.buffer_in_cap
+        + report.pad_cap)
+
+
+def test_cv2f_relation(report, small_design, tech):
+    cv2f = tech.vdd ** 2 * small_design.clock_freq
+    assert report.p_wire == pytest.approx(cv2f * report.wire_cap)
+    assert report.p_pin == pytest.approx(cv2f * report.pin_cap)
+
+
+def test_pin_cap_matches_design(report, small_design):
+    expected = sum(p.cap for p in small_design.clock_sinks)
+    assert report.pin_cap == pytest.approx(expected)
+
+
+def test_coupling_cap_subset_of_wire_cap(report):
+    assert 0.0 < report.coupling_cap < report.wire_cap
+
+
+def test_power_scales_with_frequency(small_physical, tech):
+    lo = analyze_power(small_physical.extraction, tech, freq=0.5)
+    hi = analyze_power(small_physical.extraction, tech, freq=1.0)
+    assert hi.p_dynamic == pytest.approx(2 * lo.p_dynamic)
+    # Leakage does not scale with frequency.
+    assert hi.p_leakage == pytest.approx(lo.p_leakage)
+
+
+def test_frequency_validation(small_physical, tech):
+    with pytest.raises(ValueError):
+        analyze_power(small_physical.extraction, tech, freq=0.0)
+
+
+def test_all_ndr_costs_more_wire_power(make_small_physical, small_design, tech):
+    """The paper's premise: uniform NDR raises wire capacitance 25-50%."""
+    phys = make_small_physical()
+    base = analyze_power(extract(phys.tree, phys.routing), tech,
+                         small_design.clock_freq)
+    apply_uniform_policy(phys.routing, Policy.ALL_NDR)
+    refined = refine_skew(phys.tree, phys.routing, tech)
+    ndr = analyze_power(refined.extraction, tech, small_design.clock_freq)
+    ratio = ndr.wire_cap / base.wire_cap
+    assert 1.2 < ratio < 1.6
+    # Pins and buffers unchanged by routing rules.
+    assert ndr.pin_cap == pytest.approx(base.pin_cap)
+    assert ndr.buffer_in_cap == pytest.approx(base.buffer_in_cap)
+
+
+def test_space_only_is_nearly_free(make_small_physical, small_design, tech):
+    """2x spacing reduces coupling: wire cap moves at most a few percent."""
+    phys = make_small_physical()
+    base = analyze_power(extract(phys.tree, phys.routing), tech,
+                         small_design.clock_freq)
+    apply_uniform_policy(phys.routing, Policy.SPACE_ONLY)
+    spaced = analyze_power(extract(phys.tree, phys.routing), tech,
+                           small_design.clock_freq)
+    assert spaced.wire_cap < base.wire_cap  # coupling only shrinks
+    assert spaced.wire_cap > 0.9 * base.wire_cap

@@ -1,0 +1,104 @@
+"""Clock gating power model."""
+
+import pytest
+
+from repro.power import analyze_power
+from repro.power.gating import (ClockGateCell, GatingPlan,
+                                analyze_gated_power, stage_activities,
+                                uniform_gating_plan)
+
+
+@pytest.fixture(scope="module")
+def network(small_physical):
+    return small_physical.extraction.network
+
+
+def test_empty_plan_matches_ungated(small_physical, small_design, tech):
+    plain = analyze_power(small_physical.extraction, tech,
+                          small_design.clock_freq)
+    gated = analyze_gated_power(small_physical.extraction, tech,
+                                small_design.clock_freq, GatingPlan())
+    assert gated.p_total == pytest.approx(plain.p_total, rel=1e-9)
+    assert gated.wire_cap == pytest.approx(plain.wire_cap, rel=1e-9)
+
+
+def test_enable_validation():
+    plan = GatingPlan()
+    with pytest.raises(ValueError):
+        plan.add(3, 1.5)
+
+
+def test_unknown_gate_node_rejected(small_physical, small_design, tech):
+    plan = GatingPlan()
+    plan.add(10 ** 9, 0.5)
+    with pytest.raises(KeyError):
+        analyze_gated_power(small_physical.extraction, tech,
+                            small_design.clock_freq, plan)
+
+
+def test_stage_activities_compose(network):
+    """Nested gates multiply down the chain."""
+    # Gate two stages where one is an ancestor of the other, if possible;
+    # otherwise gate two distinct stages and check each.
+    plan = uniform_gating_plan(network, enable=0.5, min_flops=1)
+    activity = stage_activities(network, plan)
+    assert activity[network.root_stage] == 1.0
+    for idx in range(len(network.stages)):
+        if idx == network.root_stage:
+            continue
+        assert 0.0 < activity[idx] <= 1.0
+    # Children never toggle more than their parent.
+    for idx in range(len(network.stages)):
+        for child in network.stage_children(idx):
+            assert activity[child] <= activity[idx] + 1e-12
+
+
+def test_gating_saves_power_monotonically(small_physical, small_design, tech):
+    freq = small_design.clock_freq
+    network = small_physical.extraction.network
+    powers = []
+    for enable in (1.0, 0.7, 0.4, 0.2):
+        plan = uniform_gating_plan(network, enable=enable, min_flops=2)
+        report = analyze_gated_power(small_physical.extraction, tech,
+                                     freq, plan)
+        powers.append(report.p_total)
+    assert powers == sorted(powers, reverse=True)
+    plain = analyze_power(small_physical.extraction, tech, freq)
+    # Deep gating saves a large fraction of the dynamic power.
+    assert powers[-1] < 0.6 * plain.p_total
+
+
+def test_gate_overhead_visible_at_full_enable(small_physical, small_design,
+                                              tech):
+    """enable=1.0 gating saves nothing and pays the ICG overhead."""
+    freq = small_design.clock_freq
+    plan = uniform_gating_plan(small_physical.extraction.network,
+                               enable=1.0, min_flops=2)
+    assert len(plan) > 0
+    gated = analyze_gated_power(small_physical.extraction, tech, freq, plan)
+    plain = analyze_power(small_physical.extraction, tech, freq)
+    assert gated.p_total > plain.p_total
+    overhead = gated.p_total - plain.p_total
+    assert overhead < 0.1 * plain.p_total
+
+
+def test_leakage_not_scaled_by_gating(small_physical, small_design, tech):
+    freq = small_design.clock_freq
+    network = small_physical.extraction.network
+    lo = analyze_gated_power(small_physical.extraction, tech, freq,
+                             uniform_gating_plan(network, 0.2, 2))
+    hi = analyze_gated_power(small_physical.extraction, tech, freq,
+                             uniform_gating_plan(network, 0.9, 2))
+    assert lo.p_leakage == pytest.approx(hi.p_leakage)
+
+
+def test_custom_gate_cell(small_physical, small_design, tech):
+    freq = small_design.clock_freq
+    network = small_physical.extraction.network
+    cheap = uniform_gating_plan(network, 0.5, 2)
+    pricey = uniform_gating_plan(network, 0.5, 2)
+    pricey.cell = ClockGateCell(name="ICG_BIG", c_in=10.0, e_internal=5.0,
+                                p_leak=0.2)
+    a = analyze_gated_power(small_physical.extraction, tech, freq, cheap)
+    b = analyze_gated_power(small_physical.extraction, tech, freq, pricey)
+    assert b.p_total > a.p_total

@@ -1,0 +1,78 @@
+"""Electromigration analysis."""
+
+import pytest
+
+from repro.extract import extract
+from repro.reliability.em import analyze_em
+from repro.tech import rule_by_name
+
+
+@pytest.fixture(scope="module")
+def report(small_physical, small_design, tech):
+    return analyze_em(small_physical.extraction.network,
+                      small_physical.routing, tech.vdd,
+                      small_design.clock_freq)
+
+
+def test_every_clock_wire_with_rc_checked(report, small_physical):
+    checked = {w.wire_id for w in report.wires}
+    rc_wires = set()
+    for stage in small_physical.extraction.network.stages:
+        for node in stage.nodes:
+            if node.wire_id is not None:
+                rc_wires.add(node.wire_id)
+    assert checked == rc_wires
+
+
+def test_currents_positive(report):
+    for w in report.wires:
+        assert w.i_eff > 0.0
+        assert w.density > 0.0
+        assert w.utilization == pytest.approx(w.density / w.jmax)
+
+
+def test_violations_consistent(report):
+    for w in report.wires:
+        assert w.violated == (w.density > w.jmax)
+    assert report.num_violations == len(report.violations)
+    assert report.worst_utilization >= max(
+        (w.utilization for w in report.violations), default=0.0)
+
+
+def test_default_routing_has_a_few_violations(report):
+    """The EM motivation: some (not all) default wires exceed Jmax."""
+    assert 0 < report.num_violations < len(report.wires) // 4
+
+
+def test_current_scales_with_frequency(small_physical, tech):
+    lo = analyze_em(small_physical.extraction.network,
+                    small_physical.routing, tech.vdd, freq=0.5)
+    hi = analyze_em(small_physical.extraction.network,
+                    small_physical.routing, tech.vdd, freq=1.0)
+    assert hi.worst_utilization == pytest.approx(2 * lo.worst_utilization)
+
+
+def test_widening_fixes_violations(make_small_physical, small_design, tech):
+    phys = make_small_physical()
+    base = analyze_em(phys.extraction.network, phys.routing, tech.vdd,
+                      small_design.clock_freq)
+    assert base.num_violations > 0
+    for record in base.violations:
+        phys.routing.assign_rule(record.wire_id, rule_by_name("W4S2"))
+    ext = extract(phys.tree, phys.routing)
+    fixed = analyze_em(ext.network, phys.routing, tech.vdd,
+                       small_design.clock_freq)
+    assert fixed.num_violations == 0
+
+
+def test_em_factor_validation(small_physical, tech):
+    with pytest.raises(ValueError):
+        analyze_em(small_physical.extraction.network, small_physical.routing,
+                   tech.vdd, 1.0, em_factor=0.0)
+
+
+def test_utilization_lookup(report):
+    wid = report.wires[0].wire_id
+    assert report.utilization_of(wid) == report.wires[0].utilization
+    with pytest.raises(KeyError):
+        report.utilization_of(10 ** 9)

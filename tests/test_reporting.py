@@ -1,0 +1,90 @@
+"""Tables and experiment records."""
+
+import pytest
+
+from repro.reporting import ExperimentRecord, Series, Table, format_table
+
+
+def test_table_rendering():
+    t = Table("Demo", ["design", "power"])
+    t.add_row("ckt64", 966.4)
+    t.add_row("ckt256", 5542.0)
+    text = t.render()
+    assert "Demo" in text
+    assert "ckt64" in text and "966.4" in text
+    assert "5,542" in text
+    lines = text.splitlines()
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # box is rectangular
+
+
+def test_table_row_arity_checked():
+    t = Table("Demo", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_float_formatting():
+    t = Table("F", ["v"])
+    t.add_row(0.0)
+    t.add_row(3.14159)
+    t.add_row(42.123)
+    t.add_row(123456.0)
+    cells = [row[0] for row in t.rows]
+    assert cells == ["0", "3.14", "42.1", "123,456"]
+
+
+def test_format_table_direct():
+    text = format_table("T", ["x"], [["1"], ["2"]])
+    assert text.count("\n") == 6  # title + 4 box lines + 2 rows - 1
+
+
+def test_series():
+    s = Series("smart")
+    s.add(1, 10.0)
+    s.add(2, 20.0)
+    assert len(s) == 2
+    assert s.as_rows() == [(1.0, 10.0), (2.0, 20.0)]
+
+
+def test_experiment_record():
+    rec = ExperimentRecord("fig3", "tradeoff", "fraction", "power")
+    rec.series_named("smart").add(0.1, 100.0)
+    rec.series_named("smart").add(0.2, 110.0)
+    rec.series_named("all-ndr").add(0.1, 130.0)
+    text = rec.render()
+    assert "fig3" in text and "smart" in text and "all-ndr" in text
+    assert rec.series_named("smart") is rec.series["smart"]
+
+
+def test_record_csv(tmp_path):
+    rec = ExperimentRecord("figX", "demo", "x", "y")
+    rec.series_named("a").add(1, 10.0)
+    rec.series_named("b").add(2, 20.5)
+    csv = rec.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == "series,x,y"
+    assert "a,1,10" in lines and "b,2,20.5" in lines
+    path = tmp_path / "rec.csv"
+    rec.save_csv(path)
+    assert path.read_text() == csv
+
+
+def test_table_csv(tmp_path):
+    t = Table("T", ["design", "power"])
+    t.add_row("ckt64", 5542.0)
+    csv = t.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == "design,power"
+    # Thousands separators are stripped for machine readability.
+    assert lines[1] == "ckt64,5542"
+    path = tmp_path / "t.csv"
+    t.save_csv(path)
+    assert path.read_text() == csv
+
+
+def test_table_csv_escapes_header():
+    t = Table("T", ['a "quoted", name', "b"])
+    t.add_row(1, 2)
+    header = t.to_csv().splitlines()[0]
+    assert header.startswith('"a ""quoted"", name"')

@@ -1,0 +1,51 @@
+"""Signoff-style analysis summary."""
+
+import pytest
+
+from repro.core.evaluation import analyze_all
+from repro.core.targets import RobustnessTargets
+from repro.reporting import analysis_summary
+
+
+@pytest.fixture(scope="module")
+def bundle(small_physical, small_design, tech):
+    targets = RobustnessTargets.for_period(small_design.clock_period,
+                                           tech.max_slew)
+    return analyze_all(small_physical.extraction, tech,
+                       small_design.clock_freq, targets), targets
+
+
+def test_summary_sections_present(bundle):
+    analyses, targets = bundle
+    text = analysis_summary(analyses, targets, title="unit")
+    for token in ("=== unit ===", "timing", "signal integrity",
+                  "process variation", "electromigration", "power",
+                  "verdict:"):
+        assert token in text
+
+
+def test_summary_numbers_match_bundle(bundle):
+    analyses, targets = bundle
+    text = analysis_summary(analyses, targets)
+    assert f"{analyses.timing.latency:9.1f}" in text
+    assert f"{analyses.power.p_total:9.1f}" in text
+    assert f"{analyses.mc.skew_3sigma:9.2f}" in text
+
+
+def test_summary_verdict_tracks_feasibility(bundle):
+    analyses, _ = bundle
+    loose = RobustnessTargets(max_worst_delta=1e6, max_skew_3sigma=1e6,
+                              max_slew=1e6, max_em_util=1e6)
+    assert "verdict: PASS (0 violated" in analysis_summary(analyses, loose)
+    tight = RobustnessTargets(max_worst_delta=1e-6, max_skew_3sigma=1e-6,
+                              max_slew=1e-6, max_em_util=1e-6)
+    text = analysis_summary(analyses, tight)
+    assert "verdict: FAIL (4 violated" in text
+    assert text.count("FAIL") == 5  # four checks + the verdict
+
+
+def test_summary_pass_fail_markers(bundle):
+    analyses, targets = bundle
+    text = analysis_summary(analyses, targets)
+    # The default-rule small design violates delta delay and EM.
+    assert "FAIL" in text

@@ -1,0 +1,93 @@
+"""Property-based tests on the track manager and router invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geom.grid import RoutingGrid
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.geom.segment import Segment
+from repro.netlist.net import NetKind
+from repro.route.tracks import TrackManager
+from repro.route.wires import RoutedWire
+from repro.tech import default_technology, rule_by_name
+
+TECH = default_technology()
+M5 = TECH.stack.by_name("M5")
+GRID = RoutingGrid(die=Rect(0, 0, 200, 200))
+
+interval = st.tuples(st.integers(0, 180), st.integers(5, 20)).map(
+    lambda t: (float(t[0]), float(t[0] + t[1])))
+
+
+def _wire(wid, track, lo, hi, net="sig"):
+    y = GRID.track_coord(M5, track)
+    return RoutedWire(wire_id=wid, net_name=net, kind=NetKind.SIGNAL,
+                      segment=Segment(Point(lo, y), Point(hi, y)),
+                      layer=M5, track=track, rule=rule_by_name("W1S1"),
+                      activity=0.2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 30), interval),
+                min_size=1, max_size=20))
+def test_registered_intervals_never_report_free(entries):
+    tm = TrackManager(GRID)
+    placed = []
+    for i, (track, (lo, hi)) in enumerate(entries):
+        if tm.is_free(M5, track, lo, hi):
+            tm.register(_wire(i, track, lo, hi))
+            placed.append((track, lo, hi))
+    # Every placed interval (and any sub-interval) is now occupied.
+    for track, lo, hi in placed:
+        assert not tm.is_free(M5, track, lo, hi)
+        mid = (lo + hi) / 2.0
+        assert not tm.is_free(M5, track, mid, mid + 0.1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 30), interval),
+                min_size=1, max_size=15))
+def test_nearest_free_track_is_actually_free(entries):
+    tm = TrackManager(GRID)
+    for i, (track, (lo, hi)) in enumerate(entries):
+        got = tm.nearest_free_track(M5, track, lo, hi)
+        if tm.is_free(M5, got, lo, hi):
+            tm.register(_wire(i, got, lo, hi))
+    # No overlap among registered wires on the same track.
+    by_track = {}
+    for wid, wire in tm._wires.items():
+        by_track.setdefault(wire.track, []).append(
+            (wire.segment.lo, wire.segment.hi))
+    for spans in by_track.values():
+        spans.sort()
+        for (l1, h1), (l2, h2) in zip(spans, spans[1:]):
+            assert h1 <= l2 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 29), interval, interval)
+def test_neighbor_overlap_symmetry(track, span_a, span_b):
+    """If A sees B as a neighbor, the overlap matches B seeing A."""
+    tm = TrackManager(GRID)
+    a = _wire(0, track, *span_a, net="clk")
+    b = _wire(1, track + 1, *span_b)
+    tm.register(a)
+    tm.register(b)
+    a_sees = {nb.neighbor_id: nb for nb in tm.neighbors_of(a)}
+    b_sees = {nb.neighbor_id: nb for nb in tm.neighbors_of(b)}
+    if 1 in a_sees:
+        assert 0 in b_sees
+        assert a_sees[1].overlap == pytest.approx(b_sees[0].overlap)
+        assert a_sees[1].spacing == pytest.approx(b_sees[0].spacing)
+    else:
+        assert 0 not in b_sees
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 30), interval)
+def test_utilization_bounded(track, span):
+    tm = TrackManager(GRID)
+    tm.register(_wire(0, track, *span))
+    util = tm.layer_utilization(M5)
+    assert 0.0 <= util <= 1.0

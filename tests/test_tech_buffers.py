@@ -1,0 +1,92 @@
+"""Buffer library: linear gate model and selection."""
+
+import pytest
+
+from repro.tech.buffers import BufferCell, BufferLibrary, default_buffer_library
+
+
+@pytest.fixture(scope="module")
+def lib() -> BufferLibrary:
+    return default_buffer_library()
+
+
+def test_library_ordered_by_size(lib):
+    sizes = [cell.size for cell in lib]
+    assert sizes == sorted(sizes)
+    assert lib.smallest.size == min(sizes)
+    assert lib.largest.size == max(sizes)
+
+
+def test_delay_linear_in_load(lib):
+    cell = lib.smallest
+    d10 = cell.delay(10.0)
+    d20 = cell.delay(20.0)
+    d30 = cell.delay(30.0)
+    assert d30 - d20 == pytest.approx(d20 - d10)
+
+
+def test_delay_decreases_with_size_at_high_load(lib):
+    load = 40.0
+    delays = [cell.delay(load) for cell in lib]
+    assert delays == sorted(delays, reverse=True)
+
+
+def test_constant_rc_product_across_sizes(lib):
+    products = [cell.r_drive * cell.c_in for cell in lib]
+    for p in products[1:]:
+        assert p == pytest.approx(products[0], rel=1e-6)
+
+
+def test_slew_monotone_in_load(lib):
+    cell = lib.by_name("CLKBUF_X4")
+    assert cell.output_slew(50.0) > cell.output_slew(10.0)
+
+
+def test_negative_load_rejected(lib):
+    with pytest.raises(ValueError):
+        lib.smallest.delay(-1.0)
+    with pytest.raises(ValueError):
+        lib.smallest.output_slew(-1.0)
+
+
+def test_switching_energy_includes_internal(lib):
+    cell = lib.smallest
+    assert cell.switching_energy(0.0, 1.0) == pytest.approx(cell.e_internal)
+    assert cell.switching_energy(10.0, 1.0) == pytest.approx(
+        10.0 + cell.e_internal)
+
+
+def test_switching_energy_scales_with_vdd_squared(lib):
+    cell = lib.smallest
+    e1 = cell.switching_energy(10.0, 1.0) - cell.e_internal
+    e2 = cell.switching_energy(10.0, 2.0) - cell.e_internal
+    assert e2 == pytest.approx(4.0 * e1)
+
+
+def test_smallest_driving_picks_cheapest_legal(lib):
+    cell = lib.smallest_driving(10.0, max_slew=80.0)
+    assert cell is lib.smallest or cell.size < lib.largest.size
+    # The chosen cell actually meets the constraints.
+    assert 10.0 <= cell.max_cap
+    assert cell.output_slew(10.0) <= 80.0
+
+
+def test_smallest_driving_falls_back_to_largest(lib):
+    huge = 10_000.0
+    assert lib.smallest_driving(huge, max_slew=1.0) is lib.largest
+
+
+def test_by_name_unknown(lib):
+    with pytest.raises(KeyError):
+        lib.by_name("CLKBUF_X99")
+
+
+def test_library_rejects_unordered_cells(lib):
+    cells = list(lib.cells)
+    with pytest.raises(ValueError):
+        BufferLibrary(cells=(cells[1], cells[0]))
+
+
+def test_library_rejects_empty():
+    with pytest.raises(ValueError):
+        BufferLibrary(cells=())

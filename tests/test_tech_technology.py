@@ -1,0 +1,49 @@
+"""Technology bundle wiring and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.tech import default_technology
+from repro.tech.technology import Technology
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+def test_default_rule_is_first(tech):
+    assert tech.default_rule.is_default
+
+
+def test_layer_for_orientations(tech):
+    assert tech.layer_for(horizontal=True).direction == "H"
+    assert tech.layer_for(horizontal=False).direction == "V"
+    assert tech.layer_for(horizontal=True, clock=False).direction == "H"
+
+
+def test_clock_layers_named_in_stack(tech):
+    assert tech.layer_for(True).name == tech.clock_layer_h
+    assert tech.layer_for(False).name == tech.clock_layer_v
+
+
+def test_invalid_vdd_rejected(tech):
+    with pytest.raises(ValueError):
+        dataclasses.replace(tech, vdd=0.0)
+
+
+def test_wrong_direction_layer_rejected(tech):
+    # M4 is vertical; naming it as the horizontal clock layer must fail.
+    with pytest.raises(ValueError):
+        dataclasses.replace(tech, clock_layer_h="M4")
+
+
+def test_rules_must_start_with_default(tech):
+    with pytest.raises(ValueError):
+        dataclasses.replace(tech, rules=tech.rules[1:])
+
+
+def test_flop_cin_positive(tech):
+    assert tech.flop_cin > 0.0
+    assert tech.max_slew > 0.0

@@ -1,0 +1,31 @@
+"""Variation model validation."""
+
+import pytest
+
+from repro.tech.variation import VariationModel, default_variation_model
+
+
+def test_default_model_valid():
+    model = default_variation_model()
+    assert 0.0 < model.width_sigma < 0.5
+    assert model.corr_grid > 0.0
+
+
+def test_sigma_bounds_enforced():
+    with pytest.raises(ValueError):
+        VariationModel(width_sigma=0.6)
+    with pytest.raises(ValueError):
+        VariationModel(thickness_sigma=-0.01)
+    with pytest.raises(ValueError):
+        VariationModel(buffer_rand_sigma=0.5)
+
+
+def test_corr_grid_positive():
+    with pytest.raises(ValueError):
+        VariationModel(corr_grid=0.0)
+
+
+def test_zero_variation_allowed():
+    model = VariationModel(width_sigma=0.0, thickness_sigma=0.0,
+                           buffer_d2d_sigma=0.0, buffer_rand_sigma=0.0)
+    assert model.width_sigma == 0.0

@@ -1,0 +1,98 @@
+"""Static clock timing over the stage network."""
+
+import pytest
+
+from repro.timing.arrival import analyze_clock_timing
+from repro.timing.skew import global_skew, latency_range, local_skew
+
+
+@pytest.fixture(scope="module")
+def timing(small_physical, tech):
+    return analyze_clock_timing(small_physical.extraction.network, tech)
+
+
+def test_every_sink_timed(timing, small_physical):
+    assert len(timing.sinks) == len(small_physical.tree.sinks())
+
+
+def test_arrivals_positive_and_plausible(timing):
+    for sink in timing.sinks:
+        assert sink.arrival > 0.0
+        assert sink.arrival < 5000.0  # well under a few ns for this scale
+
+
+def test_skew_is_max_minus_min(timing):
+    arr = timing.arrivals
+    assert timing.skew == pytest.approx(max(arr) - min(arr))
+    assert global_skew(timing) == timing.skew
+
+
+def test_latency_range(timing):
+    lo, hi = latency_range(timing)
+    assert lo <= hi == timing.latency
+
+
+def test_refined_tree_has_tight_skew(timing):
+    assert timing.skew <= max(1.0, 0.02 * timing.latency)
+
+
+def test_slews_within_limit(timing, tech):
+    assert timing.worst_slew <= tech.max_slew
+    assert timing.slew_violations == 0
+    for sink in timing.sinks:
+        assert sink.slew > 0.0
+
+
+def test_stage_delays_recorded(timing, small_physical):
+    network = small_physical.extraction.network
+    assert len(timing.stage_delays) == len(network.stages)
+    for delay, load, stage in zip(timing.stage_delays, timing.stage_loads,
+                                  network.stages):
+        assert delay == pytest.approx(stage.driver.delay(load), rel=1e-9)
+        assert load == pytest.approx(stage.total_cap, rel=1e-9)
+
+
+def test_arrival_of_lookup(timing):
+    name = timing.sinks[0].pin.full_name
+    assert timing.arrival_of(name) == timing.sinks[0].arrival
+    with pytest.raises(KeyError):
+        timing.arrival_of("nope/CK")
+
+
+def test_arrival_decomposes_into_stages(timing, small_physical):
+    """Sink arrival equals the sum of stage driver delays + wire Elmore
+    along its stage chain."""
+    network = small_physical.extraction.network
+
+    # Build parent pointers over stages.
+    parent = {}
+    via_node = {}
+    for idx, stage in enumerate(network.stages):
+        for sink in stage.sinks:
+            if sink.next_stage_tree_id is not None:
+                child = network.stage_of_tree_node[sink.next_stage_tree_id]
+                parent[child] = idx
+                via_node[child] = sink.node_idx
+
+    sink = timing.sinks[0]
+    # Find its stage.
+    stage_idx = next(i for i, s in network.flop_sinks()
+                     if s.sink_pin.full_name == sink.pin.full_name)
+    node_idx = next(s.node_idx for s in network.stages[stage_idx].sinks
+                    if s.is_flop and s.sink_pin.full_name == sink.pin.full_name)
+
+    total = 0.0
+    idx, node = stage_idx, node_idx
+    while True:
+        stage = network.stages[idx]
+        total += stage.driver.delay(stage.total_cap) + stage.elmore_to(node)
+        if idx not in parent:
+            break
+        idx, node = parent[idx], via_node[idx]
+    assert sink.arrival == pytest.approx(total, rel=1e-9)
+
+
+def test_local_skew_bounded_by_global(timing):
+    assert local_skew(timing, radius=50.0) <= timing.skew + 1e-12
+    with pytest.raises(ValueError):
+        local_skew(timing, radius=0.0)

@@ -1,0 +1,54 @@
+"""Elmore vs D2M delay-model comparison."""
+
+import pytest
+
+from repro.timing.arrival import analyze_clock_timing
+
+
+@pytest.fixture(scope="module")
+def pair(small_physical, tech):
+    network = small_physical.extraction.network
+    return (analyze_clock_timing(network, tech),
+            analyze_clock_timing(network, tech, delay_model="d2m"))
+
+
+def test_unknown_model_rejected(small_physical, tech):
+    with pytest.raises(ValueError):
+        analyze_clock_timing(small_physical.extraction.network, tech,
+                             delay_model="spice")
+
+
+def test_d2m_no_more_pessimistic(pair):
+    """D2M tightens Elmore: every arrival is <= the Elmore arrival."""
+    elmore, d2m = pair
+    e = {s.pin.full_name: s.arrival for s in elmore.sinks}
+    for sink in d2m.sinks:
+        assert sink.arrival <= e[sink.pin.full_name] + 1e-9
+
+
+def test_d2m_latency_reduction_is_moderate(pair):
+    """The correction is tens of percent, not orders of magnitude."""
+    elmore, d2m = pair
+    ratio = d2m.latency / elmore.latency
+    assert 0.6 < ratio < 1.0
+
+
+def test_same_sinks_both_models(pair):
+    elmore, d2m = pair
+    assert [s.pin.full_name for s in elmore.sinks] == \
+        [s.pin.full_name for s in d2m.sinks]
+
+
+def test_slews_identical_across_models(pair):
+    """Slew uses the Elmore-based PERI composition in both modes."""
+    elmore, d2m = pair
+    for a, b in zip(elmore.sinks, d2m.sinks):
+        assert a.slew == pytest.approx(b.slew)
+
+
+def test_skew_comparable_across_models(pair):
+    """Balanced trees stay balanced under either metric: the skews are
+    the same order of magnitude (trim targets Elmore, so D2M skew may
+    be slightly larger)."""
+    elmore, d2m = pair
+    assert d2m.skew < max(6.0 * elmore.skew, 0.05 * d2m.latency)

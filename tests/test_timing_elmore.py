@@ -1,0 +1,53 @@
+"""Elmore/D2M primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timing.elmore import d2m_correction, stage_moments, wire_elmore
+
+
+def test_wire_elmore_closed_form():
+    # r*l*(c*l/2 + cl) = 0.001*100*(0.2*50 + 3) = 1.3
+    assert wire_elmore(0.001, 0.2, 100.0, 3.0) == pytest.approx(1.3)
+
+
+def test_wire_elmore_zero_length():
+    assert wire_elmore(0.001, 0.2, 0.0, 5.0) == 0.0
+
+
+def test_wire_elmore_negative_length_rejected():
+    with pytest.raises(ValueError):
+        wire_elmore(0.001, 0.2, -1.0, 5.0)
+
+
+@given(l=st.floats(0.0, 1000.0), cl=st.floats(0.0, 100.0))
+def test_wire_elmore_monotone_in_length(l, cl):
+    assert wire_elmore(0.001, 0.2, l + 1.0, cl) > wire_elmore(0.001, 0.2, l, cl)
+
+
+def test_d2m_below_elmore():
+    """D2M tightens Elmore's pessimism: d2m <= m1 for physical moments."""
+    m1 = 10.0
+    m2 = 120.0  # > m1^2/e so sqrt(m2) > m1*ln2 region
+    assert d2m_correction(m1, m2) <= m1
+
+
+def test_d2m_degenerate_falls_back():
+    assert d2m_correction(0.0, 0.0) == 0.0
+    assert d2m_correction(5.0, 0.0) == pytest.approx(5.0 * math.log(2.0))
+
+
+def test_stage_moments_on_real_stage(small_physical):
+    network = small_physical.extraction.network
+    stage = network.stages[network.root_stage]
+    sink = stage.sinks[0]
+    m1, m2 = stage_moments(stage, sink.node_idx, stage.driver.r_drive)
+    assert m1 > 0.0 and m2 > 0.0
+    # m1 equals driver term + wire Elmore computed independently.
+    expected = (stage.driver.r_drive * stage.total_cap
+                + stage.elmore_to(sink.node_idx))
+    assert m1 == pytest.approx(expected, rel=1e-9)
+    # D2M from these moments is positive and below m1.
+    assert 0.0 < d2m_correction(m1, m2) <= m1 * 1.0000001

@@ -1,0 +1,69 @@
+"""AOCV derated skew."""
+
+import pytest
+
+from repro.timing.arrival import analyze_clock_timing
+from repro.timing.montecarlo import run_monte_carlo
+from repro.timing.ocv import OcvDerates, analyze_ocv
+
+
+@pytest.fixture(scope="module")
+def report(small_physical, tech):
+    return analyze_ocv(small_physical.extraction.network, tech)
+
+
+def test_derate_validation():
+    with pytest.raises(ValueError):
+        OcvDerates(base=0.6)
+    with pytest.raises(ValueError):
+        OcvDerates().late(0)
+
+
+def test_aocv_shrinks_with_depth():
+    d = OcvDerates(base=0.06, aocv=True)
+    assert d.late(1) == pytest.approx(1.06)
+    assert d.late(4) == pytest.approx(1.03)
+    assert d.early(4) == pytest.approx(0.97)
+    flat = OcvDerates(base=0.06, aocv=False)
+    assert flat.late(9) == pytest.approx(1.06)
+
+
+def test_zero_derate_reproduces_nominal(small_physical, tech):
+    report = analyze_ocv(small_physical.extraction.network, tech,
+                         OcvDerates(base=0.0))
+    timing = analyze_clock_timing(small_physical.extraction.network, tech)
+    assert report.skew_ocv == pytest.approx(timing.skew, abs=1e-9)
+    assert report.pessimism == pytest.approx(0.0, abs=1e-9)
+    assert report.nominal_skew == pytest.approx(timing.skew, abs=1e-9)
+
+
+def test_late_early_bracket_nominal(report, small_physical, tech):
+    timing = analyze_clock_timing(small_physical.extraction.network, tech)
+    arrivals = {s.pin.full_name: s.arrival for s in timing.sinks}
+    for pin, nominal in arrivals.items():
+        assert report.early_arrivals[pin] <= nominal + 1e-9
+        assert report.late_arrivals[pin] >= nominal - 1e-9
+
+
+def test_derated_skew_exceeds_nominal(report):
+    assert report.skew_ocv > report.nominal_skew
+    assert report.pessimism > 0.0
+
+
+def test_flat_ocv_more_pessimistic_than_aocv(small_physical, tech):
+    network = small_physical.extraction.network
+    aocv = analyze_ocv(network, tech, OcvDerates(base=0.05, aocv=True))
+    flat = analyze_ocv(network, tech, OcvDerates(base=0.05, aocv=False))
+    assert flat.skew_ocv > aocv.skew_ocv
+
+
+def test_ocv_bounds_monte_carlo(small_physical, tech):
+    """The derated bound should cover the MC 3-sigma skew (that is what
+    the derate base is for) without being absurdly loose."""
+    network = small_physical.extraction.network
+    mc = run_monte_carlo(network, small_physical.extraction.wires,
+                         small_physical.routing, tech, n_samples=200,
+                         seed=5)
+    ocv = analyze_ocv(network, tech, OcvDerates(base=0.05))
+    assert ocv.skew_ocv > mc.skew_3sigma * 0.8
+    assert ocv.skew_ocv < mc.skew_3sigma * 10.0

@@ -1,0 +1,48 @@
+"""Slew propagation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timing.slew import LN9, propagate_slew, wire_slew
+
+
+def test_wire_slew_is_ln9_elmore():
+    assert wire_slew(10.0) == pytest.approx(LN9 * 10.0)
+    assert wire_slew(0.0) == 0.0
+
+
+def test_wire_slew_rejects_negative():
+    with pytest.raises(ValueError):
+        wire_slew(-1.0)
+
+
+def test_propagate_zero_wire_passes_driver_slew():
+    assert propagate_slew(25.0, 0.0) == pytest.approx(25.0)
+
+
+def test_propagate_rss_composition():
+    got = propagate_slew(30.0, 10.0)
+    assert got == pytest.approx(math.sqrt(30.0 ** 2 + (LN9 * 10.0) ** 2))
+
+
+def test_propagate_rejects_negative_driver():
+    with pytest.raises(ValueError):
+        propagate_slew(-1.0, 5.0)
+
+
+@given(s=st.floats(0.0, 200.0), e=st.floats(0.0, 100.0))
+def test_propagated_slew_bounds(s, e):
+    """RSS composition: result >= each component, <= their sum."""
+    out = propagate_slew(s, e)
+    assert out >= s - 1e-9
+    assert out >= wire_slew(e) - 1e-9
+    assert out <= s + wire_slew(e) + 1e-9
+
+
+@given(s=st.floats(0.0, 200.0),
+       e1=st.floats(0.0, 100.0), e2=st.floats(0.0, 100.0))
+def test_propagated_slew_monotone(s, e1, e2):
+    lo, hi = sorted((e1, e2))
+    assert propagate_slew(s, lo) <= propagate_slew(s, hi) + 1e-9

@@ -1,0 +1,42 @@
+"""Unit-system sanity: the coherent-units promise holds."""
+
+import pytest
+
+from repro import units
+
+
+def test_kohm_times_ff_is_ps():
+    # 1 kOhm * 1 fF = 1e3 * 1e-15 s = 1 ps.
+    assert units.KOHM * units.FF == pytest.approx(units.PS)
+
+
+def test_fj_times_ghz_is_uw():
+    # 1 fJ * 1 GHz = 1e-15 * 1e9 W = 1 uW.
+    assert units.FJ * units.GHZ == pytest.approx(units.UW)
+
+
+def test_derived_constants():
+    assert units.NS == pytest.approx(1000.0 * units.PS)
+    assert units.PF == pytest.approx(1000.0 * units.FF)
+    assert units.OHM == pytest.approx(units.KOHM / 1000.0)
+    assert units.MHZ == pytest.approx(units.GHZ / 1000.0)
+    assert units.NM == pytest.approx(units.UM / 1000.0)
+    assert units.MM == pytest.approx(1000.0 * units.UM)
+
+
+def test_ohm_per_um_basic():
+    # 0.25 ohm/sq at 0.07 um width -> 3.571 ohm/um = 0.003571 kOhm/um.
+    r = units.ohm_per_um(0.25, 0.07)
+    assert r == pytest.approx(0.0035714, rel=1e-4)
+
+
+def test_ohm_per_um_scales_inversely_with_width():
+    assert units.ohm_per_um(0.25, 0.14) == pytest.approx(
+        units.ohm_per_um(0.25, 0.07) / 2.0)
+
+
+def test_ohm_per_um_rejects_nonpositive_width():
+    with pytest.raises(ValueError):
+        units.ohm_per_um(0.25, 0.0)
+    with pytest.raises(ValueError):
+        units.ohm_per_um(0.25, -1.0)

@@ -1,0 +1,164 @@
+"""Useful-skew scheduling and offset-aware trimming."""
+
+import pytest
+
+from repro.cts.refine import refine_skew
+from repro.cts.usefulskew import (TimingPath, apply_useful_skew,
+                                  path_hold_slack_with_offsets,
+                                  path_slack_with_offsets, schedule_offsets,
+                                  worst_hold_slack, worst_path_slack)
+
+
+def test_positive_slack_paths_untouched():
+    paths = [TimingPath("a/CK", "b/CK", slack=5.0)]
+    assert schedule_offsets(paths) == {}
+
+
+def test_single_failing_path_repaired():
+    paths = [TimingPath("a/CK", "b/CK", slack=-8.0)]
+    offsets = schedule_offsets(paths)
+    assert worst_path_slack(paths, offsets) >= -1e-9
+    # Capture moved later, launch earlier.
+    assert offsets["b/CK"] > 0.0
+    assert offsets["a/CK"] < 0.0
+
+
+def test_offset_window_respected():
+    paths = [TimingPath("a/CK", "b/CK", slack=-100.0)]
+    offsets = schedule_offsets(paths, max_offset=10.0)
+    assert all(abs(v) <= 10.0 + 1e-9 for v in offsets.values())
+    # The window binds: the path cannot be fully repaired.
+    assert worst_path_slack(paths, offsets) < 0.0
+    assert worst_path_slack(paths, offsets) == pytest.approx(-80.0)
+
+
+def test_chained_paths_do_not_fight():
+    """b is capture of one path and launch of another: relaxation must
+    settle rather than oscillate."""
+    paths = [
+        TimingPath("a/CK", "b/CK", slack=-6.0),
+        TimingPath("b/CK", "c/CK", slack=-6.0),
+    ]
+    offsets = schedule_offsets(paths)
+    assert worst_path_slack(paths, offsets) >= -1e-6
+
+
+def test_slack_accounting():
+    path = TimingPath("a/CK", "b/CK", slack=-4.0)
+    assert path_slack_with_offsets(path, {"b/CK": 6.0}) == pytest.approx(2.0)
+    assert path_slack_with_offsets(path, {"a/CK": 6.0}) == pytest.approx(-10.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        schedule_offsets([], max_offset=0.0)
+    with pytest.raises(ValueError):
+        worst_path_slack([], {})
+    with pytest.raises(ValueError):
+        worst_hold_slack([], {})
+    with pytest.raises(ValueError):
+        schedule_offsets([], max_offset=10.0, min_positive=20.0)
+
+
+def test_hold_slack_accounting():
+    path = TimingPath("a/CK", "b/CK", slack=-4.0, hold_slack=10.0)
+    # Capture later eats hold one-for-one.
+    assert path_hold_slack_with_offsets(path, {"b/CK": 6.0}) == \
+        pytest.approx(4.0)
+    # Launch later restores it.
+    assert path_hold_slack_with_offsets(path, {"a/CK": 3.0, "b/CK": 6.0}) \
+        == pytest.approx(7.0)
+
+
+def test_hold_limits_capture_offset():
+    """The capture flop's incoming hold margin caps its useful skew."""
+    paths = [
+        TimingPath("a/CK", "b/CK", slack=-12.0),             # wants b +12
+        TimingPath("c/CK", "b/CK", slack=50.0, hold_slack=5.0),  # caps b at +5
+    ]
+    offsets = schedule_offsets(paths, capture_only=True, hold_margin=0.0)
+    assert offsets.get("b/CK", 0.0) <= 5.0 + 1e-9
+    assert worst_hold_slack(paths, offsets) >= -1e-9
+    # The setup path is only partially repaired — the honest outcome.
+    assert worst_path_slack(paths, offsets) == pytest.approx(-7.0, abs=1e-6)
+
+
+def test_hold_margin_reserved():
+    paths = [
+        TimingPath("a/CK", "b/CK", slack=-12.0),
+        TimingPath("c/CK", "b/CK", slack=50.0, hold_slack=5.0),
+    ]
+    offsets = schedule_offsets(paths, capture_only=True, hold_margin=2.0)
+    assert worst_hold_slack(paths, offsets) >= 2.0 - 1e-9
+
+
+def test_quantisation_blocked_by_hold():
+    """An offset that would have to jump to the quantum but cannot
+    (hold) is not taken at all."""
+    paths = [
+        TimingPath("a/CK", "b/CK", slack=-4.0),
+        TimingPath("c/CK", "b/CK", slack=50.0, hold_slack=6.0),
+    ]
+    offsets = schedule_offsets(paths, capture_only=True, min_positive=20.0,
+                               max_offset=40.0)
+    assert offsets.get("b/CK", 0.0) == 0.0
+    assert worst_hold_slack(paths, offsets) >= 0.0
+
+
+def test_capture_only_scheduling():
+    paths = [TimingPath("a/CK", "b/CK", slack=-8.0)]
+    offsets = schedule_offsets(paths, capture_only=True)
+    assert offsets["b/CK"] == pytest.approx(8.0)
+    assert "a/CK" not in offsets
+    assert worst_path_slack(paths, offsets) >= -1e-9
+
+
+def test_delay_buffer_insertion(make_small_physical, tech):
+    phys = make_small_physical()
+    pins = [s.pin.full_name for s in phys.refine.timing.sinks]
+    offsets = {pins[0]: 12.0, pins[5]: 50.0, pins[9]: -5.0}
+    buffered_before = sum(1 for n in phys.tree if n.buffer is not None)
+    effective = apply_useful_skew(phys.tree, tech, offsets)
+    phys.tree.validate()
+    buffered_after = sum(1 for n in phys.tree if n.buffer is not None)
+    assert buffered_after == buffered_before + 2  # negatives get no buffer
+    # Small offsets quantise up to the buffer quantum; big ones keep.
+    assert effective[pins[0]] > 12.0
+    assert effective[pins[5]] == pytest.approx(50.0)
+    assert pins[9] not in effective
+    # Re-application is idempotent on structure.
+    apply_useful_skew(phys.tree, tech, offsets)
+    assert sum(1 for n in phys.tree if n.buffer is not None) == buffered_after
+
+
+def test_unknown_pin_rejected(make_small_physical, tech):
+    phys = make_small_physical()
+    with pytest.raises(KeyError):
+        apply_useful_skew(phys.tree, tech, {"ghost/CK": 10.0})
+
+
+def test_trimmer_realizes_offsets(make_small_physical, tech):
+    """Buffer + offset-aware trim lands the flop at its effective offset."""
+    phys = make_small_physical()
+    pins = [s.pin.full_name for s in phys.refine.timing.sinks]
+    a, b = pins[0], pins[1]
+
+    effective = apply_useful_skew(phys.tree, tech, {a: 12.0})
+    result = refine_skew(phys.tree, phys.routing, tech, offsets=effective)
+    assert result.final_skew <= 2.0  # corrected-frame skew converges
+    got = result.timing
+    # In the raw frame, a is later than everyone else by its effective
+    # (quantised) offset — which covers the 12 ps the path asked for.
+    delta = got.arrival_of(a) - got.arrival_of(b)
+    assert delta == pytest.approx(effective[a], abs=2.0)
+    assert delta >= 12.0
+
+
+def test_offsets_change_raw_skew_but_not_corrected(make_small_physical, tech):
+    phys = make_small_physical()
+    pin = phys.refine.timing.sinks[0].pin.full_name
+    effective = apply_useful_skew(phys.tree, tech, {pin: 40.0})
+    result = refine_skew(phys.tree, phys.routing, tech, offsets=effective)
+    # Corrected skew tight; raw skew shows the intended 40 ps spread.
+    assert result.final_skew <= 2.0
+    assert result.timing.skew == pytest.approx(40.0, abs=3.0)

@@ -1,0 +1,79 @@
+"""SVG rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.tech import rule_by_name
+from repro.viz import render_clock_svg, save_clock_svg
+from repro.viz.svg import RULE_COLORS
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def test_svg_is_valid_xml(small_physical):
+    svg = render_clock_svg(small_physical.tree, small_physical.routing)
+    root = _parse(svg)
+    assert root.tag.endswith("svg")
+
+
+def test_all_wires_drawn(small_physical):
+    svg = render_clock_svg(small_physical.tree, small_physical.routing)
+    root = _parse(svg)
+    lines = [el for el in root.iter() if el.tag.endswith("line")]
+    drawable = [w for w in small_physical.routing.clock_wires
+                if w.segment.length > 0.0]
+    assert len(lines) == len(drawable)
+
+
+def test_sinks_and_buffers_drawn(small_physical):
+    svg = render_clock_svg(small_physical.tree, small_physical.routing)
+    root = _parse(svg)
+    circles = [el for el in root.iter() if el.tag.endswith("circle")]
+    assert len(circles) == len(small_physical.tree.sinks())
+    rects = [el for el in root.iter() if el.tag.endswith("rect")]
+    buffers = sum(1 for n in small_physical.tree if n.buffer is not None)
+    assert len(rects) == buffers + 1  # +1 for the die outline
+
+
+def test_rule_colors_used(make_small_physical):
+    phys = make_small_physical()
+    wire = max(phys.routing.clock_wires, key=lambda w: w.segment.length)
+    phys.routing.assign_rule(wire.wire_id, rule_by_name("W4S2"))
+    svg = render_clock_svg(phys.tree, phys.routing)
+    assert RULE_COLORS["W4S2"] in svg
+    assert RULE_COLORS["W1S1"] in svg
+
+
+def test_shield_halo(make_small_physical):
+    phys = make_small_physical()
+    wire = max(phys.routing.clock_wires, key=lambda w: w.segment.length)
+    base = render_clock_svg(phys.tree, phys.routing)
+    phys.routing.assign_shield(wire.wire_id)
+    shielded = render_clock_svg(phys.tree, phys.routing)
+    assert shielded.count("<line") == base.count("<line") + 1
+
+
+def test_title_and_save(small_physical, tmp_path):
+    path = tmp_path / "clock.svg"
+    save_clock_svg(small_physical.tree, small_physical.routing, path,
+                   title="hello tree")
+    text = path.read_text()
+    assert "hello tree" in text
+    _parse(text)
+
+
+def test_coordinates_inside_canvas(small_physical):
+    svg = render_clock_svg(small_physical.tree, small_physical.routing,
+                           size=500.0)
+    root = _parse(svg)
+    width = float(root.get("width"))
+    height = float(root.get("height"))
+    for el in root.iter():
+        if el.tag.endswith("line"):
+            for attr in ("x1", "x2"):
+                assert -1 <= float(el.get(attr)) <= width + 1
+            for attr in ("y1", "y2"):
+                assert -1 <= float(el.get(attr)) <= height + 1
