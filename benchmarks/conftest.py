@@ -15,6 +15,7 @@ from typing import Optional
 
 import pytest
 
+from repro import perf
 from repro.bench import benchmark_suite, generate_design, spec_by_name
 from repro.core import (FlowResult, NdrClassifierGuide, Policy,
                         RobustnessTargets, run_flow, targets_from_reference)
@@ -64,6 +65,24 @@ class SuiteMatrix:
                 design, self.tech, policy=policy,
                 targets=self.targets_for(design_name), **kwargs)
         return self.flows[key]
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile-phases", action="store_true", default=False,
+        help="record and print per-phase flow timings (repro.perf)")
+
+
+def pytest_configure(config):
+    if config.getoption("--profile-phases"):
+        perf.enable()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    timer = perf.active()
+    if config.getoption("--profile-phases") and timer is not None:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(timer.report("bench phase timings"))
 
 
 _MATRIX: Optional[SuiteMatrix] = None

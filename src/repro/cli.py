@@ -10,6 +10,9 @@ Subcommands::
 ``--design`` accepts a built-in benchmark name or a path to a design
 JSON file (see :mod:`repro.io`).  Robustness budgets default to the
 all-NDR-reference peg; ``--slack`` controls its tightness.
+
+``--profile`` (before the subcommand) prints a per-phase wall-time
+breakdown of the run — see :mod:`repro.perf`.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import perf
 from repro.bench import benchmark_suite, generate_design, spec_by_name
 from repro.core import (NdrClassifierGuide, Policy, run_flow,
                         targets_from_reference)
@@ -159,6 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
         prog="repro", description="Smart non-default clock routing flows")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-phase wall-time breakdown at exit")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("suite", help="print benchmark suite statistics")
@@ -201,7 +207,15 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "sweep": cmd_sweep,
     }[args.command]
-    return handler(args)
+    if not args.profile:
+        return handler(args)
+    timer = perf.enable()
+    try:
+        return handler(args)
+    finally:
+        print()
+        print(timer.report(f"phase timings ({args.command})"))
+        perf.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -47,8 +47,16 @@ class AnalysisBundle:
 
 
 def analyze_all(extraction: Extraction, tech: Technology,
-                freq: float, targets: RobustnessTargets) -> AnalysisBundle:
-    """Run the full analysis stack on one extraction."""
+                freq: float, targets: RobustnessTargets,
+                engine=None) -> AnalysisBundle:
+    """Run the full analysis stack on one extraction.
+
+    With ``engine`` (an :class:`~repro.engine.AnalysisEngine` wrapping
+    this extraction), dirty-tracked kernel analyses are used instead:
+    only analyses whose inputs changed since the last call recompute.
+    """
+    if engine is not None:
+        return engine.analyze()
     timing = analyze_clock_timing(extraction.network, tech)
     crosstalk = analyze_crosstalk(extraction.network, extraction.wires,
                                   alignment=targets.alignment)

@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import perf
 from repro.core.evaluation import AnalysisBundle, analyze_all
 from repro.core.optimizer import OptimizeResult, SmartNdrOptimizer
 from repro.core.policies import (Policy, apply_random_policy,
@@ -145,8 +146,9 @@ def run_flow(design: Design, tech: Optional[Technology] = None,
     widest = max(tech.rules, key=lambda r: r.width_mult)
 
     for attempt in range(3):
-        physical = build_physical_design(design, tech,
-                                         max_stage_cap=max_stage_cap)
+        with perf.phase("flow.build"):
+            physical = build_physical_design(design, tech,
+                                             max_stage_cap=max_stage_cap)
         tree, routing = physical.tree, physical.routing
 
         optimize: Optional[OptimizeResult] = None
@@ -160,7 +162,8 @@ def run_flow(design: Design, tech: Optional[Technology] = None,
                 tree, routing, tech, targets, freq,
                 lambda_track=lambda_track,
                 use_shielding=(policy == Policy.SMART_SHIELD))
-            optimize = optimizer.run()
+            with perf.phase("flow.optimize"):
+                optimize = optimizer.run()
         elif policy == Policy.SMART_ML:
             if guide is None:
                 raise ValueError("Policy.SMART_ML requires a fitted guide")
@@ -168,10 +171,16 @@ def run_flow(design: Design, tech: Optional[Technology] = None,
         else:  # pragma: no cover - exhaustive over the enum
             raise ValueError(f"unhandled policy {policy}")
 
-        # Rule changes shift stage delays; re-trim and take final analyses.
-        refine = refine_skew(tree, routing, tech)
-        physical.refine = refine
-        analyses = analyze_all(refine.extraction, tech, freq, targets)
+        # Rule changes shift stage delays; re-trim and take final
+        # analyses.  When the optimizer ran with its incremental engine,
+        # keep driving it — the final refine then rebuilds only the
+        # trimmed stages instead of re-extracting the network.
+        engine = optimize.engine if optimize is not None else None
+        with perf.phase("flow.final"):
+            refine = refine_skew(tree, routing, tech, engine=engine)
+            physical.refine = refine
+            analyses = analyze_all(refine.extraction, tech, freq, targets,
+                                   engine=engine)
 
         if not optimizing or _em_fixable_by_rules(analyses, routing, widest) \
                 or analyses.feasible(targets) or attempt == 2:

@@ -31,9 +31,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.core.evaluation import AnalysisBundle, analyze_all
 from repro.core.features import WireContext, wire_contexts
-from repro.core.sensitivity import RuleSensitivity, evaluate_rule
+from repro.core.sensitivity import (RuleSensitivity, SensitivityCache,
+                                    evaluate_rule)
 from repro.core.targets import RobustnessTargets
 from repro.cts.refine import refine_skew
 from repro.cts.tree import ClockTree
@@ -55,6 +57,9 @@ class OptimizeResult:
     upgraded: dict[int, str] = field(default_factory=dict)  # wire id -> rule
     downgraded: int = 0
     runtime: float = 0.0
+    #: the incremental engine used (None on the legacy path); callers
+    #: may keep driving it, e.g. for a final refine + re-analysis
+    engine: object = field(default=None, repr=False, compare=False)
 
     @property
     def num_upgraded(self) -> int:
@@ -79,12 +84,14 @@ class SmartNdrOptimizer:
     def __init__(self, tree: ClockTree, routing: RoutingResult,
                  tech: Technology, targets: RobustnessTargets, freq: float,
                  lambda_track: float = 0.05, max_iterations: int = 10,
-                 use_shielding: bool = False) -> None:
+                 use_shielding: bool = False,
+                 use_engine: bool = True) -> None:
         if lambda_track < 0.0:
             raise ValueError("lambda_track must be non-negative")
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         self.use_shielding = use_shielding
+        self.use_engine = use_engine
         self.tree = tree
         self.routing = routing
         self.tech = tech
@@ -93,6 +100,7 @@ class SmartNdrOptimizer:
         self.lambda_track = lambda_track
         self.max_iterations = max_iterations
         self._default = tech.default_rule
+        self._sens_cache: SensitivityCache | None = None
 
     # -- public ----------------------------------------------------------------
 
@@ -100,8 +108,20 @@ class SmartNdrOptimizer:
         """Assign rules in place on the routing; returns the final state."""
         start = time.perf_counter()
         upgraded: dict[int, str] = {}
-        extraction = extract(self.tree, self.routing)
-        analyses = analyze_all(extraction, self.tech, self.freq, self.targets)
+        with perf.phase("opt.extract"):
+            extraction = extract(self.tree, self.routing)
+        engine = None
+        if self.use_engine:
+            # Imported lazily: repro.engine pulls repro.core.evaluation
+            # back in, which would cycle at module-import time.
+            from repro.engine import AnalysisEngine
+            engine = AnalysisEngine(extraction, self.tree, self.tech,
+                                    self.freq, self.targets)
+            self._sens_cache = SensitivityCache(self.routing,
+                                               self.tech.rules)
+        with perf.phase("opt.analyze"):
+            analyses = analyze_all(extraction, self.tech, self.freq,
+                                   self.targets, engine=engine)
         iterations = 0
         sigma_batch = 1.0  # escalation multiplier for the sigma planner
         prev_score = float("inf")
@@ -121,18 +141,19 @@ class SmartNdrOptimizer:
                 stall = 0
             prev_score = min(prev_score, score)
             iterations += 1
-            contexts = wire_contexts(self.tree, extraction)
             plan: dict[int, Move] = {}
-            if "em" in violations:
-                self._plan_em(analyses, contexts, plan)
-            if "slew" in violations:
-                self._plan_slew(extraction, analyses, contexts, plan)
-            if "delta_delay" in violations:
-                self._plan_delta(extraction, analyses, contexts, plan)
-            if "skew_3sigma" in violations:
-                self._plan_sigma(extraction, analyses, contexts, plan,
-                                 sigma_batch)
-                sigma_batch *= 2
+            with perf.phase("opt.plan"):
+                contexts = wire_contexts(self.tree, extraction)
+                if "em" in violations:
+                    self._plan_em(analyses, contexts, plan)
+                if "slew" in violations:
+                    self._plan_slew(extraction, analyses, contexts, plan)
+                if "delta_delay" in violations:
+                    self._plan_delta(extraction, analyses, contexts, plan)
+                if "skew_3sigma" in violations:
+                    self._plan_sigma(extraction, analyses, contexts, plan,
+                                     sigma_batch)
+                    sigma_batch *= 2
             if not plan:
                 break  # nothing more to try; report infeasible below
             for wire_id, move in plan.items():
@@ -143,15 +164,20 @@ class SmartNdrOptimizer:
             # Rule changes shift stage delays and unbalance the tree;
             # re-trim before judging, or the Monte-Carlo skew conflates
             # nominal imbalance with variation.
-            extraction = refine_skew(self.tree, self.routing,
-                                     self.tech).extraction
-            analyses = analyze_all(extraction, self.tech, self.freq,
-                                   self.targets)
+            with perf.phase("opt.extract"):
+                if engine is not None:
+                    engine.apply_rule_changes(plan)
+            with perf.phase("opt.refine"):
+                extraction = refine_skew(self.tree, self.routing, self.tech,
+                                         engine=engine).extraction
+            with perf.phase("opt.analyze"):
+                analyses = analyze_all(extraction, self.tech, self.freq,
+                                       self.targets, engine=engine)
 
         downgraded = 0
         if analyses.feasible(self.targets) and upgraded:
             extraction, analyses, downgraded = self._downgrade_pass(
-                extraction, analyses, upgraded)
+                extraction, analyses, upgraded, engine)
 
         return OptimizeResult(
             extraction=extraction,
@@ -161,6 +187,7 @@ class SmartNdrOptimizer:
             upgraded=upgraded,
             downgraded=downgraded,
             runtime=time.perf_counter() - start,
+            engine=engine,
         )
 
     def _violation_score(self, violations: dict[str, float]) -> float:
@@ -203,7 +230,7 @@ class SmartNdrOptimizer:
               shielded: bool = False) -> RuleSensitivity:
         return evaluate_rule(self.routing, wire_id, rule, ctx, self.freq,
                              self.tech.vdd, DEFAULT_EM_FACTOR,
-                             shielded=shielded)
+                             shielded=shielded, cache=self._sens_cache)
 
     def _plan_em(self, analyses: AnalysisBundle,
                  contexts: dict[int, WireContext],
@@ -292,9 +319,10 @@ class SmartNdrOptimizer:
                                              shielded=shielded)
             return sens_cache[key]
 
+        index = _dd_index(extraction)
         for offender in offenders:
             contributions, cc_through = _sink_dd_by_wire(
-                extraction, offender.pin.full_name)
+                extraction, offender.pin.full_name, index)
             projected = offender.worst - sum(
                 contrib * (1.0 - planned_ratio[wid])
                 for wid, contrib in contributions.items()
@@ -386,8 +414,9 @@ class SmartNdrOptimizer:
 
     def _downgrade_pass(self, extraction: Extraction,
                         analyses: AnalysisBundle,
-                        upgraded: dict[int, str]) -> tuple[Extraction,
-                                                           AnalysisBundle, int]:
+                        upgraded: dict[int, str],
+                        engine=None) -> tuple[Extraction,
+                                              AnalysisBundle, int]:
         """Revert upgrades that look redundant; keep only if still feasible.
 
         Candidates are upgrades whose own EM and delta-delay footprints
@@ -415,10 +444,12 @@ class SmartNdrOptimizer:
         for wire_id in candidates:
             self.routing.assign_rule(wire_id, self._default)
             self.routing.assign_shield(wire_id, False)
-        new_extraction = refine_skew(self.tree, self.routing,
-                                     self.tech).extraction
+        if engine is not None:
+            engine.apply_rule_changes(candidates)
+        new_extraction = refine_skew(self.tree, self.routing, self.tech,
+                                     engine=engine).extraction
         new_analyses = analyze_all(new_extraction, self.tech, self.freq,
-                                   self.targets)
+                                   self.targets, engine=engine)
         if new_analyses.feasible(self.targets):
             for wire_id in candidates:
                 del upgraded[wire_id]
@@ -426,14 +457,38 @@ class SmartNdrOptimizer:
         for wire_id, (rule, shielded) in saved.items():
             self.routing.assign_rule(wire_id, rule)
             self.routing.assign_shield(wire_id, shielded)
-        extraction = refine_skew(self.tree, self.routing, self.tech).extraction
-        analyses = analyze_all(extraction, self.tech, self.freq, self.targets)
+        if engine is not None:
+            engine.apply_rule_changes(candidates)
+        extraction = refine_skew(self.tree, self.routing, self.tech,
+                                 engine=engine).extraction
+        analyses = analyze_all(extraction, self.tech, self.freq,
+                               self.targets, engine=engine)
         return extraction, analyses, 0
 
 
+def _dd_index(extraction: Extraction) -> tuple[dict[int, int],
+                                               dict[str, tuple[int, object]]]:
+    """(stage parent map, flop pin -> (stage, sink)) for dd decomposition.
+
+    Built once per planning pass and shared across sinks —
+    :func:`_sink_dd_by_wire` otherwise rescans every stage per call.
+    """
+    network = extraction.network
+    parent_of: dict[int, int] = {}
+    for idx, stage in enumerate(network.stages):
+        for sink in stage.sinks:
+            if sink.next_stage_tree_id is not None:
+                child = network.stage_of_tree_node[sink.next_stage_tree_id]
+                parent_of[child] = idx
+    flop_of = {sink.sink_pin.full_name: (idx, sink)
+               for idx, sink in network.flop_sinks()}
+    return parent_of, flop_of
+
+
 def _sink_dd_by_wire(extraction: Extraction,
-                     pin_name: str) -> tuple[dict[int, float],
-                                             dict[int, float]]:
+                     pin_name: str,
+                     index=None) -> tuple[dict[int, float],
+                                          dict[int, float]]:
     """Decompose one flop pin's worst-case delta delay by wire.
 
     Walks the sink's stage chain; within each stage, each coupling cap
@@ -449,22 +504,11 @@ def _sink_dd_by_wire(extraction: Extraction,
       (the width-upgrade lever).
     """
     network = extraction.network
-    # Stage parents for chain walking.
-    parent_of: dict[int, int] = {}
-    for idx, stage in enumerate(network.stages):
-        for sink in stage.sinks:
-            if sink.next_stage_tree_id is not None:
-                child = network.stage_of_tree_node[sink.next_stage_tree_id]
-                parent_of[child] = idx
-
-    target_stage = None
-    target_sink = None
-    for idx, sink in network.flop_sinks():
-        if sink.sink_pin.full_name == pin_name:
-            target_stage, target_sink = idx, sink
-            break
-    if target_stage is None:
+    parent_of, flop_of = index if index is not None \
+        else _dd_index(extraction)
+    if pin_name not in flop_of:
         raise KeyError(f"no flop pin named {pin_name!r}")
+    target_stage, target_sink = flop_of[pin_name]
 
     # Chain from root stage to the sink's stage, with the victim node in
     # each stage (the node the path passes through).

@@ -55,14 +55,9 @@ class RuleSensitivity:
                 + lambda_track * (self.track_length - other.track_length))
 
 
-def evaluate_rule(routing: RoutingResult, wire_id: int, rule: RoutingRule,
-                  ctx: WireContext, freq: float, vdd: float,
-                  em_factor: float, shielded: bool = False) -> RuleSensitivity:
-    """Extract one wire as if it carried ``rule`` (optionally shielded).
-
-    ``ctx`` supplies the stage-local electrical surroundings (upstream
-    resistance, downstream capacitance) measured at the current state.
-    """
+def _what_if_parasitics(routing: RoutingResult, wire_id: int,
+                        rule: RoutingRule, shielded: bool) -> WireParasitics:
+    """Extract one wire as if it carried ``(rule, shielded)``."""
     wire = routing.tracks.wire(wire_id)
     saved_rule = wire.rule
     saved_shield = wire.shielded
@@ -70,19 +65,85 @@ def evaluate_rule(routing: RoutingResult, wire_id: int, rule: RoutingRule,
         wire.rule = rule
         wire.shielded = shielded
         neighbors = routing.tracks.neighbors_of(wire)
-        para = extract_wire(wire, neighbors)
-        layer = wire.layer
-        width = wire.width
-        r_wire = para.r
-        dd_own = para.cc_signal * (ctx.upstream_r + r_wire / 2.0)
-        i_eff = em_factor * ctx.downstream_cap * vdd * freq
-        em_util = i_eff / (width * layer.thickness) / layer.em_jmax
-        sigma_score = (layer.min_width / width) * r_wire * ctx.downstream_cap
-        track_length = (rule.track_span - 1 + (2 if shielded else 0)) \
-            * wire.segment.length
+        return extract_wire(wire, neighbors)
     finally:
         wire.rule = saved_rule
         wire.shielded = saved_shield
+
+
+class SensitivityCache:
+    """Memoises what-if extraction per (wire, rule, shield, occupancy).
+
+    The extraction of a candidate ``(wire, rule, shield)`` depends on
+    nothing but that key and the *rules of the wire's clock neighbors*
+    (their width and guaranteed spacing set the coupling distances;
+    geometry never moves).  That neighbor-occupancy fingerprint is
+    appended to the cache key, so entries self-invalidate when the
+    optimizer reassigns a neighbor — no epochs to maintain.
+
+    The potential-neighbor list is computed once per wire with the
+    widest rule stamped (coupling reach grows with the victim's width,
+    so the widest rule's neighbor set is a superset of every
+    candidate's).
+    """
+
+    def __init__(self, routing: RoutingResult, rules) -> None:
+        self.routing = routing
+        self._widest = max(rules, key=lambda r: r.width_mult)
+        #: wire id -> clock-wire potential neighbors (the wire objects
+        #: themselves, id-sorted, so occupancy reads skip the registry)
+        self._potential: dict[int, tuple] = {}
+        self._cache: dict[tuple, WireParasitics] = {}
+
+    def _potential_neighbors(self, wire_id: int) -> tuple:
+        cached = self._potential.get(wire_id)
+        if cached is None:
+            wire = self.routing.tracks.wire(wire_id)
+            saved = wire.rule
+            try:
+                wire.rule = self._widest
+                neighbors = self.routing.tracks.neighbors_of(wire)
+            finally:
+                wire.rule = saved
+            tracks = self.routing.tracks
+            clock = {nb.neighbor_id for nb in neighbors
+                     if tracks.wire(nb.neighbor_id).is_clock}
+            cached = tuple(tracks.wire(nid) for nid in sorted(clock))
+            self._potential[wire_id] = cached
+        return cached
+
+    def _occupancy(self, wire_id: int) -> tuple[str, ...]:
+        return tuple(nb.rule.name.value
+                     for nb in self._potential_neighbors(wire_id))
+
+    def parasitics(self, wire_id: int, rule: RoutingRule,
+                   shielded: bool) -> WireParasitics:
+        """What-if parasitics of one candidate, memoised by occupancy."""
+        key = (wire_id, rule.name.value, shielded,
+               self._occupancy(wire_id))
+        para = self._cache.get(key)
+        if para is None:
+            para = _what_if_parasitics(self.routing, wire_id, rule,
+                                       shielded)
+            self._cache[key] = para
+        return para
+
+
+def _derive(routing: RoutingResult, wire_id: int, rule: RoutingRule,
+            para: WireParasitics, ctx: WireContext, freq: float,
+            vdd: float, em_factor: float,
+            shielded: bool) -> RuleSensitivity:
+    """Fold ctx-dependent scalars over cached what-if parasitics."""
+    wire = routing.tracks.wire(wire_id)
+    layer = wire.layer
+    width = rule.width_on(layer)
+    r_wire = para.r
+    dd_own = para.cc_signal * (ctx.upstream_r + r_wire / 2.0)
+    i_eff = em_factor * ctx.downstream_cap * vdd * freq
+    em_util = i_eff / (width * layer.thickness) / layer.em_jmax
+    sigma_score = (layer.min_width / width) * r_wire * ctx.downstream_cap
+    track_length = (rule.track_span - 1 + (2 if shielded else 0)) \
+        * wire.segment.length
     return RuleSensitivity(
         wire_id=wire_id,
         rule=rule,
@@ -95,10 +156,32 @@ def evaluate_rule(routing: RoutingResult, wire_id: int, rule: RoutingRule,
     )
 
 
+def evaluate_rule(routing: RoutingResult, wire_id: int, rule: RoutingRule,
+                  ctx: WireContext, freq: float, vdd: float,
+                  em_factor: float, shielded: bool = False,
+                  cache: SensitivityCache | None = None) -> RuleSensitivity:
+    """Extract one wire as if it carried ``rule`` (optionally shielded).
+
+    ``ctx`` supplies the stage-local electrical surroundings (upstream
+    resistance, downstream capacitance) measured at the current state.
+    With ``cache``, repeated what-if extraction of the same candidate
+    against unchanged neighbor occupancy is a dict lookup.
+    """
+    if cache is not None:
+        para = cache.parasitics(wire_id, rule, shielded)
+    else:
+        para = _what_if_parasitics(routing, wire_id, rule, shielded)
+    return _derive(routing, wire_id, rule, para, ctx, freq, vdd,
+                   em_factor, shielded)
+
+
 def rule_sensitivities(routing: RoutingResult, wire_id: int,
                        ctx: WireContext, rules, freq: float, vdd: float,
-                       em_factor: float) -> dict[str, RuleSensitivity]:
+                       em_factor: float,
+                       cache: SensitivityCache | None = None,
+                       ) -> dict[str, RuleSensitivity]:
     """Evaluate every rule in ``rules`` for one wire, keyed by rule name."""
     return {rule.name.value: evaluate_rule(routing, wire_id, rule, ctx,
-                                           freq, vdd, em_factor)
+                                           freq, vdd, em_factor,
+                                           cache=cache)
             for rule in rules}

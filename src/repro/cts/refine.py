@@ -60,7 +60,8 @@ class RefineResult:
 def refine_skew(tree: ClockTree, routing: RoutingResult, tech: Technology,
                 max_iterations: int = 3, target_skew: float = 1.0,
                 damping: float = 0.9,
-                offsets: dict | None = None) -> RefineResult:
+                offsets: dict | None = None,
+                engine=None) -> RefineResult:
     """Iteratively trim early subtrees until all sinks meet the latest one.
 
     ``offsets`` (useful skew) maps flop clock-pin names to desired
@@ -68,6 +69,11 @@ def refine_skew(tree: ClockTree, routing: RoutingResult, tech: Technology,
     arrivals, so a flop with offset +10 lands 10 ps after the common
     base.  ``final_skew``/``initial_skew`` are reported in the corrected
     frame when offsets are given.
+
+    With ``engine`` (an :class:`~repro.engine.AnalysisEngine` over the
+    current routing), each trim pass rebuilds only the touched stages
+    instead of re-extracting the whole network — a trim moves nothing
+    but its own stage's root pad/snake.
 
     Returns the final extraction and timing so callers don't re-analyze.
     """
@@ -78,7 +84,10 @@ def refine_skew(tree: ClockTree, routing: RoutingResult, tech: Technology,
     # Trims are re-derived from scratch every run (base pads/snakes from
     # buffer insertion stay) so repeated refinement never ratchets
     # capacitance upward.
+    stale: set[int] = set()
     for node in tree:
+        if node.trim_pad != 0.0 or node.trim_snake != 0.0:
+            stale.add(node.node_id)
         node.trim_pad = 0.0
         node.trim_snake = 0.0
 
@@ -87,8 +96,14 @@ def refine_skew(tree: ClockTree, routing: RoutingResult, tech: Technology,
     snake_r = layer_h.resistance_per_um(rule.width_on(layer_h))
     snake_c = layer_h.isolated_cap_per_um(rule.width_on(layer_h))
 
-    extraction = extract(tree, routing)
-    timing = analyze_clock_timing(extraction.network, tech)
+    if engine is None:
+        extraction = extract(tree, routing)
+        timing = analyze_clock_timing(extraction.network, tech)
+    else:
+        if stale:
+            engine.rebuild_stages(stale)
+        extraction = engine.extraction
+        timing = engine.static_timing()
     initial_skew = _corrected_skew(timing, offsets)
     iterations = 0
     for _ in range(max_iterations):
@@ -99,8 +114,12 @@ def refine_skew(tree: ClockTree, routing: RoutingResult, tech: Technology,
                              snake_r, snake_c, damping, target_skew, offsets)
         if not touched:
             break
-        extraction = extract(tree, routing)
-        timing = analyze_clock_timing(extraction.network, tech)
+        if engine is None:
+            extraction = extract(tree, routing)
+            timing = analyze_clock_timing(extraction.network, tech)
+        else:
+            engine.rebuild_stages(touched)
+            timing = engine.static_timing()
 
     added_total = sum(n.trim_pad + n.trim_snake * n.snake_c_per_um
                       for n in tree)
@@ -125,8 +144,9 @@ def _corrected_skew(timing: ClockTiming, offsets: dict) -> float:
 
 def _trim_once(tree: ClockTree, extraction: Extraction, timing: ClockTiming,
                tech: Technology, snake_r: float, snake_c: float,
-               damping: float, target_skew: float, offsets: dict) -> bool:
-    """One hierarchical trim pass; returns whether anything changed.
+               damping: float, target_skew: float,
+               offsets: dict) -> set[int]:
+    """One hierarchical trim pass; returns the trimmed tree node ids.
 
     Gaps are measured in the offset-corrected frame, so useful-skew
     targets fall out of the same machinery.
@@ -164,7 +184,7 @@ def _trim_once(tree: ClockTree, extraction: Extraction, timing: ClockTiming,
             m = min(m, subtree_min[child])
         subtree_min[idx] = m
 
-    touched = False
+    touched: set[int] = set()
     # Top-down: absorb each subtree's common gap at its own root stage.
     # The network root absorbs nothing — delaying everyone equally only
     # adds latency — so the walk starts at its children.
@@ -174,11 +194,11 @@ def _trim_once(tree: ClockTree, extraction: Extraction, timing: ClockTiming,
         idx, absorbed = stack.pop()
         take = max(0.0, subtree_min[idx] - absorbed)
         if take > target_skew / 2.0:
-            applied = _apply_stage_trim(tree, network, idx, damping * take,
+            trimmed = _apply_stage_trim(tree, network, idx, damping * take,
                                         worst_sink_slew, tech,
                                         snake_r, snake_c)
-            touched = touched or applied
-            if applied:
+            if trimmed is not None:
+                touched.add(trimmed)
                 absorbed += damping * take
         for child in children[idx]:
             stack.append((child, absorbed))
@@ -187,8 +207,12 @@ def _trim_once(tree: ClockTree, extraction: Extraction, timing: ClockTiming,
 
 def _apply_stage_trim(tree: ClockTree, network, stage_idx: int, gap: float,
                       worst_sink_slew: dict[int, float], tech: Technology,
-                      snake_r: float, snake_c: float) -> bool:
-    """Insert ``gap`` ps of delay at one stage, respecting slew limits."""
+                      snake_r: float, snake_c: float) -> int | None:
+    """Insert ``gap`` ps of delay at one stage, respecting slew limits.
+
+    Returns the trimmed tree node id, or None if the slew guard killed
+    the trim entirely.
+    """
     stage = network.stages[stage_idx]
     driver = stage.driver
     load = stage.total_cap
@@ -196,14 +220,14 @@ def _apply_stage_trim(tree: ClockTree, network, stage_idx: int, gap: float,
     trim = _slew_limited(trim, gap, stage_idx, stage, worst_sink_slew, tech,
                          snake_r, snake_c)
     if trim.added_cap <= 0.0:
-        return False
+        return None
     node = tree.node(stage.tree_node_id)
     if node.snake_r_per_um == 0.0:
         node.snake_r_per_um = snake_r
         node.snake_c_per_um = snake_c
     node.trim_pad += trim.pad_cap
     node.trim_snake += trim.snake_len
-    return True
+    return node.node_id
 
 
 def _slew_limited(trim: TrimChoice, gap: float, stage_idx: int, stage,

@@ -1,0 +1,24 @@
+"""Compiled analysis kernels and incremental re-evaluation.
+
+The optimizer's inner loop is extract -> analyze -> plan -> repeat; this
+package makes one iteration cost proportional to what *changed* rather
+than to the design:
+
+* :class:`~repro.engine.kernel.NetworkKernel` compiles each RC stage
+  once per topology into dense numpy structures so static timing,
+  crosstalk, EM and Monte Carlo run as matrix ops.
+* :class:`~repro.engine.incremental.AnalysisEngine` owns the dirty
+  tracking: rule changes patch wire columns in place, trims rebuild
+  single stages, and each analysis recomputes only when its inputs
+  moved.  Monte Carlo keeps its seeded draws frozen across iterations.
+"""
+
+from repro.engine.kernel import NetworkKernel, StageKernel
+from repro.engine.incremental import AnalysisEngine, FrozenVariation
+
+__all__ = [
+    "NetworkKernel",
+    "StageKernel",
+    "AnalysisEngine",
+    "FrozenVariation",
+]

@@ -1,0 +1,210 @@
+"""Dirty-tracked analysis over a patched extraction.
+
+:class:`AnalysisEngine` wraps one :class:`Extraction` with compiled
+kernels and keeps every analysis result cached until its inputs move:
+
+* **rule changes** (``apply_rule_changes``) re-extract the touched
+  wires plus their coupling dependents, patch the RC network and the
+  kernels in place, and invalidate everything — but re-running is now
+  a handful of stage-local array updates, not a network rebuild;
+* **trims** (``rebuild_stages``) rebuild only the touched stages.  EM
+  survives a trim untouched: pad/snake capacitance hangs at or above
+  every wire node, so no wire's downstream charge changes;
+* **Monte Carlo** keeps its seeded draws frozen
+  (:class:`FrozenVariation`).  A rule change only moves the touched
+  wires' width-normalised variation factors, which are recomputed from
+  the frozen draws — so the incremental MC equals a fresh seeded run.
+
+Anything the dirty rules cannot express (buffer re-sizing, tree
+topology edits) needs a fresh engine — construction is one full
+compile, the same price as the legacy full rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.evaluation import AnalysisBundle
+from repro.core.targets import RobustnessTargets
+from repro.cts.tree import ClockTree
+from repro.engine.kernel import NetworkKernel, StageKernel
+from repro.extract.extractor import Extraction, incremental_re_extract
+from repro.power.clockpower import PowerReport, analyze_power
+from repro.reliability.em import DEFAULT_EM_FACTOR, EmReport
+from repro.route.router import RoutingResult
+from repro.tech.technology import Technology
+from repro.timing.arrival import ClockTiming
+from repro.timing.crosstalk import CrosstalkReport
+from repro.timing.montecarlo import (MonteCarloResult, _correlation_cells,
+                                     wire_variation_factors)
+
+
+class FrozenVariation:
+    """Monte-Carlo draws frozen once per optimizer run.
+
+    Replicates ``run_monte_carlo``'s rng consumption order exactly
+    (cell draws, per-wire draws in ``clock_wires`` order, die-to-die,
+    per-stage), so factors are bit-identical to a fresh seeded run.
+    The draws only depend on invariants of a rule-assignment run —
+    wire midpoints (correlation cells), the wire list, and the stage
+    count — which neither rule changes nor trims move.
+    """
+
+    def __init__(self, network, routing: RoutingResult, tech: Technology,
+                 n_samples: int = 200, seed: int = 1) -> None:
+        if n_samples < 2:
+            raise ValueError("need at least 2 samples")
+        self.var = tech.variation
+        self.n_samples = n_samples
+        rng = np.random.default_rng(seed)
+
+        self.cells = _correlation_cells(routing, self.var.corr_grid)
+        n_cells = max(self.cells.values(), default=0) + 1
+        self.z_width = rng.standard_normal((n_cells, n_samples))
+        self.z_thick = rng.standard_normal((n_cells, n_samples))
+        self.z_rand: dict[int, np.ndarray] = {}
+        self.area_scale: dict[int, np.ndarray] = {}
+        self.r_scale: dict[int, np.ndarray] = {}
+        for wire in routing.clock_wires:
+            self.z_rand[wire.wire_id] = rng.standard_normal(n_samples)
+            self._factors(wire)
+
+        d2d = rng.standard_normal(n_samples) * self.var.buffer_d2d_sigma
+        self.buf_scale: list[np.ndarray] = []
+        for _stage in network.stages:
+            rand = rng.standard_normal(n_samples) \
+                * self.var.buffer_rand_sigma
+            self.buf_scale.append(np.clip(1.0 + d2d + rand, 0.3, None))
+
+        #: stage index -> (area_scale, r_scale) matrices in column order
+        self._stage_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _factors(self, wire) -> None:
+        cell = self.cells[wire.wire_id]
+        area, r = wire_variation_factors(
+            self.var, wire, self.z_width[cell],
+            self.z_rand[wire.wire_id], self.z_thick[cell])
+        self.area_scale[wire.wire_id] = area
+        self.r_scale[wire.wire_id] = r
+
+    def refresh_wire(self, wire, stage_idx: Optional[int] = None) -> None:
+        """Recompute one wire's factors (its width moved) from frozen draws."""
+        self._factors(wire)
+        if stage_idx is not None:
+            self._stage_cache.pop(stage_idx, None)
+
+    def invalidate_stage(self, stage_idx: int) -> None:
+        """Drop one stage's stacked-scale cache (its wire set changed)."""
+        self._stage_cache.pop(stage_idx, None)
+
+    def stage_scales(self, stage_idx: int, kernel: StageKernel,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """(area_scale, r_scale) stacked per local wire column, cached."""
+        cached = self._stage_cache.get(stage_idx)
+        if cached is None:
+            if kernel.m:
+                area = np.vstack([self.area_scale[wid]
+                                  for wid in kernel.wire_ids])
+                r = np.vstack([self.r_scale[wid]
+                               for wid in kernel.wire_ids])
+            else:
+                area = np.zeros((0, self.n_samples))
+                r = np.zeros((0, self.n_samples))
+            cached = (area, r)
+            self._stage_cache[stage_idx] = cached
+        return cached
+
+
+class AnalysisEngine:
+    """Incremental analysis of one extraction; see the module docstring."""
+
+    def __init__(self, extraction: Extraction, tree: ClockTree,
+                 tech: Technology, freq: float,
+                 targets: RobustnessTargets) -> None:
+        self.extraction = extraction
+        self.tree = tree
+        self.tech = tech
+        self.freq = freq
+        self.targets = targets
+        self.kernel = NetworkKernel(extraction.network, extraction.routing,
+                                    extraction.wires)
+        self.frozen = FrozenVariation(
+            extraction.network, extraction.routing, tech,
+            n_samples=targets.mc_samples, seed=targets.mc_seed)
+        self._timing: Optional[ClockTiming] = None
+        self._xtalk: Optional[CrosstalkReport] = None
+        self._em: Optional[EmReport] = None
+        self._power: Optional[PowerReport] = None
+        self._mc: Optional[MonteCarloResult] = None
+
+    # -- change notifications ----------------------------------------------
+
+    def apply_rule_changes(self, wire_ids: Iterable[int]) -> set[int]:
+        """Incrementally re-extract after rule/shield changes.
+
+        Returns the dirty wire set (touched wires plus coupling
+        dependents); every analysis is invalidated — caps and
+        resistances moved, so nothing survives — but all recomputes
+        are now stage-local.
+        """
+        dirty, stages = incremental_re_extract(self.extraction, wire_ids)
+        network = self.extraction.network
+        tracks = self.extraction.routing.tracks
+        for wire_id in dirty:
+            stage_idx = network.wire_stage(wire_id)
+            self.kernel.patch_wire(stage_idx, wire_id,
+                                   self.extraction.wires[wire_id])
+            self.frozen.refresh_wire(tracks.wire(wire_id), stage_idx)
+        self._timing = self._xtalk = self._em = None
+        self._power = self._mc = None
+        return dirty
+
+    def rebuild_stages(self, tree_node_ids: Iterable[int]) -> None:
+        """Rebuild the stages of trimmed tree nodes (pad/snake edits).
+
+        EM stays cached: trim capacitance hangs at or above every wire
+        node of the stage, so wire downstream charge is unchanged.
+        """
+        network = self.extraction.network
+        for tree_id in tree_node_ids:
+            stage_idx = network.stage_of_tree_node[tree_id]
+            if network.retrim_stage(stage_idx, self.tree):
+                # Common case: pad/snake values moved but the snake node
+                # neither appeared nor vanished — patch scalars in place.
+                self.kernel.stages[stage_idx].retrim(
+                    network.stages[stage_idx])
+                continue
+            network.rebuild_stage(stage_idx, self.tree,
+                                  self.extraction.routing,
+                                  self.extraction.wires)
+            self.kernel.recompile_stage(stage_idx, self.extraction.wires)
+            self.frozen.invalidate_stage(stage_idx)
+        self._timing = self._xtalk = None
+        self._power = self._mc = None
+
+    # -- analyses ----------------------------------------------------------
+
+    def static_timing(self) -> ClockTiming:
+        """Elmore static timing, cached until a change notification."""
+        if self._timing is None:
+            self._timing = self.kernel.static_timing(self.tech)
+        return self._timing
+
+    def analyze(self) -> AnalysisBundle:
+        """The full bundle, recomputing only invalidated analyses."""
+        if self._xtalk is None:
+            self._xtalk = self.kernel.crosstalk(
+                alignment=self.targets.alignment)
+        if self._em is None:
+            self._em = self.kernel.em(self.tech.vdd, self.freq,
+                                      em_factor=DEFAULT_EM_FACTOR)
+        if self._power is None:
+            self._power = analyze_power(self.extraction, self.tech,
+                                        self.freq)
+        if self._mc is None:
+            self._mc = self.kernel.monte_carlo(self.frozen)
+        return AnalysisBundle(timing=self.static_timing(),
+                              crosstalk=self._xtalk, em=self._em,
+                              power=self._power, mc=self._mc)

@@ -1,0 +1,335 @@
+"""Vectorised RC analysis kernels over compiled stage structures.
+
+A :class:`StageKernel` is the dense-array mirror of one
+:class:`~repro.extract.rcnetwork.Stage`:
+
+* per-node ``parent`` / ``r`` / ``cap_fixed`` vectors (node index order
+  is topological — parents precede children by construction);
+* a node x local-wire incidence matrix ``B`` with per-wire half-cap
+  vectors (``area_half``, ``rest_half``) so nominal and Monte-Carlo
+  capacitance profiles are one matmul;
+* a sink x node path-membership matrix ``P`` (and the full node x node
+  membership ``M``) so per-sink Elmore delay is ``P @ (r * down)`` and
+  the crosstalk shared-resistance matrix is ``r_drive + (P * r) @ M.T``
+  — both replacing per-sink ``path_to_root`` Python walks;
+* per-wire geometry (width, thickness, jmax) for EM and variation.
+
+All of it is patchable in place: a rule re-assignment touches one wire
+column plus one resistance entry, after which the cached downstream /
+shared-resistance products are invalidated and lazily rebuilt.  The
+downstream-capacitance accumulation itself deliberately stays a
+reversed loop over node indices — it mirrors the legacy float ordering,
+and on tree-shaped stages there is no deeper vectorisation to win.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.extract.capmodel import WireParasitics
+from repro.extract.rcnetwork import ClockRcNetwork, Stage
+from repro.reliability.em import DEFAULT_EM_FACTOR, EmReport, WireCurrent
+from repro.route.router import RoutingResult
+from repro.tech.technology import Technology
+from repro.timing.arrival import ClockTiming, SinkTiming
+from repro.timing.crosstalk import CrosstalkReport, SinkDelta
+from repro.timing.montecarlo import MonteCarloResult
+from repro.timing.slew import propagate_slew
+
+
+class StageKernel:
+    """One stage compiled to numpy arrays; see the module docstring."""
+
+    def __init__(self, stage: Stage,
+                 parasitics: dict[int, WireParasitics],
+                 routing: RoutingResult) -> None:
+        nodes = stage.nodes
+        n = len(nodes)
+        self.n = n
+        self.driver = stage.driver
+        self.parent = np.array(
+            [-1 if nd.parent is None else nd.parent for nd in nodes],
+            dtype=np.int64)
+        self.r = np.array([nd.r for nd in nodes])
+        self.cap_fixed = np.array([nd.cap_fixed for nd in nodes])
+
+        # Local wire columns, ordered by far-node index (every wire owns
+        # exactly one node, so this matches the legacy per-node scans).
+        col_of: dict[int, int] = {}
+        wire_far: list[int] = []
+        wire_ids: list[int] = []
+        for nd in nodes:
+            if nd.wire_id is not None:
+                col_of[nd.wire_id] = len(wire_far)
+                wire_far.append(nd.idx)
+                wire_ids.append(nd.wire_id)
+        m = len(wire_far)
+        self.m = m
+        self.col_of = col_of
+        self.wire_far = np.array(wire_far, dtype=np.int64)
+        self.wire_ids = wire_ids
+        #: node index -> local wire column (-1 for root/snake nodes)
+        self.node_col = np.full(n, -1, dtype=np.int64)
+        self.node_col[self.wire_far] = np.arange(m, dtype=np.int64)
+
+        self.B = np.zeros((n, m))
+        for nd in nodes:
+            for wid, _a, _b in nd.cap_wire:
+                self.B[nd.idx, col_of[wid]] = 1.0
+
+        self.area_half = np.zeros(m)
+        self.rest_half = np.zeros(m)
+        self.cc_half = np.zeros(m)
+        self.act_half = np.zeros(m)
+        self.width = np.zeros(m)
+        self.thickness = np.zeros(m)
+        self.jmax = np.ones(m)
+        for wid, col in col_of.items():
+            self._load_wire(col, parasitics[wid], routing.tracks.wire(wid))
+
+        # Path membership: M[v, k] = 1 iff k lies on root->v.
+        M = np.zeros((n, n))
+        for i in range(n):
+            p = self.parent[i]
+            if p >= 0:
+                M[i] = M[p]
+            M[i, i] = 1.0
+        self.M = M
+
+        self.sink_nodes = [s.node_idx for s in stage.sinks]
+        self.sink_pins = [s.sink_pin for s in stage.sinks]
+        self.sink_next_tree = [s.next_stage_tree_id for s in stage.sinks]
+        self.P = M[self.sink_nodes] if stage.sinks else np.zeros((0, n))
+
+        self._down: Optional[np.ndarray] = None
+        self._timing = None     # (total, driver_delay, driver_slew, elm)
+        self._shared: Optional[np.ndarray] = None
+        self._xtalk = None      # (alignment, worst, expected) per sink
+
+    def _load_wire(self, col: int, para: WireParasitics, wire) -> None:
+        self.area_half[col] = para.c_area / 2.0
+        self.rest_half[col] = para.c_rest / 2.0
+        self.cc_half[col] = para.cc_signal / 2.0
+        self.act_half[col] = sum(
+            e.cc * e.activity for e in para.couplings) / 2.0
+        self.width[col] = wire.width
+        self.thickness[col] = wire.layer.thickness
+        self.jmax[col] = wire.layer.em_jmax
+
+    def patch_wire(self, wire_id: int, para: WireParasitics, wire) -> None:
+        """Apply one wire's new parasitics/geometry in place."""
+        self._load_wire(self.col_of[wire_id], para, wire)
+        self.r[self.wire_far[self.col_of[wire_id]]] = para.r
+        self._down = None
+        self._timing = None
+        self._shared = None
+        self._xtalk = None
+
+    def retrim(self, stage: Stage) -> None:
+        """Refresh root pad/snake scalars from a re-trimmed stage.
+
+        A retrim touches only the first one or two nodes (root and the
+        optional snake); the wire columns and topology are unchanged.
+        """
+        nodes = stage.nodes
+        self.cap_fixed[0] = nodes[0].cap_fixed
+        if self.n > 1 and nodes[1].wire_id is None:
+            self.cap_fixed[1] = nodes[1].cap_fixed
+            self.r[1] = nodes[1].r
+        self._down = None
+        self._timing = None
+        self._shared = None
+        self._xtalk = None
+
+    # -- nominal profiles --------------------------------------------------
+
+    def down_nominal(self) -> np.ndarray:
+        """Nominal downstream capacitance per node (cached)."""
+        if self._down is None:
+            down = self.cap_fixed + self.B @ (self.area_half
+                                              + self.rest_half)
+            parent = self.parent
+            for i in range(self.n - 1, 0, -1):
+                down[parent[i]] += down[i]
+            self._down = down
+        return self._down
+
+    def timing_arrays(self):
+        """(stage load, driver delay, driver slew, per-sink wire Elmore)."""
+        if self._timing is None:
+            down = self.down_nominal()
+            total = float(down[0])
+            elm = self.P @ (self.r * down)
+            self._timing = (total, self.driver.delay(total),
+                            self.driver.output_slew(total), elm)
+        return self._timing
+
+    def shared_matrix(self) -> np.ndarray:
+        """Sink x node shared-resistance matrix (driver R included)."""
+        if self._shared is None:
+            self._shared = self.driver.r_drive \
+                + (self.P * self.r) @ self.M.T
+        return self._shared
+
+    def crosstalk_arrays(self, alignment: float):
+        """Per-sink (worst, expected) delta delay for this stage."""
+        if self._xtalk is None or self._xtalk[0] != alignment:
+            shared = self.shared_matrix()
+            worst = shared @ (self.B @ self.cc_half)
+            expected = shared @ (self.B @ self.act_half) * alignment
+            self._xtalk = (alignment, worst, expected)
+        return self._xtalk[1], self._xtalk[2]
+
+
+class NetworkKernel:
+    """All stage kernels of one clock network, analysis entry points."""
+
+    def __init__(self, network: ClockRcNetwork, routing: RoutingResult,
+                 parasitics: dict[int, WireParasitics]) -> None:
+        self.network = network
+        self.routing = routing
+        self.stages = [StageKernel(s, parasitics, routing)
+                       for s in network.stages]
+
+    def patch_wire(self, stage_idx: int, wire_id: int,
+                   para: WireParasitics) -> None:
+        """Push one wire's new parasitics into its stage kernel."""
+        self.stages[stage_idx].patch_wire(
+            wire_id, para, self.routing.tracks.wire(wire_id))
+
+    def recompile_stage(self, stage_idx: int,
+                        parasitics: dict[int, WireParasitics]) -> None:
+        """Re-derive one stage kernel after a topology edit (trims)."""
+        self.stages[stage_idx] = StageKernel(
+            self.network.stages[stage_idx], parasitics, self.routing)
+
+    # -- analyses ----------------------------------------------------------
+
+    def static_timing(self, tech: Technology) -> ClockTiming:
+        """Elmore static timing; mirrors ``analyze_clock_timing``."""
+        timing = ClockTiming(max_slew_limit=tech.max_slew)
+        timing.stage_loads = [0.0] * len(self.stages)
+        timing.stage_delays = [0.0] * len(self.stages)
+        work: list[tuple[int, float]] = [(self.network.root_stage, 0.0)]
+        while work:
+            stage_idx, entry = work.pop()
+            sk = self.stages[stage_idx]
+            total, driver_delay, driver_slew, elm = sk.timing_arrays()
+            timing.stage_loads[stage_idx] = total
+            timing.stage_delays[stage_idx] = driver_delay
+            for i, pin in enumerate(sk.sink_pins):
+                t = entry + driver_delay + float(elm[i])
+                if pin is not None:
+                    timing.sinks.append(SinkTiming(
+                        pin=pin, arrival=t,
+                        slew=propagate_slew(driver_slew, float(elm[i]))))
+                else:
+                    child = self.network.stage_of_tree_node[
+                        sk.sink_next_tree[i]]
+                    work.append((child, t))
+        return timing
+
+    def crosstalk(self, alignment: float = 0.5) -> CrosstalkReport:
+        """Delta-delay analysis; mirrors ``analyze_crosstalk``."""
+        if not 0.0 <= alignment <= 1.0:
+            raise ValueError(
+                f"alignment must be in [0, 1], got {alignment}")
+        report = CrosstalkReport(alignment=alignment)
+        work: list[tuple[int, float, float]] = [
+            (self.network.root_stage, 0.0, 0.0)]
+        while work:
+            stage_idx, acc_w, acc_e = work.pop()
+            sk = self.stages[stage_idx]
+            worst, expected = sk.crosstalk_arrays(alignment)
+            for i, pin in enumerate(sk.sink_pins):
+                w = acc_w + float(worst[i])
+                e = acc_e + float(expected[i])
+                if pin is not None:
+                    report.sinks.append(SinkDelta(
+                        pin=pin, worst=w, expected=e))
+                else:
+                    child = self.network.stage_of_tree_node[
+                        sk.sink_next_tree[i]]
+                    work.append((child, w, e))
+        return report
+
+    def em(self, vdd: float, freq: float,
+           em_factor: float = DEFAULT_EM_FACTOR) -> EmReport:
+        """Current-density check; mirrors ``analyze_em``."""
+        if em_factor <= 0.0:
+            raise ValueError("em_factor must be positive")
+        report = EmReport()
+        for sk in self.stages:
+            if sk.m == 0:
+                continue
+            down = sk.down_nominal()
+            i_eff = em_factor * down[sk.wire_far] * vdd * freq
+            area = sk.width * sk.thickness
+            density = i_eff / area
+            for col, wire_id in enumerate(sk.wire_ids):
+                report.wires.append(WireCurrent(
+                    wire_id=wire_id,
+                    i_eff=float(i_eff[col]),
+                    density=float(density[col]),
+                    jmax=float(sk.jmax[col]),
+                    utilization=float(density[col] / sk.jmax[col]),
+                ))
+        return report
+
+    def monte_carlo(self, frozen) -> MonteCarloResult:
+        """Process-variation sampling over frozen draws.
+
+        ``frozen`` is a
+        :class:`~repro.engine.incremental.FrozenVariation`; with the
+        same seed the result matches ``run_monte_carlo`` to float
+        round-off (the draws are bit-identical, only summation order
+        inside the matmuls differs).
+        """
+        n_samples = frozen.n_samples
+        arrivals: list[np.ndarray] = []
+        sink_names: list[str] = []
+        work: list[tuple[int, np.ndarray]] = [
+            (self.network.root_stage, np.zeros(n_samples))]
+        while work:
+            stage_idx, entry = work.pop()
+            sk = self.stages[stage_idx]
+            area_scale, r_scale = frozen.stage_scales(stage_idx, sk)
+
+            caps = np.broadcast_to(
+                (sk.cap_fixed + sk.B @ sk.rest_half)[:, None],
+                (sk.n, n_samples)).copy()
+            if sk.m:
+                caps += (sk.B * sk.area_half) @ area_scale
+            down = caps
+            parent = sk.parent
+            for i in range(sk.n - 1, 0, -1):
+                down[parent[i]] += down[i]
+            total = down[0]
+            driver = sk.driver
+            driver_delay = (driver.d_intrinsic + driver.r_drive * total) \
+                * frozen.buf_scale[stage_idx]
+
+            r_samples = np.repeat(sk.r[:, None], n_samples, axis=1)
+            if sk.m:
+                r_samples[sk.wire_far] *= r_scale
+            elm = sk.P @ (r_samples * down)
+
+            for i, pin in enumerate(sk.sink_pins):
+                t = entry + driver_delay + elm[i]
+                if pin is not None:
+                    arrivals.append(t)
+                    sink_names.append(pin.full_name)
+                else:
+                    child = self.network.stage_of_tree_node[
+                        sk.sink_next_tree[i]]
+                    work.append((child, t))
+
+        arr = np.vstack(arrivals)
+        return MonteCarloResult(
+            skew_samples=arr.max(axis=0) - arr.min(axis=0),
+            latency_samples=arr.max(axis=0),
+            arrivals=arr,
+            sink_names=sink_names,
+        )

@@ -1,8 +1,22 @@
-"""Drives extraction over a routing result."""
+"""Drives extraction over a routing result.
+
+Extraction is the inner-loop cost of the optimizer: every rule
+re-assignment changes a handful of wires, and everything the analyses
+read must follow.  Two structures keep that incremental:
+
+* the *neighbor dependency index* — which victims' coupling read a
+  given wire while it was extracted.  A rule change on wire ``w``
+  dirties ``w`` plus every recorded dependent (their spacing to ``w``
+  depends on ``w``'s width and rule guarantees), and nothing else.
+* cached capacitance totals, invalidated whenever any wire's
+  parasitics are stored, so the power analysis stops paying an
+  O(#wires) sum per property access.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Optional
 
 from repro.cts.tree import ClockTree
 from repro.extract.capmodel import WireParasitics, extract_wire
@@ -15,24 +29,78 @@ class Extraction:
     """Extracted parasitics plus the assembled clock RC network.
 
     Re-extraction after a rule re-assignment is cheap: only the touched
-    wires change, and the network rebuild is linear.
+    wires and their recorded coupling dependents change, and the network
+    is patched in place instead of rebuilt.
     """
 
     routing: RoutingResult
     wires: dict[int, WireParasitics] = field(default_factory=dict)
     network: ClockRcNetwork = field(default_factory=ClockRcNetwork)
+    #: cached totals; ``None`` means stale (recomputed lazily)
+    _wire_cap_total: Optional[float] = \
+        field(default=None, repr=False, compare=False)
+    _coupling_total: Optional[float] = \
+        field(default=None, repr=False, compare=False)
+    #: victim wire id -> neighbor wire ids its extraction read
+    _neighbor_fwd: dict[int, frozenset[int]] = \
+        field(default_factory=dict, repr=False, compare=False)
+    #: wire id -> victim wire ids whose extraction read it
+    _neighbor_rev: dict[int, set[int]] = \
+        field(default_factory=dict, repr=False, compare=False)
 
     @property
     def clock_wire_cap(self) -> float:
         """Total clock wire capacitance counted for power, fF."""
-        return sum(self.wires[w.wire_id].c_switched
-                   for w in self.routing.clock_wires)
+        if self._wire_cap_total is None:
+            self._wire_cap_total = sum(
+                self.wires[w.wire_id].c_switched
+                for w in self.routing.clock_wires)
+        return self._wire_cap_total
 
     @property
     def clock_coupling_cap(self) -> float:
         """Total clock-to-signal coupling capacitance, fF."""
-        return sum(self.wires[w.wire_id].cc_signal
-                   for w in self.routing.clock_wires)
+        if self._coupling_total is None:
+            self._coupling_total = sum(
+                self.wires[w.wire_id].cc_signal
+                for w in self.routing.clock_wires)
+        return self._coupling_total
+
+    def set_wire(self, wire_id: int, para: WireParasitics) -> None:
+        """Store one wire's parasitics and invalidate cached totals."""
+        self.wires[wire_id] = para
+        self._wire_cap_total = None
+        self._coupling_total = None
+
+    def record_neighbors(self, wire_id: int,
+                         neighbor_ids: Iterable[int]) -> None:
+        """Note which wires ``wire_id``'s extraction depended on."""
+        new = frozenset(neighbor_ids)
+        old = self._neighbor_fwd.get(wire_id, frozenset())
+        for gone in old - new:
+            deps = self._neighbor_rev.get(gone)
+            if deps is not None:
+                deps.discard(wire_id)
+        for added in new - old:
+            self._neighbor_rev.setdefault(added, set()).add(wire_id)
+        self._neighbor_fwd[wire_id] = new
+
+    def dependents_of(self, wire_ids: Iterable[int]) -> set[int]:
+        """Touched wires plus every victim whose coupling reads them."""
+        dirty = set(wire_ids)
+        for wire_id in tuple(dirty):
+            dirty |= self._neighbor_rev.get(wire_id, set())
+        return dirty
+
+
+def _extract_one(extraction: Extraction, wire) -> WireParasitics:
+    """Extract one wire, updating parasitics and the dependency index."""
+    neighbors = extraction.routing.tracks.neighbors_of(wire)
+    extraction.record_neighbors(
+        wire.wire_id, (nb.neighbor_id for nb in neighbors))
+    para = extract_wire(wire, neighbors)
+    extraction.set_wire(wire.wire_id, para)
+    return para
 
 
 def extract(tree: ClockTree, routing: RoutingResult) -> Extraction:
@@ -44,19 +112,50 @@ def extract(tree: ClockTree, routing: RoutingResult) -> Extraction:
     """
     result = Extraction(routing=routing)
     for wire in routing.clock_wires:
-        neighbors = routing.tracks.neighbors_of(wire)
-        result.wires[wire.wire_id] = extract_wire(wire, neighbors)
+        _extract_one(result, wire)
     result.network = build_rc_network(tree, routing, result.wires)
     return result
 
 
+def incremental_re_extract(extraction: Extraction,
+                           wire_ids: Iterable[int],
+                           ) -> tuple[set[int], set[int]]:
+    """Re-extract touched wires and patch the network in place.
+
+    The dirty set is the closure of ``wire_ids`` over the neighbor
+    dependency index: a rule change moves the touched wire's width and
+    guaranteed spacing, which its track neighbors' coupling caps read.
+    Topology never changes under a rule re-assignment, so every dirty
+    wire maps onto an existing RC node pair via
+    :meth:`ClockRcNetwork.patch_wire`.
+
+    Returns ``(dirty wire ids, patched stage indices)`` for the
+    analysis engine's dirty-tracking.
+    """
+    routing = extraction.routing
+    dirty = extraction.dependents_of(wire_ids)
+    stages: set[int] = set()
+    for wire_id in sorted(dirty):
+        wire = routing.tracks.wire(wire_id)
+        para = _extract_one(extraction, wire)
+        stages.add(extraction.network.patch_wire(wire_id, para))
+    return dirty, stages
+
+
 def re_extract(extraction: Extraction, tree: ClockTree,
                wire_ids: list[int]) -> Extraction:
-    """Update only ``wire_ids`` (after a rule change) and rebuild the network."""
-    routing = extraction.routing
-    for wire_id in wire_ids:
-        wire = routing.tracks.wire(wire_id)
-        neighbors = routing.tracks.neighbors_of(wire)
-        extraction.wires[wire_id] = extract_wire(wire, neighbors)
-    extraction.network = build_rc_network(tree, routing, extraction.wires)
+    """Update ``wire_ids`` (after a rule change) plus coupling dependents.
+
+    Patches the existing network in place when possible; falls back to
+    a full :func:`build_rc_network` if the network predates this
+    extraction (e.g. a hand-assembled :class:`Extraction`).
+    """
+    try:
+        incremental_re_extract(extraction, wire_ids)
+    except KeyError:
+        routing = extraction.routing
+        for wire_id in extraction.dependents_of(wire_ids):
+            _extract_one(extraction, routing.tracks.wire(wire_id))
+        extraction.network = build_rc_network(tree, routing,
+                                              extraction.wires)
     return extraction

@@ -126,6 +126,9 @@ class ClockRcNetwork:
     root_stage: int = 0
     #: tree node id of a buffered node -> its stage index
     stage_of_tree_node: dict[int, int] = field(default_factory=dict)
+    #: wire id -> (stage index, near RC node, far RC node); lazy, see _sites
+    _wire_sites: Optional[dict[int, tuple[int, int, int]]] = \
+        field(default=None, repr=False, compare=False)
 
     def stage_children(self, stage_idx: int) -> list[int]:
         """Stage indices driven through this stage's buffer sinks."""
@@ -148,6 +151,158 @@ class ClockRcNetwork:
     def total_wire_cap(self) -> float:
         return sum(stage.total_cap for stage in self.stages)
 
+    # -- incremental patching --------------------------------------------------
+
+    def _sites(self) -> dict[int, tuple[int, int, int]]:
+        """Wire id -> (stage, near node, far node), built lazily."""
+        if self._wire_sites is None:
+            sites: dict[int, tuple[int, int, int]] = {}
+            for stage_idx, stage in enumerate(self.stages):
+                for node in stage.nodes:
+                    if node.wire_id is not None:
+                        sites[node.wire_id] = (stage_idx, node.parent,
+                                               node.idx)
+            self._wire_sites = sites
+        return self._wire_sites
+
+    def wire_stage(self, wire_id: int) -> int:
+        """Stage index holding ``wire_id`` (KeyError if absent)."""
+        return self._sites()[wire_id][0]
+
+    def patch_wire(self, wire_id: int,
+                   para: WireParasitics) -> int:
+        """Update one wire's R/C entries in place; returns its stage index.
+
+        Topology is untouched: only the far node's series resistance and
+        the two half-capacitance entries change, which is exactly the
+        footprint of a routing-rule re-assignment.
+        """
+        stage_idx, near_idx, far_idx = self._sites()[wire_id]
+        stage = self.stages[stage_idx]
+        half_area = para.c_area / 2.0
+        half_rest = para.c_rest / 2.0
+        for node_idx in (near_idx, far_idx):
+            node = stage.nodes[node_idx]
+            node.cap_wire = [
+                (wid, half_area, half_rest) if wid == wire_id
+                else (wid, a, b)
+                for wid, a, b in node.cap_wire]
+        stage.nodes[far_idx].r = para.r
+        return stage_idx
+
+    def retrim_stage(self, stage_idx: int, tree: ClockTree) -> bool:
+        """Patch one stage's root pad/snake values after a trim change.
+
+        A trim edits nothing but the stage root's dummy pad and the
+        series snake, so when the snake node neither appears nor
+        disappears the stage can be patched in place — no node rebuild,
+        and the wire-site index stays valid.  Returns False when the
+        topology did change (snake added or removed); the caller must
+        fall back to :meth:`rebuild_stage`.
+        """
+        stage = self.stages[stage_idx]
+        tree_node = tree.node(stage.tree_node_id)
+        has_snake = len(stage.nodes) > 1 and stage.nodes[1].wire_id is None
+        if has_snake != (tree_node.root_snake > 0.0):
+            return False
+        root = stage.nodes[0]
+        half_delta = (tree_node.root_snake_c - stage.snake_cap) / 2.0
+        root.cap_fixed += (tree_node.load_pad - stage.pad_cap) + half_delta
+        if has_snake:
+            snake = stage.nodes[1]
+            snake.cap_fixed += half_delta
+            snake.r = tree_node.root_snake_r
+        stage.pad_cap = tree_node.load_pad
+        stage.snake_cap = tree_node.root_snake_c
+        return True
+
+    def rebuild_stage(self, stage_idx: int, tree: ClockTree,
+                      routing: RoutingResult,
+                      parasitics: dict[int, WireParasitics]) -> None:
+        """Re-derive one stage from the tree (after a trim change).
+
+        Stage identity (index, ``tree_node_id``) is preserved; only the
+        stage's own RC nodes and sinks are rebuilt, so references from
+        other stages stay valid.
+        """
+        old = self.stages[stage_idx]
+        tree_node = tree.node(old.tree_node_id)
+        assert tree_node.buffer is not None
+        stage = Stage(tree_node_id=old.tree_node_id, driver=tree_node.buffer)
+        _fill_stage(stage, tree, routing, parasitics)
+        self.stages[stage_idx] = stage
+        self._wire_sites = None
+
+
+def _fill_stage(stage: Stage, tree: ClockTree, routing: RoutingResult,
+                parasitics: dict[int, WireParasitics]) -> None:
+    """Populate a fresh :class:`Stage` from the tree below its buffer."""
+    buffered_tree_id = stage.tree_node_id
+    tree_node = tree.node(buffered_tree_id)
+
+    root = RcNode(idx=0, parent=None, wire_id=None, r=0.0,
+                  tree_node_id=buffered_tree_id)
+    # Delay-equalising dummy load hangs directly on the buffer output.
+    root.cap_fixed += tree_node.load_pad
+    stage.pad_cap = tree_node.load_pad
+    stage.nodes.append(root)
+
+    # Series root snake: a detour wire between the buffer output and
+    # the stage's wire tree (cheap delay trim for big drivers).  It
+    # has no routed wire id — it is variation-free by construction.
+    attach_idx = 0
+    if tree_node.root_snake > 0.0:
+        half_c = tree_node.root_snake_c / 2.0
+        root.cap_fixed += half_c
+        snake_node = RcNode(idx=1, parent=0, wire_id=None,
+                            r=tree_node.root_snake_r, cap_fixed=half_c)
+        stage.nodes.append(snake_node)
+        stage.snake_cap = tree_node.root_snake_c
+        attach_idx = 1
+
+    # A buffered node that is itself a sink (degenerate single-flop
+    # tree): the buffer drives the flop pin directly.
+    if tree_node.is_sink:
+        node = stage.nodes[attach_idx]
+        node.cap_fixed += tree_node.sink_pin.cap
+        stage.sinks.append(StageSink(node_idx=attach_idx,
+                                     sink_pin=tree_node.sink_pin))
+
+    pending: list[tuple[int, int]] = [(buffered_tree_id, attach_idx)]
+    while pending:
+        parent_tree_id, parent_rc_idx = pending.pop()
+        for child_id in tree.node(parent_tree_id).children:
+            child = tree.node(child_id)
+            rc_idx = parent_rc_idx
+            for wire in routing.edge_wires.get(child_id, []):
+                para = parasitics[wire.wire_id]
+                half_area = para.c_area / 2.0
+                half_rest = para.c_rest / 2.0
+                stage.nodes[rc_idx].cap_wire.append(
+                    (wire.wire_id, half_area, half_rest))
+                node = RcNode(idx=len(stage.nodes), parent=rc_idx,
+                              wire_id=wire.wire_id, r=para.r)
+                node.cap_wire.append((wire.wire_id, half_area, half_rest))
+                stage.nodes.append(node)
+                rc_idx = node.idx
+            # The last RC node coincides with the child tree node
+            # (unless the edge had no wires, i.e. the nodes are
+            # colocated — then the parent RC node stands for both).
+            if rc_idx != parent_rc_idx:
+                stage.nodes[rc_idx].tree_node_id = child_id
+
+            if child.buffer is not None:
+                stage.nodes[rc_idx].cap_fixed += child.buffer.c_in
+                stage.sinks.append(StageSink(
+                    node_idx=rc_idx, next_stage_tree_id=child_id))
+                continue  # next stage handles the subtree
+            if child.is_sink:
+                stage.nodes[rc_idx].cap_fixed += child.sink_pin.cap
+                stage.sinks.append(StageSink(
+                    node_idx=rc_idx, sink_pin=child.sink_pin))
+            if child.children:
+                pending.append((child_id, rc_idx))
+
 
 def build_rc_network(tree: ClockTree, routing: RoutingResult,
                      parasitics: dict[int, WireParasitics]) -> ClockRcNetwork:
@@ -168,69 +323,7 @@ def build_rc_network(tree: ClockTree, routing: RoutingResult,
         stage_idx = len(network.stages)
         network.stages.append(stage)
         network.stage_of_tree_node[buffered_tree_id] = stage_idx
-
-        root = RcNode(idx=0, parent=None, wire_id=None, r=0.0,
-                      tree_node_id=buffered_tree_id)
-        # Delay-equalising dummy load hangs directly on the buffer output.
-        root.cap_fixed += tree_node.load_pad
-        stage.pad_cap = tree_node.load_pad
-        stage.nodes.append(root)
-
-        # Series root snake: a detour wire between the buffer output and
-        # the stage's wire tree (cheap delay trim for big drivers).  It
-        # has no routed wire id — it is variation-free by construction.
-        attach_idx = 0
-        if tree_node.root_snake > 0.0:
-            half_c = tree_node.root_snake_c / 2.0
-            root.cap_fixed += half_c
-            snake_node = RcNode(idx=1, parent=0, wire_id=None,
-                                r=tree_node.root_snake_r, cap_fixed=half_c)
-            stage.nodes.append(snake_node)
-            stage.snake_cap = tree_node.root_snake_c
-            attach_idx = 1
-
-        # A buffered node that is itself a sink (degenerate single-flop
-        # tree): the buffer drives the flop pin directly.
-        if tree_node.is_sink:
-            node = stage.nodes[attach_idx]
-            node.cap_fixed += tree_node.sink_pin.cap
-            stage.sinks.append(StageSink(node_idx=attach_idx,
-                                         sink_pin=tree_node.sink_pin))
-
-        pending: list[tuple[int, int]] = [(buffered_tree_id, attach_idx)]
-        while pending:
-            parent_tree_id, parent_rc_idx = pending.pop()
-            for child_id in tree.node(parent_tree_id).children:
-                child = tree.node(child_id)
-                rc_idx = parent_rc_idx
-                for wire in routing.edge_wires.get(child_id, []):
-                    para = parasitics[wire.wire_id]
-                    half_area = para.c_area / 2.0
-                    half_rest = para.c_rest / 2.0
-                    stage.nodes[rc_idx].cap_wire.append(
-                        (wire.wire_id, half_area, half_rest))
-                    node = RcNode(idx=len(stage.nodes), parent=rc_idx,
-                                  wire_id=wire.wire_id, r=para.r)
-                    node.cap_wire.append((wire.wire_id, half_area, half_rest))
-                    stage.nodes.append(node)
-                    rc_idx = node.idx
-                # The last RC node coincides with the child tree node
-                # (unless the edge had no wires, i.e. the nodes are
-                # colocated — then the parent RC node stands for both).
-                if rc_idx != parent_rc_idx:
-                    stage.nodes[rc_idx].tree_node_id = child_id
-
-                if child.buffer is not None:
-                    stage.nodes[rc_idx].cap_fixed += child.buffer.c_in
-                    stage.sinks.append(StageSink(
-                        node_idx=rc_idx, next_stage_tree_id=child_id))
-                    continue  # next stage handles the subtree
-                if child.is_sink:
-                    stage.nodes[rc_idx].cap_fixed += child.sink_pin.cap
-                    stage.sinks.append(StageSink(
-                        node_idx=rc_idx, sink_pin=child.sink_pin))
-                if child.children:
-                    pending.append((child_id, rc_idx))
+        _fill_stage(stage, tree, routing, parasitics)
         return stage_idx
 
     # Build stages in BFS order over buffered nodes.

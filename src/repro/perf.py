@@ -1,0 +1,106 @@
+"""Per-phase wall-time accounting.
+
+The flow and the optimizer are instrumented with coarse named phases
+(``extract``, ``refine``, ``analyze``, ``plan`` ...).  Timing is off by
+default and costs one ``None`` check per phase entry; :func:`enable`
+installs a module-level :class:`PhaseTimer` that every ``with
+perf.phase(...)`` block then reports into.  The CLI exposes this as
+``python -m repro --profile ...`` and the benchmark suite as
+``pytest benchmarks --profile-phases``.
+
+Phases nest naturally (``optimize`` encloses ``extract`` + ``analyze``
++ ...), so the report is a breakdown, not a partition: inner phases are
+also counted inside their enclosing phase's total.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall time and call counts per named phase."""
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Credit ``seconds`` of wall time to ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def reset(self) -> None:
+        """Drop all accumulated phases."""
+        self.totals.clear()
+        self.counts.clear()
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot: ``{phase: {seconds, calls}}``."""
+        return {name: {"seconds": self.totals[name],
+                       "calls": self.counts[name]}
+                for name in sorted(self.totals,
+                                   key=self.totals.get, reverse=True)}
+
+    def report(self, title: str = "phase timings") -> str:
+        """Aligned text table, most expensive phase first."""
+        lines = [title, "-" * len(title)]
+        if not self.totals:
+            lines.append("(no phases recorded)")
+            return "\n".join(lines)
+        width = max(len(name) for name in self.totals)
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(f"{name:<{width}}  {self.totals[name]:>9.3f} s"
+                         f"  x{self.counts[name]}")
+        return "\n".join(lines)
+
+    def write_json(self, path) -> None:
+        """Write the :meth:`as_dict` snapshot to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.as_dict(), fh, indent=2)
+            fh.write("\n")
+
+
+_TIMER: Optional[PhaseTimer] = None
+
+
+def enable() -> PhaseTimer:
+    """Install (or return the already-installed) global timer."""
+    global _TIMER
+    if _TIMER is None:
+        _TIMER = PhaseTimer()
+    return _TIMER
+
+
+def disable() -> None:
+    """Remove the global timer; ``phase`` blocks become no-ops again."""
+    global _TIMER
+    _TIMER = None
+
+
+def active() -> Optional[PhaseTimer]:
+    """The installed global timer, or None when profiling is off."""
+    return _TIMER
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time the enclosed block globally when profiling is enabled."""
+    if _TIMER is None:
+        yield
+    else:
+        with _TIMER.phase(name):
+            yield

@@ -41,20 +41,21 @@ def stage_moments(stage: Stage, node_idx: int,
         else:
             m1[node.idx] = m1[node.parent] + node.r * down[node.idx]
 
+    # Shared resistance between the paths to `node` and to `node_idx` is
+    # the resistance of their common prefix.  Nodes are stored parents
+    # first, so one top-down pass suffices: an edge contributes to the
+    # running prefix only while the walk is still on the target's path —
+    # once it leaves, no deeper edge can be shared again.
     path = set(stage.path_to_root(node_idx))
+    shared = [0.0] * len(stage.nodes)
     m2 = 0.0
     for node in stage.nodes:
-        # Shared resistance between paths to `node` and to `node_idx`.
-        shared = r_drive
-        walk = node.idx
-        chain = []
-        while walk is not None:
-            chain.append(walk)
-            walk = stage.nodes[walk].parent
-        for idx in chain:
-            if idx in path and stage.nodes[idx].parent is not None:
-                shared += stage.nodes[idx].r
-        m2 += shared * stage.nodes[node.idx].cap_nominal * m1[node.idx]
+        if node.parent is None:
+            shared[node.idx] = r_drive
+        else:
+            shared[node.idx] = shared[node.parent] \
+                + (node.r if node.idx in path else 0.0)
+        m2 += shared[node.idx] * node.cap_nominal * m1[node.idx]
     return m1[node_idx], m2
 
 

@@ -82,6 +82,26 @@ def _correlation_cells(routing: RoutingResult, corr_grid: float) -> dict[int, in
     return assignment
 
 
+def wire_variation_factors(var, wire, z_cell_width: np.ndarray,
+                           z_rand: np.ndarray, z_cell_thick: np.ndarray,
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-sample (area_scale, r_scale) factors of one wire.
+
+    The relative width noise is the absolute noise normalised to the
+    wire's drawn width, so wide (NDR) wires see proportionally less of
+    it; width moves the area cap proportionally and R inversely, and
+    thickness moves R inversely.  Shared by the batch Monte Carlo and
+    the incremental engine so both produce bit-identical factors.
+    """
+    rel_w = ((z_cell_width * var.width_sigma
+              + z_rand * var.width_rand_sigma)
+             * wire.layer.min_width / wire.width)
+    rel_t = z_cell_thick * var.thickness_sigma
+    w_factor = np.clip(1.0 + rel_w, 0.3, None)
+    t_factor = np.clip(1.0 + rel_t, 0.3, None)
+    return w_factor, 1.0 / (w_factor * t_factor)
+
+
 def run_monte_carlo(network: ClockRcNetwork,
                     parasitics: dict[int, WireParasitics],
                     routing: RoutingResult,
@@ -107,14 +127,10 @@ def run_monte_carlo(network: ClockRcNetwork,
     for wire in routing.clock_wires:
         cell = cells[wire.wire_id]
         z_rand = rng.standard_normal(n_samples)
-        rel_w = ((z_width[cell] * var.width_sigma
-                  + z_rand * var.width_rand_sigma)
-                 * wire.layer.min_width / wire.width)
-        rel_t = z_thick[cell] * var.thickness_sigma
-        w_factor = np.clip(1.0 + rel_w, 0.3, None)
-        t_factor = np.clip(1.0 + rel_t, 0.3, None)
+        w_factor, inv_rc = wire_variation_factors(
+            var, wire, z_width[cell], z_rand, z_thick[cell])
         area_scale[wire.wire_id] = w_factor
-        r_scale[wire.wire_id] = 1.0 / (w_factor * t_factor)
+        r_scale[wire.wire_id] = inv_rc
 
     # Buffer delay factors: die-to-die plus per-stage random.
     d2d = rng.standard_normal(n_samples) * var.buffer_d2d_sigma
