@@ -17,6 +17,7 @@ from repro.bench.aggressors import generate_aggressors
 from repro.geom.point import Point
 from repro.geom.rect import Rect
 from repro.netlist.design import Design
+from repro.units import NS
 
 
 @dataclass(frozen=True)
@@ -54,7 +55,7 @@ class DesignSpec:
     die_edge: float
     aggressors_per_sink: float = 2.0
     mean_activity: float = 0.15
-    clock_period: float = 1000.0
+    clock_period: float = NS
     n_clusters: int = 4
     seed: int = 7
     flop_cin: float = 1.8

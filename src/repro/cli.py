@@ -6,6 +6,7 @@ Subcommands::
     python -m repro run --design ckt256 --policy smart
     python -m repro compare --design ckt256 [--with-ml]
     python -m repro sweep --design ckt128 --slacks 0.6,0.3,0.15
+    python -m repro lint --design ckt256 --policy smart [--json]
 
 ``--design`` accepts a built-in benchmark name or a path to a design
 JSON file (see :mod:`repro.io`).  Robustness budgets default to the
@@ -159,6 +160,42 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the static verifier on a flow; exit 1 on any ERROR diagnostic.
+
+    Unlike ``run``/``compare``, budgets come straight from the
+    period-derived spec (no all-NDR reference run) — the linter checks
+    structural coherence, not quality-of-result, so the cheap targets
+    are enough to drive the flow under inspection.
+    """
+    from repro.core.targets import RobustnessTargets
+    from repro.verify import registered_checks, run_checks, VerifyContext
+
+    if args.list_checks:
+        for check in registered_checks():
+            print(f"{check.rule:22s} [{check.kind:6s}] {check.doc}")
+        return 0
+    if not args.design:
+        print("lint: --design is required (or use --list-checks)",
+              file=sys.stderr)
+        return 2
+    tech = default_technology()
+    design = _load_design(args.design)
+    targets = RobustnessTargets.for_period(design.clock_period,
+                                           tech.max_slew)
+    flow = run_flow(design, tech, policy=Policy(args.policy),
+                    targets=targets)
+    kinds = None
+    if args.checks != "all":
+        kinds = [k.strip() for k in args.checks.split(",") if k.strip()]
+    report = run_checks(VerifyContext.from_flow(flow), kinds=kinds)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 1 if report.has_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -195,6 +232,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--design", required=True)
     p_sweep.add_argument("--slacks", default="0.6,0.3,0.15",
                          help="comma-separated slack values")
+
+    p_lint = sub.add_parser(
+        "lint", help="run the static DRC/ERC + engine-oracle verifier")
+    p_lint.add_argument("--design", default="",
+                        help="benchmark name or design JSON path")
+    p_lint.add_argument("--policy", default="smart",
+                        choices=[p.value for p in Policy])
+    p_lint.add_argument("--checks", default="all",
+                        help="comma-separated check kinds (drc,oracle) "
+                             "or 'all'")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    p_lint.add_argument("--list-checks", action="store_true",
+                        help="list registered checks and exit")
     return parser
 
 
@@ -206,6 +257,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
+        "lint": cmd_lint,
     }[args.command]
     if not args.profile:
         return handler(args)

@@ -12,6 +12,7 @@ under each policy's own extraction).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -189,7 +190,7 @@ def run_flow(design: Design, tech: Optional[Technology] = None,
         stage_budget /= 2.0
         max_stage_cap = stage_budget
 
-    return FlowResult(
+    result = FlowResult(
         design_name=design.name,
         policy=policy,
         targets=targets,
@@ -200,6 +201,13 @@ def run_flow(design: Design, tech: Optional[Technology] = None,
         optimize=optimize,
         runtime=time.perf_counter() - start,
     )
+    if os.environ.get("REPRO_VERIFY_FLOWS"):
+        # Test/CI hook: statically verify every flow result produced
+        # anywhere in the process (set by the test suite's conftest).
+        from repro.verify import assert_flow_clean
+        assert_flow_clean(result,
+                          f"run_flow({design.name!r}, {policy.value})")
+    return result
 
 
 def _em_fixable_by_rules(analyses: AnalysisBundle, routing: RoutingResult,

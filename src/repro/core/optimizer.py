@@ -85,13 +85,19 @@ class SmartNdrOptimizer:
                  tech: Technology, targets: RobustnessTargets, freq: float,
                  lambda_track: float = 0.05, max_iterations: int = 10,
                  use_shielding: bool = False,
-                 use_engine: bool = True) -> None:
+                 use_engine: bool = True,
+                 verify_every: int = 0) -> None:
         if lambda_track < 0.0:
             raise ValueError("lambda_track must be non-negative")
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+        if verify_every < 0:
+            raise ValueError("verify_every must be >= 0")
         self.use_shielding = use_shielding
         self.use_engine = use_engine
+        #: debug mode: run the engine-coherence oracle every N applied
+        #: iterations (0 = off); raises VerificationError on any ERROR
+        self.verify_every = verify_every
         self.tree = tree
         self.routing = routing
         self.tech = tech
@@ -173,6 +179,8 @@ class SmartNdrOptimizer:
             with perf.phase("opt.analyze"):
                 analyses = analyze_all(extraction, self.tech, self.freq,
                                        self.targets, engine=engine)
+            if self.verify_every and iterations % self.verify_every == 0:
+                self._run_oracle(extraction, engine, iterations)
 
         downgraded = 0
         if analyses.feasible(self.targets) and upgraded:
@@ -189,6 +197,29 @@ class SmartNdrOptimizer:
             runtime=time.perf_counter() - start,
             engine=engine,
         )
+
+    def _run_oracle(self, extraction: Extraction, engine,
+                    iteration: int) -> None:
+        """Debug hook: diff the engine's caches against ground truth.
+
+        Runs the ``oracle`` check family over the optimizer's live
+        state (engine, sensitivity cache included) and raises
+        :class:`~repro.verify.VerificationError` on any ERROR — so a
+        dirty-tracking bug aborts at the iteration that introduced it
+        instead of surfacing as a wrong number at the end.
+        """
+        # Imported lazily: repro.verify type-checks against repro.engine,
+        # and the oracle pulls analysis modules back in.
+        from repro.verify import (VerificationError, VerifyContext,
+                                  run_checks)
+        ctx = VerifyContext(tech=self.tech, tree=self.tree,
+                            routing=self.routing, extraction=extraction,
+                            engine=engine, sens_cache=self._sens_cache,
+                            freq=self.freq)
+        report = run_checks(ctx, kinds=("oracle",))
+        if report.has_errors:
+            raise VerificationError(
+                report, f"optimizer iteration {iteration}")
 
     def _violation_score(self, violations: dict[str, float]) -> float:
         """Total budget-normalised constraint excess (0 = feasible)."""

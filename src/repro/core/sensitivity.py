@@ -116,6 +116,25 @@ class SensitivityCache:
         return tuple(nb.rule.name.value
                      for nb in self._potential_neighbors(wire_id))
 
+    def occupancy(self, wire_id: int) -> tuple[str, ...]:
+        """Current neighbor-occupancy fingerprint of one wire (public view).
+
+        The rule names of the wire's potential clock neighbors, in
+        neighbor-id order — the self-invalidating component of every
+        cache key, exposed for the engine-coherence verifier.
+        """
+        return self._occupancy(wire_id)
+
+    def entries(self) -> list[tuple[int, str, bool, tuple[str, ...],
+                                    WireParasitics]]:
+        """Every memoised entry as ``(wire, rule, shielded, occ, para)``.
+
+        Key-sorted, so verification output is deterministic.
+        """
+        return [(wid, rule_name, shielded, occ, para)
+                for (wid, rule_name, shielded, occ), para
+                in sorted(self._cache.items())]
+
     def parasitics(self, wire_id: int, rule: RoutingRule,
                    shielded: bool) -> WireParasitics:
         """What-if parasitics of one candidate, memoised by occupancy."""

@@ -59,8 +59,8 @@ def _point_along_route(src, dst, distance: float):
     """The point ``distance`` um along the L-route from src to dst."""
     remaining = distance
     for seg in l_route(src, dst):
-        if remaining <= seg.length or seg.length == 0.0:
-            fraction = 0.0 if seg.length == 0.0 else remaining / seg.length
+        if remaining <= seg.length or seg.is_point:
+            fraction = 0.0 if seg.is_point else remaining / seg.length
             return seg.point_at(min(1.0, max(0.0, fraction)))
         remaining -= seg.length
     return dst
@@ -103,7 +103,7 @@ def embed_zero_skew(tree: ClockTree, tech: Technology) -> None:
         s1, s2 = states[ch1.node_id], states[ch2.node_id]
         length = ch1.location.manhattan_to(ch2.location)
 
-        if length == 0.0:
+        if length <= 0.0:
             node.location = ch1.location
             x = 0.0
             slower_first = s1.delay >= s2.delay

@@ -86,7 +86,7 @@ def refine_skew(tree: ClockTree, routing: RoutingResult, tech: Technology,
     # capacitance upward.
     stale: set[int] = set()
     for node in tree:
-        if node.trim_pad != 0.0 or node.trim_snake != 0.0:
+        if node.trim_pad > 0.0 or node.trim_snake > 0.0:
             stale.add(node.node_id)
         node.trim_pad = 0.0
         node.trim_snake = 0.0
@@ -222,7 +222,7 @@ def _apply_stage_trim(tree: ClockTree, network, stage_idx: int, gap: float,
     if trim.added_cap <= 0.0:
         return None
     node = tree.node(stage.tree_node_id)
-    if node.snake_r_per_um == 0.0:
+    if node.snake_r_per_um <= 0.0:
         node.snake_r_per_um = snake_r
         node.snake_c_per_um = snake_c
     node.trim_pad += trim.pad_cap

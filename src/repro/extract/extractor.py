@@ -85,6 +85,23 @@ class Extraction:
             self._neighbor_rev.setdefault(added, set()).add(wire_id)
         self._neighbor_fwd[wire_id] = new
 
+    def cached_cap_totals(self) -> tuple[Optional[float], Optional[float]]:
+        """The raw cached ``(wire cap, coupling cap)`` totals, no recompute.
+
+        ``None`` entries mean "stale, will be recomputed lazily" — the
+        verifier's cap-total oracle only diffs the non-``None`` ones
+        against a from-scratch sum.
+        """
+        return self._wire_cap_total, self._coupling_total
+
+    def neighbor_index(self) -> tuple[dict[int, frozenset[int]],
+                                      dict[int, frozenset[int]]]:
+        """Copies of the (forward, reverse) neighbor dependency maps."""
+        fwd = dict(self._neighbor_fwd)
+        rev = {wid: frozenset(deps)
+               for wid, deps in self._neighbor_rev.items()}
+        return fwd, rev
+
     def dependents_of(self, wire_ids: Iterable[int]) -> set[int]:
         """Touched wires plus every victim whose coupling reads them."""
         dirty = set(wire_ids)

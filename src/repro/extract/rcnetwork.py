@@ -227,7 +227,12 @@ class ClockRcNetwork:
         """
         old = self.stages[stage_idx]
         tree_node = tree.node(old.tree_node_id)
-        assert tree_node.buffer is not None
+        if tree_node.buffer is None:
+            raise ValueError(
+                f"stage {stage_idx} is rooted at tree node "
+                f"{old.tree_node_id}, which no longer carries a buffer; "
+                f"stages can only be rebuilt in place while the buffered "
+                f"node set is unchanged")
         stage = Stage(tree_node_id=old.tree_node_id, driver=tree_node.buffer)
         _fill_stage(stage, tree, routing, parasitics)
         self.stages[stage_idx] = stage
@@ -318,7 +323,11 @@ def build_rc_network(tree: ClockTree, routing: RoutingResult,
 
     def build_stage(buffered_tree_id: int) -> int:
         tree_node = tree.node(buffered_tree_id)
-        assert tree_node.buffer is not None
+        if tree_node.buffer is None:
+            raise ValueError(
+                f"tree node {buffered_tree_id} was linked as a stage "
+                f"root but carries no buffer; buffer insertion and "
+                f"stage sinks are out of sync")
         stage = Stage(tree_node_id=buffered_tree_id, driver=tree_node.buffer)
         stage_idx = len(network.stages)
         network.stages.append(stage)

@@ -22,7 +22,7 @@ CLEARANCE: float = 0.5
 def segment_blocked(seg: Segment, blockage: Rect,
                     clearance: float = CLEARANCE) -> bool:
     """True if ``seg`` passes through ``blockage`` (with clearance)."""
-    if seg.length == 0.0:
+    if seg.is_point:
         return blockage.expanded(clearance).contains(seg.a)
     grown = blockage.expanded(clearance)
     if seg.horizontal:
@@ -83,7 +83,7 @@ def _clear_route(legs: list[Segment], blockages: list[Rect], die: Rect,
         return None
     out: list[Segment] = []
     for leg in legs:
-        if leg.length == 0.0:
+        if leg.is_point:
             continue
         blocker = _first_blocker(leg, blockages)
         if blocker is None:

@@ -31,6 +31,11 @@ class Segment:
         return self.a.manhattan_to(self.b)
 
     @property
+    def is_point(self) -> bool:
+        """True for the degenerate zero-length segment (a == b)."""
+        return self.a == self.b
+
+    @property
     def lo(self) -> float:
         """Lower coordinate along the running axis."""
         return min(self.a.x, self.b.x) if self.horizontal else min(self.a.y, self.b.y)

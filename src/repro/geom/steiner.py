@@ -91,7 +91,7 @@ def _merge_collinear(segments: list[Segment]) -> list[Segment]:
     """Merge overlapping/abutting collinear segments on the same track."""
     by_track: dict[tuple[bool, float], list[Segment]] = {}
     for seg in segments:
-        if seg.length == 0.0:
+        if seg.is_point:
             continue
         by_track.setdefault((seg.horizontal, seg.track_coord), []).append(seg)
     merged: list[Segment] = []

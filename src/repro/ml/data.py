@@ -41,7 +41,7 @@ class Standardizer:
             raise ValueError("X must be a non-empty 2-D array")
         self.mean_ = X.mean(axis=0)
         std = X.std(axis=0)
-        std[std == 0.0] = 1.0  # constant features pass through centred
+        std[std <= 0.0] = 1.0  # constant features pass through centred
         self.std_ = std
         return self
 

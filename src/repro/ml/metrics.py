@@ -43,7 +43,7 @@ def f1_score(y_true, y_pred, positive: int = 1) -> float:
     """Harmonic mean of precision and recall (0 when both absent)."""
     p = precision(y_true, y_pred, positive)
     r = recall(y_true, y_pred, positive)
-    if p + r == 0.0:
+    if p + r <= 0.0:
         return 0.0
     return 2.0 * p * r / (p + r)
 

@@ -95,7 +95,7 @@ class DecisionTreeClassifier:
                      proba=counts / counts.sum())
         if (depth >= self.max_depth
                 or len(y) < 2 * self.min_samples_leaf
-                or _gini(counts) == 0.0):
+                or _gini(counts) <= 0.0):
             return node
         split = self._best_split(X, y, counts)
         if split is None:

@@ -9,6 +9,7 @@ from repro.geom.point import Point
 from repro.geom.rect import Rect
 from repro.netlist.cell import CellKind, Instance, Pin, PinDirection
 from repro.netlist.net import Net, NetKind
+from repro.units import NS
 
 
 @dataclass
@@ -31,7 +32,7 @@ class Design:
 
     name: str
     die: Rect
-    clock_period: float = 1000.0
+    clock_period: float = NS
     instances: dict[str, Instance] = field(default_factory=dict)
     nets: dict[str, Net] = field(default_factory=dict)
     clock_root: Optional[Pin] = None
@@ -46,7 +47,7 @@ class Design:
     @property
     def clock_freq(self) -> float:
         """Clock frequency in GHz."""
-        return 1000.0 / self.clock_period
+        return NS / self.clock_period
 
     # -- construction helpers -------------------------------------------------
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 
 @dataclass
@@ -51,7 +51,7 @@ class Table:
 
 def _fmt(cell) -> str:
     if isinstance(cell, float):
-        if cell == 0.0:
+        if not cell:
             return "0"
         if abs(cell) >= 1000:
             return f"{cell:,.0f}"

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geom.grid import RoutingGrid
 from repro.route.wires import NeighborCoupling, RoutedWire
@@ -85,6 +85,27 @@ class TrackManager:
     def wire(self, wire_id: int) -> RoutedWire:
         """The registered wire with this id."""
         return self._wires[wire_id]
+
+    # -- verifier views ------------------------------------------------------------
+
+    def occupancy(self) -> list[tuple[str, int, tuple[tuple[float, float, int], ...]]]:
+        """Every occupied track as ``(layer, track, ((lo, hi, wire_id), ...))``.
+
+        Intervals come back in lo-sorted registration order; the list is
+        key-sorted so verification output is deterministic.
+        """
+        return [(lname, track,
+                 tuple((iv.lo, iv.hi, iv.wire_id) for iv in intervals))
+                for (lname, track), intervals in sorted(self._tracks.items())]
+
+    def blocked_spans(self, layer_name: str,
+                      track: int) -> tuple[tuple[float, float], ...]:
+        """Hard keep-out spans registered on ``(layer_name, track)``."""
+        return tuple(self._blocked.get((layer_name, track), ()))
+
+    def iter_wires(self) -> list[RoutedWire]:
+        """All registered wires, id-sorted (verifier/reporting view)."""
+        return [self._wires[wid] for wid in sorted(self._wires)]
 
     # -- neighbor queries ------------------------------------------------------------
 

@@ -15,6 +15,7 @@ The default library is a geometric size sweep (X1..X16) with constant
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 
 @dataclass(frozen=True)
@@ -90,7 +91,7 @@ class BufferLibrary:
         if sizes != sorted(sizes):
             raise ValueError("buffer cells must be ordered by increasing size")
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[BufferCell]:
         return iter(self.cells)
 
     def __len__(self) -> int:
@@ -130,7 +131,7 @@ def default_buffer_library() -> BufferLibrary:
     (r ~ 2.2 kOhm, c_in ~ 1.3 fF, intrinsic ~ 18 ps); larger sizes scale
     resistance down and capacitance up linearly.
     """
-    cells = []
+    cells: list[BufferCell] = []
     for size in (1, 2, 4, 8, 16):
         cells.append(
             BufferCell(

@@ -18,6 +18,7 @@ All coefficients live in the library's coherent units (um, fF, kOhm; see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.units import ohm_per_um
 
@@ -134,7 +135,7 @@ class MetalStack:
         if indices != sorted(indices) or len(set(indices)) != len(indices):
             raise ValueError("layer indices must be strictly increasing")
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[MetalLayer]:
         return iter(self.layers)
 
     def __len__(self) -> int:
@@ -166,34 +167,32 @@ def default_metal_stack() -> MetalStack:
     # matches the linear model's published per-um magnitudes (0.17 fF/um
     # intermediate, 0.11 fF/um semi-global), with the 1.8-exponent
     # falloff taking over beyond it.
-    intermediate = dict(
-        thickness=0.14,
-        sheet_res=0.25,
-        c_area=0.60,  # fF/um^2
-        c_fringe=0.040,
-        k_couple=0.00143,
-        coupling_reach=0.50,
-        c_fringe_far=0.025,
-        em_jmax=8000.0,
-    )
-    semi_global = dict(
-        thickness=0.28,
-        sheet_res=0.12,
-        c_area=0.55,
-        c_fringe=0.045,
-        k_couple=0.00331,
-        coupling_reach=0.80,
-        c_fringe_far=0.028,
-        em_jmax=10000.0,
-    )
+    def intermediate(name: str, index: int, direction: str,
+                     min_width: float, pitch: float,
+                     min_spacing: float) -> MetalLayer:
+        return MetalLayer(name, index, direction, min_width, pitch,
+                          min_spacing, thickness=0.14, sheet_res=0.25,
+                          c_area=0.60, c_fringe=0.040, k_couple=0.00143,
+                          coupling_reach=0.50, c_fringe_far=0.025,
+                          em_jmax=8000.0)
+
+    def semi_global(name: str, index: int, direction: str,
+                    min_width: float, pitch: float,
+                    min_spacing: float) -> MetalLayer:
+        return MetalLayer(name, index, direction, min_width, pitch,
+                          min_spacing, thickness=0.28, sheet_res=0.12,
+                          c_area=0.55, c_fringe=0.045, k_couple=0.00331,
+                          coupling_reach=0.80, c_fringe_far=0.028,
+                          em_jmax=10000.0)
+
     return MetalStack(
         layers=(
             MetalLayer("M1", 1, "H", 0.065, 0.13, 0.065, 0.12, 0.38,
                        0.65, 0.038, 0.00112, 0.45, 0.024, 5000.0),
-            MetalLayer("M2", 2, "V", 0.070, 0.14, 0.070, **intermediate),
-            MetalLayer("M3", 3, "H", 0.070, 0.14, 0.070, **intermediate),
-            MetalLayer("M4", 4, "V", 0.140, 0.28, 0.140, **semi_global),
-            MetalLayer("M5", 5, "H", 0.140, 0.28, 0.140, **semi_global),
+            intermediate("M2", 2, "V", 0.070, 0.14, 0.070),
+            intermediate("M3", 3, "H", 0.070, 0.14, 0.070),
+            semi_global("M4", 4, "V", 0.140, 0.28, 0.140),
+            semi_global("M5", 5, "H", 0.140, 0.28, 0.140),
             MetalLayer("M6", 6, "V", 0.400, 0.80, 0.400, 0.80, 0.04,
                        0.50, 0.050, 0.00960, 2.00, 0.030, 20000.0),
         )

@@ -25,6 +25,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # imported for annotations only; no runtime dependency
+    from repro.tech.layers import MetalLayer
 
 
 class RuleName(str, enum.Enum):
@@ -54,7 +58,9 @@ class RoutingRule:
 
     @property
     def is_default(self) -> bool:
-        return self.width_mult == 1.0 and self.space_mult == 1.0
+        # Exact multiplier identity is deliberate: rules are constructed
+        # from the literal lattice values, never from arithmetic.
+        return self.width_mult == 1.0 and self.space_mult == 1.0  # lint-units: ok
 
     @property
     def track_span(self) -> int:
@@ -69,11 +75,11 @@ class RoutingRule:
         extra_space = int(round(self.space_mult - 1.0))
         return 1 + extra_width + extra_space
 
-    def width_on(self, layer) -> float:
+    def width_on(self, layer: "MetalLayer") -> float:
         """Drawn width (um) on ``layer`` under this rule."""
         return layer.min_width * self.width_mult
 
-    def spacing_on(self, layer) -> float:
+    def spacing_on(self, layer: "MetalLayer") -> float:
         """Guaranteed same-layer spacing (um) on ``layer`` under this rule."""
         return layer.min_spacing * self.space_mult
 
@@ -91,11 +97,13 @@ W4S2 = RoutingRule(RuleName.W4S2, 4.0, 2.0)
 #: The full decision space, ordered from cheapest to most robust.
 RULE_SET: tuple[RoutingRule, ...] = (W1S1, W2S1, W1S2, W2S2, W4S2)
 
-_BY_NAME = {rule.name: rule for rule in RULE_SET}
-_BY_STR = {rule.name.value: rule for rule in RULE_SET}
+_BY_NAME: dict[RuleName, RoutingRule] = {rule.name: rule
+                                         for rule in RULE_SET}
+_BY_STR: dict[str, RoutingRule] = {rule.name.value: rule
+                                   for rule in RULE_SET}
 
 
-def rule_by_name(name) -> RoutingRule:
+def rule_by_name(name: Union[RuleName, str]) -> RoutingRule:
     """Look up a rule by :class:`RuleName` or its string value."""
     if isinstance(name, RuleName):
         return _BY_NAME[name]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.tech.buffers import BufferLibrary, default_buffer_library
 from repro.tech.layers import MetalLayer, MetalStack, default_metal_stack

@@ -1,0 +1,91 @@
+"""The state bundle a verification run walks.
+
+Checks never re-run analyses; they read the already-built objects —
+routing, extraction, the stage-structured RC network, and (for the
+engine-coherence oracle) the incremental engine's caches — and compare
+them against each other or against freshly recomputed ground truth.
+
+A :class:`VerifyContext` carries everything optional: checks that need
+an absent piece (e.g. the oracle when no engine ran) skip themselves
+by emitting nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.cts.tree import ClockTree
+from repro.extract.extractor import Extraction
+from repro.netlist.design import Design
+from repro.route.router import RoutingResult
+from repro.tech.technology import Technology
+
+if TYPE_CHECKING:  # runtime import would be cyclic / needlessly heavy
+    from repro.core.flow import FlowResult
+    from repro.core.sensitivity import SensitivityCache
+    from repro.engine.incremental import AnalysisEngine
+
+
+@dataclass
+class VerifyContext:
+    """Everything one verification run may inspect.
+
+    Attributes
+    ----------
+    tech / tree / routing / extraction:
+        The physical state every check family reads.
+    engine:
+        The incremental :class:`~repro.engine.incremental.AnalysisEngine`
+        whose caches the oracle diffs against ground truth (optional).
+    sens_cache:
+        The optimizer's what-if memoisation cache (optional).
+    clock_period:
+        Clock period in ps, for delay unit-sanity range checks
+        (optional — the range check degrades gracefully without it).
+    freq / design:
+        Clock frequency in GHz and the source design, for EM
+        utilisation and blockage checks (optional).
+    """
+
+    tech: Technology
+    tree: ClockTree
+    routing: RoutingResult
+    extraction: Extraction
+    engine: Optional["AnalysisEngine"] = None
+    sens_cache: Optional["SensitivityCache"] = None
+    clock_period: Optional[float] = None
+    freq: Optional[float] = None
+    design: Optional[Design] = None
+
+    @classmethod
+    def from_flow(cls, flow: "FlowResult") -> "VerifyContext":
+        """Build a context from a finished :func:`repro.core.flow.run_flow`."""
+        physical = flow.physical
+        engine: Optional["AnalysisEngine"] = None
+        if flow.optimize is not None and flow.optimize.engine is not None:
+            engine = flow.optimize.engine  # type: ignore[assignment]
+        return cls(
+            tech=physical.tech,
+            tree=physical.tree,
+            routing=physical.routing,
+            extraction=physical.extraction,
+            engine=engine,
+            clock_period=physical.design.clock_period,
+            freq=physical.design.clock_freq,
+            design=physical.design,
+        )
+
+    @classmethod
+    def from_physical(cls, physical: object) -> "VerifyContext":
+        """Build a context from a :class:`~repro.core.flow.PhysicalDesign`."""
+        design: Design = physical.design          # type: ignore[attr-defined]
+        return cls(
+            tech=physical.tech,                   # type: ignore[attr-defined]
+            tree=physical.tree,                   # type: ignore[attr-defined]
+            routing=physical.routing,             # type: ignore[attr-defined]
+            extraction=physical.extraction,       # type: ignore[attr-defined]
+            clock_period=design.clock_period,
+            freq=design.clock_freq,
+            design=design,
+        )

@@ -1,0 +1,179 @@
+"""Typed diagnostic records emitted by the static verifier.
+
+A :class:`Diagnostic` is one finding of one check: a stable rule id, a
+severity, a location inside the design (wire / stage / RC node), a
+human-readable message and, where the fix is mechanical, a hint.  A
+:class:`VerifyReport` collects the findings of one verification run
+along with the list of checks that actually executed, and renders to
+text or JSON for the CLI.
+
+Severity policy (see ``docs/VERIFY.md``):
+
+* ``ERROR`` — an internal inconsistency: the data structures disagree
+  with each other (or with physics) in a way that makes analysis
+  results wrong *within the model*.  Zero tolerance; ``repro lint``
+  exits non-zero.
+* ``WARN`` — a divergence between the model's idealisation and the
+  literal geometry (e.g. a spacing rule whose guaranteed spacing the
+  neighboring occupancy does not physically honor), or a flow-level
+  quality problem (an EM budget violation).  Legal states a clean flow
+  can produce; worth eyes, not a gate.
+* ``INFO`` — statistics and observations.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARN = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one verifier check.
+
+    Attributes
+    ----------
+    rule:
+        Stable check identifier, e.g. ``"track-overlap"``.
+    severity:
+        See the module docstring for the policy.
+    message:
+        Human-readable description of the finding.
+    wire_id / stage / node:
+        Location of the finding, where applicable: routed wire id,
+        stage index in the clock RC network, RC node index within the
+        stage.
+    obj:
+        Free-form location for findings that are not wire/stage shaped
+        (e.g. ``"M5/track 12"``).
+    hint:
+        How to fix or further debug the finding, when mechanical.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    wire_id: Optional[int] = None
+    stage: Optional[int] = None
+    node: Optional[int] = None
+    obj: Optional[str] = None
+    hint: Optional[str] = None
+
+    def location(self) -> str:
+        """Compact location string for the text rendering."""
+        parts: list[str] = []
+        if self.wire_id is not None:
+            parts.append(f"wire {self.wire_id}")
+        if self.stage is not None:
+            parts.append(f"stage {self.stage}")
+        if self.node is not None:
+            parts.append(f"node {self.node}")
+        if self.obj is not None:
+            parts.append(self.obj)
+        return "/".join(parts) if parts else "-"
+
+    def render(self) -> str:
+        """One-line text form: ``ERROR track-overlap [wire 3]: ...``."""
+        line = f"{self.severity} {self.rule} [{self.location()}]: {self.message}"
+        if self.hint:
+            line += f"  (hint: {self.hint})"
+        return line
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict (``None`` locations omitted)."""
+        out: dict[str, object] = {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        for key in ("wire_id", "stage", "node", "obj", "hint"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+@dataclass
+class VerifyReport:
+    """All diagnostics of one verification run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    checks_run: list[str] = field(default_factory=list)
+
+    def extend(self, items: list[Diagnostic]) -> None:
+        """Append ``items`` to the report's diagnostics."""
+        self.diagnostics.extend(items)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARN]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == Severity.ERROR for d in self.diagnostics)
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        """All diagnostics emitted under one rule id."""
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def counts(self) -> dict[str, int]:
+        """``{"ERROR": n, "WARN": n, "INFO": n}`` (zero entries included)."""
+        out = {str(sev): 0 for sev in Severity}
+        for diag in self.diagnostics:
+            out[str(diag.severity)] += 1
+        return out
+
+    def render(self, max_lines: int = 0) -> str:
+        """Multi-line text report, worst findings first."""
+        lines: list[str] = []
+        ordered = sorted(self.diagnostics,
+                         key=lambda d: (-int(d.severity), d.rule))
+        shown = ordered if max_lines <= 0 else ordered[:max_lines]
+        for diag in shown:
+            lines.append(diag.render())
+        if max_lines > 0 and len(ordered) > max_lines:
+            lines.append(f"... {len(ordered) - max_lines} more")
+        counts = self.counts()
+        lines.append(f"{len(self.checks_run)} checks run: "
+                     f"{counts['ERROR']} errors, {counts['WARN']} warnings, "
+                     f"{counts['INFO']} notes")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report for ``repro lint --json``."""
+        return json.dumps({
+            "checks_run": self.checks_run,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }, indent=2, sort_keys=True)
+
+
+class VerificationError(RuntimeError):
+    """Raised when a verification gate finds ERROR diagnostics."""
+
+    def __init__(self, report: VerifyReport, context: str = "") -> None:
+        self.report = report
+        head = f"verification failed ({context}): " if context \
+            else "verification failed: "
+        errors = report.errors
+        detail = "; ".join(d.render() for d in errors[:5])
+        if len(errors) > 5:
+            detail += f"; ... {len(errors) - 5} more"
+        super().__init__(head + detail)

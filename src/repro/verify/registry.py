@@ -1,0 +1,96 @@
+"""The check registry.
+
+A *check* is one named rule: a function from a
+:class:`~repro.verify.context.VerifyContext` to an iterable of
+:class:`~repro.verify.diagnostics.Diagnostic` records.  Checks register
+themselves under a stable rule id and a *kind*:
+
+* ``"drc"``  — domain design-rule / electrical-rule checks over the
+  routed geometry and the RC network;
+* ``"oracle"`` — engine-coherence checks that recompute incrementally
+  maintained state from scratch and diff.
+
+``run_checks`` executes a selection and collects one
+:class:`~repro.verify.diagnostics.VerifyReport`.  A check that raises
+is itself reported as an ERROR diagnostic under its own rule id — a
+crashing checker must never mask the corruption it was about to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.verify.context import VerifyContext
+from repro.verify.diagnostics import Diagnostic, Severity, VerifyReport
+
+CheckFn = Callable[[VerifyContext], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One registered verifier rule."""
+
+    rule: str
+    kind: str
+    doc: str
+    fn: CheckFn
+
+
+_REGISTRY: dict[str, Check] = {}
+
+
+def register(rule: str, kind: str) -> Callable[[CheckFn], CheckFn]:
+    """Class the decorated function as the checker for ``rule``.
+
+    The function's first docstring line becomes the check's one-line
+    description in ``registered_checks`` listings.
+    """
+    if kind not in ("drc", "oracle"):
+        raise ValueError(f"unknown check kind {kind!r}")
+
+    def decorate(fn: CheckFn) -> CheckFn:
+        if rule in _REGISTRY:
+            raise ValueError(f"check {rule!r} registered twice")
+        doc = (fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else ""
+        _REGISTRY[rule] = Check(rule=rule, kind=kind, doc=doc, fn=fn)
+        return fn
+
+    return decorate
+
+
+def registered_checks(kinds: Optional[Iterable[str]] = None) -> list[Check]:
+    """All registered checks, optionally filtered by kind, id-sorted."""
+    wanted = None if kinds is None else set(kinds)
+    return sorted((c for c in _REGISTRY.values()
+                   if wanted is None or c.kind in wanted),
+                  key=lambda c: c.rule)
+
+
+def run_checks(ctx: VerifyContext,
+               rules: Optional[Iterable[str]] = None,
+               kinds: Optional[Iterable[str]] = None) -> VerifyReport:
+    """Run a selection of checks over ``ctx`` and collect the report.
+
+    ``rules`` selects specific rule ids; ``kinds`` selects whole
+    families.  With neither, every registered check runs.
+    """
+    selected = registered_checks(kinds)
+    if rules is not None:
+        wanted = set(rules)
+        unknown = wanted - {c.rule for c in selected}
+        if unknown:
+            raise KeyError(f"unknown check rule(s): {sorted(unknown)}")
+        selected = [c for c in selected if c.rule in wanted]
+    report = VerifyReport()
+    for check in selected:
+        try:
+            report.extend(list(check.fn(ctx)))
+        except Exception as exc:  # noqa: BLE001 - reported, never masked
+            report.extend([Diagnostic(
+                rule=check.rule, severity=Severity.ERROR,
+                message=f"checker crashed: {type(exc).__name__}: {exc}",
+                hint="a crashing checker usually means the structure it "
+                     "walks is itself corrupt")])
+        report.checks_run.append(check.rule)
+    return report

@@ -77,7 +77,7 @@ def render_clock_svg(tree: ClockTree, routing: RoutingResult,
     # Wires (shield halos first so the wire draws on top).
     for wire in routing.clock_wires:
         seg = wire.segment
-        if seg.length == 0.0:
+        if seg.is_point:
             continue
         x1, y1 = sx(seg.a.x), sy(seg.a.y)
         x2, y2 = sx(seg.b.x), sy(seg.b.y)

@@ -20,6 +20,22 @@ SMALL_SPEC = DesignSpec("small", n_sinks=64, die_edge=280.0,
                         aggressors_per_sink=2.0, seed=6)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _verify_all_flows():
+    """Statically verify every flow result the suite produces.
+
+    ``run_flow`` checks this environment variable and raises
+    :class:`repro.verify.VerificationError` if any registered check
+    reports an ERROR diagnostic — so an engine-coherence bug fails the
+    suite loudly even in tests that only look at summary metrics.
+    """
+    import os
+
+    os.environ["REPRO_VERIFY_FLOWS"] = "1"
+    yield
+    os.environ.pop("REPRO_VERIFY_FLOWS", None)
+
+
 @pytest.fixture(scope="session")
 def tech() -> Technology:
     return default_technology()

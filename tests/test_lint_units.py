@@ -1,0 +1,97 @@
+"""Tests for the unit-hygiene linter (tools/lint_units.py)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import lint_units  # noqa: E402
+
+
+def _lint_source(tmp_path: Path, source: str, name: str = "sample.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return lint_units.lint_file(path)
+
+
+def test_u001_flags_float_literal_equality(tmp_path):
+    findings = _lint_source(tmp_path, "x = 1.5\nif x == 0.0:\n    pass\n")
+    assert [f.rule for f in findings] == ["U001"]
+    assert findings[0].line == 2
+
+
+def test_u001_flags_not_equal_and_negative_literals(tmp_path):
+    findings = _lint_source(tmp_path, "ok = value != -2.5\n")
+    assert [f.rule for f in findings] == ["U001"]
+
+
+def test_u001_ignores_ordering_comparisons(tmp_path):
+    findings = _lint_source(
+        tmp_path, "if x <= 0.0 or y > 1.5:\n    pass\n")
+    assert findings == []
+
+
+def test_u001_ignores_integer_equality(tmp_path):
+    assert _lint_source(tmp_path, "if n == 0:\n    pass\n") == []
+
+
+def test_u002_flags_conversion_constants(tmp_path):
+    findings = _lint_source(
+        tmp_path, "period = 1000.0\nres = x * 1e-3\n")
+    assert [f.rule for f in findings] == ["U002", "U002"]
+    assert [f.line for f in findings] == [1, 2]
+
+
+def test_u002_allows_tolerances(tmp_path):
+    assert _lint_source(tmp_path, "tol = 1e-9\neps = 1e-6\n") == []
+
+
+def test_u002_exempts_units_module(tmp_path):
+    assert _lint_source(tmp_path, "NS = 1000.0\n", name="units.py") == []
+
+
+def test_suppression_marker_silences_the_line(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "a = 1000.0  # lint-units: ok\n"
+        "b = x == 1.0  # lint-units: ok\n"
+        "c = 1000.0\n")
+    assert [f.line for f in findings] == [3]
+
+
+def test_syntax_error_reported_as_u000(tmp_path):
+    findings = _lint_source(tmp_path, "def broken(:\n")
+    assert [f.rule for f in findings] == ["U000"]
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_units.main([str(clean)]) == 0
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("if x == 0.0:\n    pass\n")
+    assert lint_units.main([str(dirty)]) == 1
+    out = capsys.readouterr()
+    assert "U001" in out.out
+    assert "1 finding(s)" in out.err
+
+
+def test_repo_sources_are_clean():
+    repo = Path(__file__).resolve().parent.parent
+    findings = lint_units.lint_paths([repo / "src", repo / "tools"])
+    assert not findings, "\n".join(f.render() for f in findings)
+
+
+@pytest.mark.parametrize("snippet", [
+    "x = {1.0: 'a'}[key]",       # float literal, but no ==/!=
+    "y = f(0.0)",                # argument position
+    "z = [0.0, 1.0]",            # container literal
+])
+def test_non_comparison_float_literals_pass(tmp_path, snippet):
+    assert _lint_source(tmp_path, snippet + "\n") == []
