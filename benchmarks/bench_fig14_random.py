@@ -11,17 +11,16 @@ how many.
 
 from __future__ import annotations
 
-from conftest import emit
-from repro.bench import generate_design, spec_by_name
-from repro.core import Policy, run_flow
+from conftest import bench_jobs, emit
+from repro.core import Policy
 from repro.reporting import Table
+from repro.runner import JobSpec
 
 DESIGN = "ckt256"
 SEEDS = (1, 2, 3, 4, 5)
 
 
 def _build(matrix):
-    targets = matrix.targets_for(DESIGN)
     smart = matrix.flow(DESIGN, Policy.SMART)
     hist = smart.rule_histogram
     n_wires = sum(hist.values())
@@ -37,12 +36,14 @@ def _build(matrix):
     table.add_row("smart", "-", smart.clock_power, a.crosstalk.worst_delta,
                   a.mc.skew_3sigma, int(a.em.num_violations),
                   "yes" if smart.feasible else "NO")
-    random_flows = []
-    for seed in SEEDS:
-        flow = run_flow(generate_design(spec_by_name(DESIGN)), matrix.tech,
-                        policy=Policy.RANDOM, targets=targets,
-                        random_fraction=fraction, random_seed=seed)
-        random_flows.append(flow)
+    # One random cell per seed, declared as a job matrix: all five
+    # share the cached build and the smart cell's reference job.
+    cells = [JobSpec(design=DESIGN, policy=Policy.RANDOM, slack=0.15,
+                     random_fraction=fraction, random_seed=seed)
+             for seed in SEEDS]
+    random_flows = [r.flow for r in matrix.runner.run(
+        cells, jobs=bench_jobs(), return_flows=True)]
+    for seed, flow in zip(SEEDS, random_flows):
         a = flow.analyses
         table.add_row("random", seed, flow.clock_power,
                       a.crosstalk.worst_delta, a.mc.skew_3sigma,

@@ -11,12 +11,10 @@ until budgets get within a few percent of what all-NDR achieves.
 
 from __future__ import annotations
 
-import dataclasses
-
-from conftest import emit
-from repro.bench import generate_design, spec_by_name
-from repro.core import Policy, run_flow
+from conftest import bench_jobs, emit
+from repro.core import Policy
 from repro.reporting import ExperimentRecord
+from repro.runner import JobSpec
 
 DESIGN = "ckt256"
 SLACKS = (0.60, 0.40, 0.25, 0.15, 0.10)
@@ -26,27 +24,23 @@ def _sweep(matrix) -> ExperimentRecord:
     record = ExperimentRecord(
         "fig3", f"power vs budget tightness on {DESIGN}",
         "budget slack over all-NDR reference", "value")
-    base_targets = matrix.targets_for(DESIGN)
-    reference = matrix.flow(DESIGN, Policy.ALL_NDR)
-    p_all = reference.clock_power
+    p_all = matrix.flow(DESIGN, Policy.ALL_NDR).clock_power
     p_no = matrix.flow(DESIGN, Policy.NO_NDR).clock_power
 
-    for slack in SLACKS:
-        # Rebuild targets at this slack from the same reference metrics.
-        scale = (1.0 + slack) / 1.15  # base targets carry 15% slack
-        targets = dataclasses.replace(
-            base_targets,
-            max_worst_delta=base_targets.max_worst_delta * scale,
-            max_skew_3sigma=base_targets.max_skew_3sigma * scale)
-        design = generate_design(spec_by_name(DESIGN))
-        flow = run_flow(design, matrix.tech, policy=Policy.SMART,
-                        targets=targets)
-        hist = flow.rule_histogram
+    # The sweep is a declarative run matrix: one smart cell per slack,
+    # all pegged to the same deduplicated all-NDR reference job and
+    # sharing one cached default-rule build.
+    cells = [JobSpec(design=DESIGN, policy=Policy.SMART, slack=slack)
+             for slack in SLACKS]
+    results = matrix.runner.run(cells, jobs=bench_jobs())
+    for slack, result in zip(SLACKS, results):
+        hist = result.rule_histogram
         total = sum(hist.values())
         upgraded_frac = 1.0 - hist.get("W1S1", 0) / total
-        record.series_named("power_uw").add(slack, flow.clock_power)
+        record.series_named("power_uw").add(slack, result.summary["power_uw"])
         record.series_named("upgraded_fraction").add(slack, upgraded_frac)
-        record.series_named("feasible").add(slack, 1.0 if flow.feasible else 0.0)
+        record.series_named("feasible").add(
+            slack, 1.0 if result.feasible else 0.0)
     record.series_named("all_ndr_power").add(0.0, p_all)
     record.series_named("no_ndr_power").add(0.0, p_no)
     return record

@@ -19,6 +19,9 @@ def _build_table(matrix) -> Table:
         "Table 2: switched capacitance (fF) / clock power (uW) per policy",
         ["design", "no-ndr P", "all-ndr P", "smart P", "smart-ml P",
          "all-ndr ovh %", "smart save %", "ml save %", "smart feas"])
+    # Declare the full sub-matrix up front: missing cells run as one
+    # batch through the FlowRunner (parallel under REPRO_BENCH_JOBS).
+    matrix.ensure(TABLE_DESIGNS, TABLE_POLICIES)
     for name in TABLE_DESIGNS:
         flows = {p: matrix.flow(name, p) for p in TABLE_POLICIES}
         p_no = flows[Policy.NO_NDR].clock_power

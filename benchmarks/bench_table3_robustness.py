@@ -18,6 +18,7 @@ def _build_table(matrix) -> Table:
         "Table 3: robustness per policy (budget in '[]')",
         ["design", "policy", "skew ps", "3sig ps", "dd ps", "slew ps",
          "EM viol", "feasible"])
+    matrix.ensure(TABLE_DESIGNS, TABLE_POLICIES)
     for name in TABLE_DESIGNS:
         targets = matrix.targets_for(name)
         for policy in TABLE_POLICIES:

@@ -1,25 +1,30 @@
 """Shared machinery for the experiment benchmarks.
 
-The expensive artefact — the full (design x policy) flow matrix — is
-computed once per session, lazily, and shared by every table/figure
-module.  Budgets follow the reproduction protocol: each design's
-robustness targets are pegged to its own all-NDR reference run
-(15% slack), which is the paper's operational definition of "as robust
-as all-NDR".
+The expensive artefact — the full (design x policy) flow matrix — is a
+declarative :class:`~repro.runner.RunMatrix` executed once per session
+by the :class:`~repro.runner.FlowRunner` and shared by every
+table/figure module.  Budgets follow the reproduction protocol: each
+design's robustness targets are pegged to its own all-NDR reference run
+(15% slack) — a deduplicated upstream job of the runner — which is the
+paper's operational definition of "as robust as all-NDR".
+
+Set ``REPRO_BENCH_JOBS=N`` to fan the matrix out over ``N`` worker
+processes; results are identical to the serial run (flows are
+deterministic and every cell is content-addressed).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import pytest
 
 from repro import perf
 from repro.bench import benchmark_suite, generate_design, spec_by_name
-from repro.core import (FlowResult, NdrClassifierGuide, Policy,
-                        RobustnessTargets, run_flow, targets_from_reference)
-from repro.tech import Technology, default_technology
+from repro.core import FlowResult, NdrClassifierGuide, Policy, RobustnessTargets
+from repro.runner import FlowRunner, JobSpec
 
 #: Designs used by the full-suite tables (largest capped for CI runtime).
 TABLE_DESIGNS = ("ckt64", "ckt128", "ckt256", "ckt512", "ckt1024", "ckt2048")
@@ -27,43 +32,65 @@ TABLE_POLICIES = (Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART,
                   Policy.SMART_ML)
 ML_TRAIN_DESIGNS = ("ckt64", "ckt128", "ckt256")
 
+#: The reproduction protocol's budget slack over the all-NDR reference.
+PROTOCOL_SLACK = 0.15
+
+
+def bench_jobs() -> int:
+    """Worker processes for the bench matrix (``REPRO_BENCH_JOBS``)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
 
 @dataclass
 class SuiteMatrix:
-    """Lazily filled cache of flow runs and per-design targets."""
+    """The session's flow matrix, scheduled through the FlowRunner."""
 
-    tech: Technology
-    targets: dict[str, RobustnessTargets] = field(default_factory=dict)
+    runner: FlowRunner
     flows: dict[tuple[str, str], FlowResult] = field(default_factory=dict)
     _guide: Optional[NdrClassifierGuide] = None
 
+    @property
+    def tech(self):
+        return self.runner.tech
+
     def targets_for(self, design_name: str) -> RobustnessTargets:
-        if design_name not in self.targets:
-            design = generate_design(spec_by_name(design_name))
-            reference = run_flow(design, self.tech, policy=Policy.ALL_NDR)
-            self.targets[design_name] = targets_from_reference(
-                reference.analyses, self.tech)
-        return self.targets[design_name]
+        return self.runner.targets_for(design_name, slack=PROTOCOL_SLACK)
 
     def guide(self) -> NdrClassifierGuide:
         if self._guide is None:
             guide = NdrClassifierGuide(seed=5)
             guide.fit_designs(
                 [generate_design(spec_by_name(n)) for n in ML_TRAIN_DESIGNS],
-                self.tech)
+                self.tech, jobs=bench_jobs(), store=self.runner.store)
             self._guide = guide
+            self.runner.guide = guide
         return self._guide
+
+    def ensure(self, designs: Sequence[str],
+               policies: Sequence[Policy]) -> None:
+        """Declare and execute a (designs x policies) sub-matrix.
+
+        Missing cells run as one batch — in parallel when
+        ``REPRO_BENCH_JOBS`` is set — instead of one hand-loop
+        iteration at a time.
+        """
+        wanted = [(d, p) for d in designs for p in policies]
+        missing = [JobSpec(design=d, policy=p, slack=PROTOCOL_SLACK)
+                   for d, p in wanted if (d, p.value) not in self.flows]
+        if not missing:
+            return
+        if any(job.policy == Policy.SMART_ML for job in missing):
+            self.guide()  # fit before workers fork
+        results = self.runner.run(missing, jobs=bench_jobs(),
+                                  return_flows=True)
+        for result in results:
+            key = (result.job.design, result.job.policy.value)
+            self.flows[key] = result.flow
 
     def flow(self, design_name: str, policy: Policy) -> FlowResult:
         key = (design_name, policy.value)
         if key not in self.flows:
-            design = generate_design(spec_by_name(design_name))
-            kwargs = {}
-            if policy == Policy.SMART_ML:
-                kwargs["guide"] = self.guide()
-            self.flows[key] = run_flow(
-                design, self.tech, policy=policy,
-                targets=self.targets_for(design_name), **kwargs)
+            self.ensure((design_name,), (policy,))
         return self.flows[key]
 
 
@@ -90,14 +117,24 @@ _MATRIX: Optional[SuiteMatrix] = None
 
 @pytest.fixture(scope="session")
 def matrix() -> SuiteMatrix:
+    # Artifact reuse within the session (shared builds, deduped
+    # references) without trusting a stale persistent cache from an
+    # older code state: the store lives in a fresh temp dir unless the
+    # user explicitly points REPRO_CACHE_DIR somewhere durable.
     global _MATRIX
     if _MATRIX is None:
-        _MATRIX = SuiteMatrix(tech=default_technology())
+        import tempfile
+
+        store = (os.environ.get("REPRO_CACHE_DIR")
+                 or tempfile.mkdtemp(prefix="repro-bench-artifacts-"))
+        _MATRIX = SuiteMatrix(runner=FlowRunner(store=store,
+                                                jobs=bench_jobs()))
     return _MATRIX
 
 
 @pytest.fixture(scope="session")
-def tech() -> Technology:
+def tech():
+    from repro.tech import default_technology
     return default_technology()
 
 

@@ -2,55 +2,82 @@
 
 Subcommands::
 
-    python -m repro suite                       # benchmark statistics
-    python -m repro run --design ckt256 --policy smart
-    python -m repro compare --design ckt256 [--with-ml]
-    python -m repro sweep --design ckt128 --slacks 0.6,0.3,0.15
+    python -m repro suite [--jobs N]            # benchmark statistics
+    python -m repro run --design ckt256 --policy smart [--json]
+    python -m repro compare --design ckt256 [--with-ml] [--jobs N] [--json]
+    python -m repro sweep --design ckt128 --slacks 0.6,0.3,0.15 [--jobs N]
     python -m repro lint --design ckt256 --policy smart [--json]
 
 ``--design`` accepts a built-in benchmark name or a path to a design
 JSON file (see :mod:`repro.io`).  Robustness budgets default to the
 all-NDR-reference peg; ``--slack`` controls its tightness.
 
+Every command schedules its flows through the
+:class:`~repro.runner.FlowRunner`: the all-NDR reference is a cached
+upstream job computed once per (design, tech), the default-rule build
+is shared across policies and slacks, and completed cells are
+content-addressed in the on-disk artifact store, so repeat invocations
+are warm.  ``--jobs N`` fans the cells out over worker processes;
+``--no-cache`` (before the subcommand) disables the artifact store.
+
 ``--profile`` (before the subcommand) prints a per-phase wall-time
-breakdown of the run — see :mod:`repro.perf`.
+breakdown of the run — worker phase timings are streamed back into the
+parent's report — see :mod:`repro.perf`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from pathlib import Path
 
 from repro import perf
 from repro.bench import benchmark_suite, generate_design, spec_by_name
-from repro.core import (NdrClassifierGuide, Policy, run_flow,
-                        targets_from_reference)
-from repro.io import load_design, save_rule_assignment, write_wire_report
+from repro.core import NdrClassifierGuide, Policy
+from repro.io import save_rule_assignment, write_wire_report
+from repro.runner import FlowRunner, JobSpec, RunMatrix, resolve_design
 from repro.viz import save_clock_svg
 from repro.reporting import Table
 from repro.tech import default_technology
 
 
-def _load_design(name_or_path: str):
-    if Path(name_or_path).suffix == ".json":
-        return load_design(name_or_path)
-    return generate_design(spec_by_name(name_or_path))
+def _runner(args, guide=None) -> FlowRunner:
+    """The command's flow runner (store per ``--no-cache``)."""
+    return FlowRunner(tech=default_technology(),
+                      store=not getattr(args, "no_cache", False),
+                      jobs=getattr(args, "jobs", 1), guide=guide)
 
 
-def _targets(design_factory, tech, slack: float):
-    reference = run_flow(design_factory(), tech, policy=Policy.ALL_NDR)
-    return targets_from_reference(reference.analyses, tech, slack=slack)
+def _fit_guide() -> NdrClassifierGuide:
+    """The inline-trained guide the ML policy paths use."""
+    guide = NdrClassifierGuide(seed=0)
+    guide.fit_designs([generate_design(spec_by_name(n))
+                       for n in ("ckt64", "ckt128")], default_technology())
+    return guide
 
 
-def _flow_row(table: Table, flow) -> None:
-    a = flow.analyses
-    hist = flow.rule_histogram
+def _result_dict(result) -> dict:
+    """One JSON row per cell (mirrors ``repro lint --json``'s spirit)."""
+    return {
+        "design": result.job.design,
+        "policy": result.job.policy.value,
+        "slack": result.job.slack,
+        "feasible": result.feasible,
+        "cached": result.cached,
+        "runtime_s": result.runtime,
+        "summary": result.summary,
+        "rule_histogram": result.rule_histogram,
+    }
+
+
+def _result_row(table: Table, result) -> None:
+    s = result.summary
+    hist = result.rule_histogram
     upgraded = sum(hist.values()) - hist.get("W1S1", 0)
-    table.add_row(flow.policy.value, flow.clock_power, a.power.wire_cap,
-                  a.timing.skew, a.crosstalk.worst_delta, a.mc.skew_3sigma,
-                  int(a.em.num_violations), upgraded,
-                  "yes" if flow.feasible else "NO")
+    table.add_row(result.job.policy.value, s["power_uw"], s["wire_cap_ff"],
+                  s["skew_ps"], s["worst_delta_ps"], s["skew_3sigma_ps"],
+                  int(s["em_violations"]), upgraded,
+                  "yes" if result.feasible else "NO")
 
 
 def _policy_table(title: str) -> Table:
@@ -58,42 +85,62 @@ def _policy_table(title: str) -> Table:
                          "3sig ps", "EM", "upgraded", "feasible"])
 
 
-def cmd_suite(_args) -> int:
+def cmd_suite(args) -> int:
     """Print default-rule statistics for the whole benchmark suite."""
-    from repro.core.flow import build_physical_design
-    from repro.timing import analyze_clock_timing
-
-    tech = default_technology()
+    specs = list(benchmark_suite())
+    rows = _suite_rows(specs, args)
     table = Table("Benchmark suite (default-rule routing)",
                   ["design", "sinks", "die um", "aggr", "clk WL um",
                    "latency ps", "skew ps"])
-    for spec in benchmark_suite():
-        phys = build_physical_design(generate_design(spec), tech)
-        timing = analyze_clock_timing(phys.extraction.network, tech)
-        table.add_row(spec.name, spec.n_sinks, spec.die_edge,
-                      spec.n_aggressors, phys.routing.clock_wirelength(),
-                      timing.latency, timing.skew)
+    for row in rows:
+        table.add_row(*row)
     print(table.render())
     return 0
 
 
+def _suite_row(name: str, store_root) -> tuple:
+    """One suite table row (runs in a worker when ``--jobs`` > 1)."""
+    from repro.core.flow import build_physical_design
+    from repro.io import ArtifactStore
+    from repro.timing import analyze_clock_timing
+
+    spec = spec_by_name(name)
+    tech = default_technology()
+    store = ArtifactStore(store_root) if store_root else None
+    phys = build_physical_design(generate_design(spec), tech, store=store)
+    timing = analyze_clock_timing(phys.extraction.network, tech)
+    return (spec.name, spec.n_sinks, spec.die_edge, spec.n_aggressors,
+            phys.routing.clock_wirelength(), timing.latency, timing.skew)
+
+
+def _suite_rows(specs, args) -> list[tuple]:
+    from repro.io import default_cache_dir
+
+    store_root = None if args.no_cache else str(default_cache_dir())
+    if args.jobs <= 1:
+        return [_suite_row(spec.name, store_root) for spec in specs]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(args.jobs, len(specs))) as pool:
+        return list(pool.map(_suite_row, [s.name for s in specs],
+                             [store_root] * len(specs)))
+
+
 def cmd_run(args) -> int:
     """Run one policy on one design; optional rules/report/SVG outputs."""
-    tech = default_technology()
     policy = Policy(args.policy)
-    targets = _targets(lambda: _load_design(args.design), tech, args.slack)
-    kwargs = {}
-    if policy == Policy.SMART_ML:
-        guide = NdrClassifierGuide(seed=0)
-        guide.fit_designs([generate_design(spec_by_name(n))
-                           for n in ("ckt64", "ckt128")], tech)
-        kwargs["guide"] = guide
-    flow = run_flow(_load_design(args.design), tech, policy=policy,
-                    targets=targets, **kwargs)
-    table = _policy_table(f"{args.design} under {policy.value}")
-    _flow_row(table, flow)
-    print(table.render())
-    if args.verbose:
+    guide = _fit_guide() if policy == Policy.SMART_ML else None
+    runner = _runner(args, guide=guide)
+    job = JobSpec(design=args.design, policy=policy, slack=args.slack)
+    result = runner.run_job(job, return_flow=True)
+    flow = result.flow
+    if args.json:
+        print(json.dumps(_result_dict(result), indent=2, sort_keys=True))
+    else:
+        table = _policy_table(f"{args.design} under {policy.value}")
+        _result_row(table, result)
+        print(table.render())
+    if args.verbose and not args.json:
         from repro.reporting import analysis_summary
 
         print()
@@ -102,60 +149,73 @@ def cmd_run(args) -> int:
     if args.save_rules:
         n = save_rule_assignment(flow.physical.routing, args.save_rules,
                                  design_name=flow.design_name)
-        print(f"saved {n} non-default rules to {args.save_rules}")
+        if not args.json:
+            print(f"saved {n} non-default rules to {args.save_rules}")
     if args.wire_report:
         n = write_wire_report(flow.physical.extraction, args.wire_report)
-        print(f"wrote {n} wires to {args.wire_report}")
+        if not args.json:
+            print(f"wrote {n} wires to {args.wire_report}")
     if args.svg:
         save_clock_svg(flow.physical.tree, flow.physical.routing, args.svg,
                        title=f"{flow.design_name} / {policy.value}",
                        blockages=flow.physical.design.blockages)
-        print(f"rendered clock tree to {args.svg}")
-    return 0 if flow.feasible else 1
+        if not args.json:
+            print(f"rendered clock tree to {args.svg}")
+    return 0 if result.feasible else 1
 
 
 def cmd_compare(args) -> int:
     """Compare NO/ALL/SMART (and optionally ML) on one design."""
-    tech = default_technology()
-    targets = _targets(lambda: _load_design(args.design), tech, args.slack)
     policies = [Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART]
-    kwargs_of = {policy: {} for policy in policies}
+    guide = None
     if args.with_ml:
-        guide = NdrClassifierGuide(seed=0)
-        guide.fit_designs([generate_design(spec_by_name(n))
-                           for n in ("ckt64", "ckt128")], tech)
+        guide = _fit_guide()
         policies.append(Policy.SMART_ML)
-        kwargs_of[Policy.SMART_ML] = {"guide": guide}
+    runner = _runner(args, guide=guide)
+    matrix = RunMatrix(designs=(args.design,), policies=tuple(policies),
+                       slacks=(args.slack,))
+    results = runner.run(matrix, jobs=args.jobs)
+    by_policy = {r.job.policy: r for r in results}
+    p_all = by_policy[Policy.ALL_NDR].summary["power_uw"]
+    p_smart = by_policy[Policy.SMART].summary["power_uw"]
+    saving = 100.0 * (p_all - p_smart) / p_all
+    if args.json:
+        print(json.dumps({
+            "design": args.design,
+            "slack": args.slack,
+            "smart_saving_pct": saving,
+            "rows": [_result_dict(r) for r in results],
+        }, indent=2, sort_keys=True))
+        return 0
     table = _policy_table(f"{args.design}: policy comparison "
                           f"(slack {args.slack:.2f})")
-    flows = {}
-    for policy in policies:
-        flow = run_flow(_load_design(args.design), tech, policy=policy,
-                        targets=targets, **kwargs_of[policy])
-        flows[policy] = flow
-        _flow_row(table, flow)
+    for result in results:
+        _result_row(table, result)
     print(table.render())
-    p_all = flows[Policy.ALL_NDR].clock_power
-    p_smart = flows[Policy.SMART].clock_power
-    print(f"smart saves {100 * (p_all - p_smart) / p_all:.1f}% vs all-ndr")
+    print(f"smart saves {saving:.1f}% vs all-ndr")
     return 0
 
 
 def cmd_sweep(args) -> int:
-    """Sweep the budget slack for the smart policy."""
-    tech = default_technology()
-    slacks = [float(s) for s in args.slacks.split(",")]
+    """Sweep the budget slack for the smart policy.
+
+    The all-NDR reference is computed once per design and every slack's
+    budgets derive from it — a sweep costs one reference plus one smart
+    flow per point, not one reference per point.
+    """
+    slacks = sorted((float(s) for s in args.slacks.split(",")), reverse=True)
+    runner = _runner(args)
+    matrix = RunMatrix(designs=(args.design,), policies=(Policy.SMART,),
+                       slacks=tuple(slacks))
+    results = runner.run(matrix, jobs=args.jobs)
     table = Table(f"{args.design}: budget-slack sweep",
                   ["slack", "P (uW)", "upgraded %", "feasible"])
-    for slack in sorted(slacks, reverse=True):
-        targets = _targets(lambda: _load_design(args.design), tech, slack)
-        flow = run_flow(_load_design(args.design), tech,
-                        policy=Policy.SMART, targets=targets)
-        hist = flow.rule_histogram
+    for result in results:
+        hist = result.rule_histogram
         total = sum(hist.values())
-        table.add_row(slack, flow.clock_power,
+        table.add_row(result.job.slack, result.summary["power_uw"],
                       100.0 * (total - hist.get("W1S1", 0)) / total,
-                      "yes" if flow.feasible else "NO")
+                      "yes" if result.feasible else "NO")
     print(table.render())
     return 0
 
@@ -168,6 +228,7 @@ def cmd_lint(args) -> int:
     structural coherence, not quality-of-result, so the cheap targets
     are enough to drive the flow under inspection.
     """
+    from repro.core import run_flow
     from repro.core.targets import RobustnessTargets
     from repro.verify import registered_checks, run_checks, VerifyContext
 
@@ -180,7 +241,7 @@ def cmd_lint(args) -> int:
               file=sys.stderr)
         return 2
     tech = default_technology()
-    design = _load_design(args.design)
+    design = resolve_design(args.design)
     targets = RobustnessTargets.for_period(design.clock_period,
                                            tech.max_slew)
     flow = run_flow(design, tech, policy=Policy(args.policy),
@@ -202,9 +263,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="Smart non-default clock routing flows")
     parser.add_argument("--profile", action="store_true",
                         help="print per-phase wall-time breakdown at exit")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed artifact store")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("suite", help="print benchmark suite statistics")
+    def add_jobs(p) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for flow cells (default 1)")
+
+    p_suite = sub.add_parser("suite", help="print benchmark suite statistics")
+    add_jobs(p_suite)
 
     p_run = sub.add_parser("run", help="run one policy on one design")
     p_run.add_argument("--design", required=True,
@@ -221,17 +289,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render the routed clock tree to this SVG path")
     p_run.add_argument("--verbose", action="store_true",
                        help="print the full signoff-style summary")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit the result row as JSON")
+    add_jobs(p_run)
 
     p_cmp = sub.add_parser("compare", help="compare policies on one design")
     p_cmp.add_argument("--design", required=True)
     p_cmp.add_argument("--slack", type=float, default=0.15)
     p_cmp.add_argument("--with-ml", action="store_true",
                        help="include the ML-guided policy (trains inline)")
+    p_cmp.add_argument("--json", action="store_true",
+                       help="emit the comparison rows as JSON")
+    add_jobs(p_cmp)
 
     p_sweep = sub.add_parser("sweep", help="sweep budget slack (smart policy)")
     p_sweep.add_argument("--design", required=True)
     p_sweep.add_argument("--slacks", default="0.6,0.3,0.15",
                          help="comma-separated slack values")
+    add_jobs(p_sweep)
 
     p_lint = sub.add_parser(
         "lint", help="run the static DRC/ERC + engine-oracle verifier")

@@ -1,13 +1,18 @@
 """The end-to-end smart-NDR flow.
 
 ``run_flow`` is the library's front door: given a placed design and a
-policy, it synthesizes the clock tree, routes clock and aggressors,
-trims skew, assigns routing rules per the policy, re-trims, and returns
-a fully analyzed :class:`FlowResult`.
+policy, it drives the four-stage pipeline (:mod:`repro.core.stages`) —
+``build`` (CTS + route + trim), ``policy`` (rule assignment),
+``retrim``, ``analyze`` — and returns a fully analyzed
+:class:`FlowResult`.
 
 Every policy starts from a *fresh* physical build of the same design so
 comparisons are apples-to-apples (the skew-trimming pads are re-derived
-under each policy's own extraction).
+under each policy's own extraction).  With an
+:class:`~repro.io.artifacts.ArtifactStore` passed as ``store``, the
+deterministic default-rule build is computed once per (design, tech,
+stage params) and each policy receives its own snapshot of it — same
+semantics, one build instead of one per cell.
 """
 
 from __future__ import annotations
@@ -17,18 +22,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro import perf
-from repro.core.evaluation import AnalysisBundle, analyze_all
-from repro.core.optimizer import OptimizeResult, SmartNdrOptimizer
-from repro.core.policies import (Policy, apply_random_policy,
-                                 apply_uniform_policy)
+from repro.core.evaluation import AnalysisBundle
+from repro.core.optimizer import OptimizeResult
+from repro.core.policies import Policy
+from repro.core.stages import (BuildParams, PolicyParams, analyze_stage,
+                               build_stage, policy_stage, retrim_stage)
 from repro.core.targets import RobustnessTargets
-from repro.cts.refine import RefineResult, refine_skew
-from repro.cts.synthesize import CtsResult, synthesize_clock_tree
+from repro.cts.refine import RefineResult
+from repro.cts.synthesize import CtsResult
 from repro.cts.tree import ClockTree
-from repro.extract.extractor import Extraction, extract
+from repro.extract.extractor import Extraction
 from repro.netlist.design import Design
-from repro.route.router import Router, RoutingResult
+from repro.route.router import RoutingResult
 from repro.tech.technology import Technology, default_technology
 
 
@@ -96,21 +101,24 @@ class FlowResult:
 
 
 def build_physical_design(design: Design, tech: Optional[Technology] = None,
-                          max_stage_cap: float = 0.0) -> PhysicalDesign:
-    """CTS + routing + skew trim, with all wires on the default rule."""
+                          max_stage_cap: float = 0.0,
+                          store=None) -> PhysicalDesign:
+    """CTS + routing + skew trim, with all wires on the default rule.
+
+    With ``store`` (an :class:`~repro.io.artifacts.ArtifactStore`), the
+    build is content-addressed and a hit returns a fresh snapshot.
+    """
     tech = tech if tech is not None else default_technology()
-    cts = synthesize_clock_tree(design, tech, max_stage_cap=max_stage_cap)
-    routing = Router(design, tech).route(cts.tree)
-    refine = refine_skew(cts.tree, routing, tech)
-    return PhysicalDesign(design=design, tech=tech, tree=cts.tree,
-                          routing=routing, cts=cts, refine=refine)
+    return build_stage(design, tech,
+                       BuildParams(max_stage_cap=max_stage_cap), store=store)
 
 
 def run_flow(design: Design, tech: Optional[Technology] = None,
              policy: Policy = Policy.SMART,
              targets: Optional[RobustnessTargets] = None,
              random_fraction: float = 0.3, random_seed: int = 0,
-             guide=None, lambda_track: float = 0.05) -> FlowResult:
+             guide=None, lambda_track: float = 0.05,
+             store=None) -> FlowResult:
     """Run one policy end to end on ``design``.
 
     Parameters
@@ -124,6 +132,11 @@ def run_flow(design: Design, tech: Optional[Technology] = None,
         (:meth:`RobustnessTargets.for_period`).
     random_fraction / random_seed:
         Only used by ``Policy.RANDOM``.
+    store:
+        Optional :class:`~repro.io.artifacts.ArtifactStore`; the build
+        stage is then shared across invocations (each policy mutates
+        its own snapshot, so results are bitwise identical to a fresh
+        build).
 
     For the optimizing policies, an EM violation that survives with
     every violating wire already at the widest rule means no rule
@@ -137,51 +150,34 @@ def run_flow(design: Design, tech: Optional[Technology] = None,
         targets = RobustnessTargets.for_period(design.clock_period,
                                                tech.max_slew)
     start = time.perf_counter()
-    freq = design.clock_freq
     optimizing = policy in (Policy.SMART, Policy.SMART_SHIELD,
                             Policy.SMART_ML)
+    policy_params = PolicyParams(policy=policy,
+                                 random_fraction=random_fraction,
+                                 random_seed=random_seed,
+                                 lambda_track=lambda_track)
     # Track the stage budget explicitly so retries actually shrink it
     # (insert_buffers uses 25% of the largest buffer's load by default).
     stage_budget = 0.25 * tech.buffers.largest.max_cap
-    max_stage_cap = 0.0  # build_physical_design's default (== stage_budget)
+    max_stage_cap = 0.0  # build_stage's default (== stage_budget)
     widest = max(tech.rules, key=lambda r: r.width_mult)
 
     for attempt in range(3):
-        with perf.phase("flow.build"):
-            physical = build_physical_design(design, tech,
-                                             max_stage_cap=max_stage_cap)
-        tree, routing = physical.tree, physical.routing
+        physical = build_stage(design, tech,
+                               BuildParams(max_stage_cap=max_stage_cap),
+                               store=store)
+        routing = physical.routing
 
-        optimize: Optional[OptimizeResult] = None
-        if policy in (Policy.NO_NDR, Policy.ALL_NDR, Policy.WIDTH_ONLY,
-                      Policy.SPACE_ONLY):
-            apply_uniform_policy(routing, policy)
-        elif policy == Policy.RANDOM:
-            apply_random_policy(routing, random_fraction, seed=random_seed)
-        elif policy in (Policy.SMART, Policy.SMART_SHIELD):
-            optimizer = SmartNdrOptimizer(
-                tree, routing, tech, targets, freq,
-                lambda_track=lambda_track,
-                use_shielding=(policy == Policy.SMART_SHIELD))
-            with perf.phase("flow.optimize"):
-                optimize = optimizer.run()
-        elif policy == Policy.SMART_ML:
-            if guide is None:
-                raise ValueError("Policy.SMART_ML requires a fitted guide")
-            optimize = guide.assign(tree, routing, tech, targets, freq)
-        else:  # pragma: no cover - exhaustive over the enum
-            raise ValueError(f"unhandled policy {policy}")
+        optimize = policy_stage(physical, targets, policy_params,
+                                guide=guide)
 
         # Rule changes shift stage delays; re-trim and take final
         # analyses.  When the optimizer ran with its incremental engine,
         # keep driving it — the final refine then rebuilds only the
         # trimmed stages instead of re-extracting the network.
         engine = optimize.engine if optimize is not None else None
-        with perf.phase("flow.final"):
-            refine = refine_skew(tree, routing, tech, engine=engine)
-            physical.refine = refine
-            analyses = analyze_all(refine.extraction, tech, freq, targets,
-                                   engine=engine)
+        retrim_stage(physical, engine=engine)
+        analyses = analyze_stage(physical, targets, engine=engine)
 
         if not optimizing or _em_fixable_by_rules(analyses, routing, widest) \
                 or analyses.feasible(targets) or attempt == 2:

@@ -27,11 +27,9 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.evaluation import targets_from_reference
 from repro.core.features import WIRE_FEATURE_NAMES, wire_feature_matrix
-from repro.core.flow import build_physical_design, run_flow
+from repro.core.flow import build_physical_design
 from repro.core.optimizer import OptimizeResult, SmartNdrOptimizer
-from repro.core.policies import Policy
 from repro.core.targets import RobustnessTargets
 from repro.cts.tree import ClockTree
 from repro.extract.extractor import extract
@@ -45,6 +43,32 @@ from repro.tech.technology import Technology, default_technology
 
 #: Label index per rule name (classifier classes).
 RULE_CLASSES: tuple[str, ...] = tuple(rule.name.value for rule in RULE_SET)
+
+
+def collect_teacher_samples(design: Design, tech: Technology,
+                            targets: RobustnessTargets,
+                            store=None) -> tuple[np.ndarray, np.ndarray]:
+    """Run the greedy teacher on one design; return (X, y).
+
+    Features are computed at the default-rule state (before the
+    optimizer touches rules), labels are the rules the optimizer
+    finally assigned.  With ``store`` the default-rule build comes from
+    the content-addressed artifact cache.
+    """
+    physical = build_physical_design(design, tech, store=store)
+    tree, routing = physical.tree, physical.routing
+    freq = design.clock_freq
+    extraction = physical.extraction
+    em = analyze_em(extraction.network, routing, tech.vdd, freq,
+                    em_factor=DEFAULT_EM_FACTOR)
+    wire_ids, X = wire_feature_matrix(tree, extraction, em)
+
+    optimizer = SmartNdrOptimizer(tree, routing, tech, targets, freq)
+    optimizer.run()
+    label_of = {name: i for i, name in enumerate(RULE_CLASSES)}
+    y = np.array([label_of[routing.tracks.wire(wid).rule.name.value]
+                  for wid in wire_ids], dtype=int)
+    return X, y
 
 
 @dataclass
@@ -71,45 +95,25 @@ class NdrClassifierGuide:
     def collect(self, design: Design, tech: Technology,
                 targets: RobustnessTargets) -> tuple[np.ndarray, np.ndarray]:
         """Run the greedy teacher on one design; return (X, y)."""
-        physical = build_physical_design(design, tech)
-        tree, routing = physical.tree, physical.routing
-        freq = design.clock_freq
-        # Default-state features (before the optimizer touches rules).
-        extraction = physical.extraction
-        em = analyze_em(extraction.network, routing, tech.vdd, freq,
-                        em_factor=DEFAULT_EM_FACTOR)
-        wire_ids, X = wire_feature_matrix(tree, extraction, em)
-
-        optimizer = SmartNdrOptimizer(tree, routing, tech, targets, freq)
-        optimizer.run()
-        label_of = {name: i for i, name in enumerate(RULE_CLASSES)}
-        y = np.array([label_of[routing.tracks.wire(wid).rule.name.value]
-                      for wid in wire_ids], dtype=int)
-        return X, y
+        return collect_teacher_samples(design, tech, targets)
 
     def fit_designs(self, designs: Sequence[Design],
                     tech: Optional[Technology] = None,
-                    targets: Optional[RobustnessTargets] = None) -> TrainingStats:
-        """Train on the greedy optimizer's decisions over ``designs``."""
-        if not designs:
-            raise ValueError("need at least one training design")
+                    targets: Optional[RobustnessTargets] = None,
+                    jobs: int = 1, store=None) -> TrainingStats:
+        """Train on the greedy optimizer's decisions over ``designs``.
+
+        Sample generation goes through
+        :func:`repro.ml.data.teacher_dataset`: with ``jobs > 1`` each
+        design's teacher run executes in its own worker process, and
+        with ``store`` the reference builds come from the shared
+        artifact cache.
+        """
+        from repro.ml.data import teacher_dataset
+
         tech = tech if tech is not None else default_technology()
-        xs, ys = [], []
-        for design in designs:
-            if targets is not None:
-                design_targets = targets
-            else:
-                # Peg the teacher's budgets to the design's own all-NDR
-                # reference — the same protocol evaluation uses — so the
-                # learned labels transfer.
-                reference = run_flow(design, tech, policy=Policy.ALL_NDR)
-                design_targets = targets_from_reference(reference.analyses,
-                                                        tech)
-            X, y = self.collect(design, tech, design_targets)
-            xs.append(X)
-            ys.append(y)
-        X = np.vstack(xs)
-        y = np.concatenate(ys)
+        X, y = teacher_dataset(designs, tech, targets=targets, jobs=jobs,
+                               store=store)
         self.model.fit(X, y)
         pred = self.model.predict(X)
         counts = {name: int(np.sum(y == i))

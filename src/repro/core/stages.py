@@ -1,0 +1,167 @@
+"""The flow as a typed stage pipeline.
+
+``run_flow`` used to be a monolith; it is now a composition of four
+stages, each consuming and producing serializable artifacts:
+
+``build``
+    CTS + routing + skew trim with every wire on the default rule.
+    Deterministic in (design, technology, stage params), so its product
+    is content-addressed: with an :class:`~repro.io.artifacts.ArtifactStore`
+    the build is computed once per design and *shared* across policies,
+    slacks, and repeat invocations.  Per-policy fresh-build semantics
+    are preserved because the store always hands back a snapshot (a
+    fresh deserialisation) that the policy stage may mutate freely.
+``policy``
+    Rule assignment: one of the uniform baselines, the random baseline,
+    the greedy optimizer, or the ML guide.  Mutates the routing in
+    place and returns the optimizer result (None for baselines).
+``retrim``
+    Re-trim skew after the rule changes shifted stage delays.
+``analyze``
+    The full robustness/power analysis bundle of the final extraction.
+
+Each stage reports into :mod:`repro.perf` under ``flow.<stage>`` so a
+profiled run shows the pipeline breakdown per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import perf
+from repro.core.evaluation import AnalysisBundle, analyze_all
+from repro.core.optimizer import OptimizeResult, SmartNdrOptimizer
+from repro.core.policies import (Policy, apply_random_policy,
+                                 apply_uniform_policy)
+from repro.core.targets import RobustnessTargets
+from repro.cts.refine import refine_skew
+from repro.cts.synthesize import synthesize_clock_tree
+from repro.netlist.design import Design
+from repro.route.router import Router
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class BuildParams:
+    """Parameters the ``build`` stage is content-addressed by."""
+
+    max_stage_cap: float = 0.0
+
+
+@dataclass(frozen=True)
+class PolicyParams:
+    """Parameters the ``policy`` stage is content-addressed by.
+
+    ``random_fraction``/``random_seed`` only matter to ``RANDOM``;
+    ``lambda_track``/``verify_every`` only to the optimizing policies —
+    they are normalised out of the fingerprint for the others (see
+    :meth:`normalized`) so e.g. an ALL_NDR cell hashes identically no
+    matter what optimizer knobs rode along.
+    """
+
+    policy: Policy = Policy.SMART
+    random_fraction: float = 0.3
+    random_seed: int = 0
+    lambda_track: float = 0.05
+    verify_every: int = 0
+
+    def normalized(self) -> "PolicyParams":
+        """Drop knobs the policy does not read (stable cache keys)."""
+        if self.policy == Policy.RANDOM:
+            return PolicyParams(policy=self.policy,
+                                random_fraction=self.random_fraction,
+                                random_seed=self.random_seed)
+        if self.policy in (Policy.SMART, Policy.SMART_SHIELD):
+            return PolicyParams(policy=self.policy,
+                                lambda_track=self.lambda_track,
+                                verify_every=self.verify_every)
+        return PolicyParams(policy=self.policy)
+
+
+def build_stage(design: Design, tech: Technology,
+                params: BuildParams = BuildParams(),
+                store=None) -> "PhysicalDesign":
+    """CTS + route + trim on the default rule; cached when ``store`` given.
+
+    A cache hit returns a fresh deserialisation (never a shared live
+    object), so the caller may mutate the result; a cache miss builds,
+    snapshots the pristine state into the store, and returns the live
+    build.
+    """
+    from repro.core.flow import PhysicalDesign
+
+    if store is not None:
+        from repro.io.artifacts import (content_key, design_fingerprint,
+                                        technology_fingerprint)
+        key = content_key("build",
+                          design=design_fingerprint(design),
+                          tech=technology_fingerprint(tech),
+                          params=params)
+        cached = store.load(key)
+        if cached is not None and isinstance(cached, PhysicalDesign):
+            return cached
+
+    with perf.phase("flow.build"):
+        cts = synthesize_clock_tree(design, tech,
+                                    max_stage_cap=params.max_stage_cap)
+        routing = Router(design, tech).route(cts.tree)
+        refine = refine_skew(cts.tree, routing, tech)
+        physical = PhysicalDesign(design=design, tech=tech, tree=cts.tree,
+                                  routing=routing, cts=cts, refine=refine)
+    if store is not None:
+        store.save(key, physical)
+    return physical
+
+
+def policy_stage(physical: "PhysicalDesign", targets: RobustnessTargets,
+                 params: PolicyParams,
+                 guide=None) -> Optional[OptimizeResult]:
+    """Assign routing rules per ``params.policy`` (mutates the routing)."""
+    tree, routing, tech = physical.tree, physical.routing, physical.tech
+    freq = physical.design.clock_freq
+    policy = params.policy
+
+    with perf.phase("flow.policy"):
+        if policy in (Policy.NO_NDR, Policy.ALL_NDR, Policy.WIDTH_ONLY,
+                      Policy.SPACE_ONLY):
+            apply_uniform_policy(routing, policy)
+            return None
+        if policy == Policy.RANDOM:
+            apply_random_policy(routing, params.random_fraction,
+                                seed=params.random_seed)
+            return None
+        if policy in (Policy.SMART, Policy.SMART_SHIELD):
+            optimizer = SmartNdrOptimizer(
+                tree, routing, tech, targets, freq,
+                lambda_track=params.lambda_track,
+                use_shielding=(policy == Policy.SMART_SHIELD),
+                verify_every=params.verify_every)
+            with perf.phase("flow.optimize"):
+                return optimizer.run()
+        if policy == Policy.SMART_ML:
+            if guide is None:
+                raise ValueError("Policy.SMART_ML requires a fitted guide")
+            return guide.assign(tree, routing, tech, targets, freq)
+        raise ValueError(f"unhandled policy {policy}")  # pragma: no cover
+
+
+def retrim_stage(physical: "PhysicalDesign", engine=None) -> None:
+    """Re-trim skew after rule changes; updates ``physical.refine``.
+
+    With ``engine`` (the optimizer's incremental engine over the same
+    routing), the trim rebuilds only the touched stages instead of
+    re-extracting the whole network.
+    """
+    with perf.phase("flow.retrim"):
+        physical.refine = refine_skew(physical.tree, physical.routing,
+                                      physical.tech, engine=engine)
+
+
+def analyze_stage(physical: "PhysicalDesign", targets: RobustnessTargets,
+                  engine=None) -> AnalysisBundle:
+    """Full analysis bundle of the (re-trimmed) extraction."""
+    with perf.phase("flow.analyze"):
+        return analyze_all(physical.extraction, physical.tech,
+                           physical.design.clock_freq, targets,
+                           engine=engine)

@@ -9,8 +9,17 @@ from repro.io.design_json import design_to_dict, design_from_dict, save_design, 
 from repro.io.rules_json import (save_rule_assignment, load_rule_assignment,
                                  apply_rule_assignment)
 from repro.io.report import write_wire_report
+from repro.io.artifacts import (ArtifactStore, content_key, default_cache_dir,
+                                design_fingerprint, fingerprint,
+                                technology_fingerprint)
 
 __all__ = [
+    "ArtifactStore",
+    "content_key",
+    "default_cache_dir",
+    "design_fingerprint",
+    "fingerprint",
+    "technology_fingerprint",
     "design_to_dict",
     "design_from_dict",
     "save_design",

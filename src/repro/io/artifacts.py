@@ -1,0 +1,197 @@
+"""Content-addressed artifact store for flow-stage products.
+
+Every stage of the flow pipeline (:mod:`repro.core.stages`) consumes
+and produces serializable artifacts.  An artifact's identity is the
+content hash of everything that determines it — the design, the
+technology, and the stage parameters — so identical inputs always map
+to the same key, across processes and across interpreter runs.
+
+Two layers back the store:
+
+* an in-memory map of *pickled bytes* (not live objects), so a cache
+  hit always deserialises a fresh object graph — callers can mutate
+  the returned artifact freely without poisoning the cache (the
+  snapshot semantics ``run_flow`` relies on);
+* an on-disk tree of pickle files under ``root/<kk>/<key>.pkl``,
+  shared by worker processes and by repeat invocations.
+
+Corruption of a stored artifact (truncated write, stale schema,
+unpicklable payload) is never fatal: ``load`` returns ``None``, the
+bad file is removed, and the caller rebuilds from scratch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Optional, Union
+
+#: Bump to invalidate every previously stored artifact (schema change).
+ARTIFACT_SCHEMA = 1
+
+#: Environment variable overriding the default on-disk cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The on-disk cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "artifacts"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable canonical form for hashing.
+
+    Dataclasses become ``{field: value}`` dicts tagged with the class
+    name, enums their values, tuples/sets lists; anything else must
+    already be JSON-native (the fallback ``repr`` would be unstable
+    across processes, so unknown objects raise instead).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly; json.dumps uses it too.
+        return obj
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": obj.value}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: _canonical(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)}
+        return {"__dataclass__": type(obj).__name__, "fields": fields}
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(),
+                                                         key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted((_canonical(v) for v in obj), key=repr)
+    # numpy scalars quack like python numbers.
+    if hasattr(obj, "item") and callable(obj.item):
+        return _canonical(obj.item())
+    raise TypeError(f"cannot canonicalise {type(obj).__name__} for hashing; "
+                    f"pass dataclasses, enums, or JSON-native values")
+
+
+def fingerprint(obj: Any) -> str:
+    """Stable content hash (hex sha256) of any canonicalisable object."""
+    blob = json.dumps(_canonical(obj), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def content_key(kind: str, **parts: Any) -> str:
+    """The store key for a ``kind`` artifact determined by ``parts``.
+
+    The schema version is folded in so any format change invalidates
+    the whole cache rather than deserialising stale layouts.
+    """
+    return fingerprint({"schema": ARTIFACT_SCHEMA, "kind": kind,
+                        "parts": {k: _canonical(v)
+                                  for k, v in parts.items()}})
+
+
+def design_fingerprint(design: Any) -> str:
+    """Content hash of a :class:`~repro.netlist.design.Design`."""
+    from repro.io.design_json import design_to_dict
+    return fingerprint(design_to_dict(design))
+
+
+def technology_fingerprint(tech: Any) -> str:
+    """Content hash of a :class:`~repro.tech.technology.Technology`."""
+    return fingerprint(tech)
+
+
+class ArtifactStore:
+    """Two-level (memory bytes + disk pickle) content-addressed store."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None,
+                 memory_limit: int = 64) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.memory_limit = memory_limit
+        self._memory: dict[str, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of ``key`` (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- core API ------------------------------------------------------------
+
+    def save(self, key: str, obj: Any) -> None:
+        """Persist ``obj`` under ``key`` (atomic rename; best effort)."""
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._remember(key, blob)
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full cache dir degrades to memory-only.
+            pass
+
+    def load(self, key: str) -> Optional[Any]:
+        """A *fresh* deserialisation of ``key``, or None on miss/corruption."""
+        blob = self._memory.get(key)
+        if blob is None:
+            path = self.path_for(key)
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                self.misses += 1
+                return None
+        try:
+            obj = pickle.loads(blob)
+        except Exception:
+            # Truncated write or stale class layout: treat as a miss and
+            # drop the poisoned entry so the rebuild can overwrite it.
+            self.discard(key)
+            self.misses += 1
+            return None
+        self._remember(key, blob)
+        self.hits += 1
+        return obj
+
+    def has(self, key: str) -> bool:
+        """True when ``key`` is present in memory or on disk."""
+        return key in self._memory or self.path_for(key).exists()
+
+    def discard(self, key: str) -> None:
+        """Remove ``key`` from both layers (missing is fine)."""
+        self._memory.pop(key, None)
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+
+    def fetch(self, key: str, build, *args, **kwargs) -> Any:
+        """``load(key)`` or build-and-save: the one-call cache pattern."""
+        obj = self.load(key)
+        if obj is None:
+            obj = build(*args, **kwargs)
+            self.save(key, obj)
+        return obj
+
+    # -- internals -----------------------------------------------------------
+
+    def _remember(self, key: str, blob: bytes) -> None:
+        if self.memory_limit <= 0:
+            return
+        self._memory[key] = blob
+        while len(self._memory) > self.memory_limit:
+            self._memory.pop(next(iter(self._memory)))
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters (per-store-instance, this process only)."""
+        return {"hits": self.hits, "misses": self.misses}

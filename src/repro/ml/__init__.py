@@ -18,9 +18,10 @@ from repro.ml.forest import RandomForestClassifier
 from repro.ml.logistic import LogisticRegression
 from repro.ml.metrics import (accuracy, precision, recall, f1_score,
                               confusion_matrix)
-from repro.ml.data import train_test_split, Standardizer
+from repro.ml.data import teacher_dataset, train_test_split, Standardizer
 
 __all__ = [
+    "teacher_dataset",
     "DecisionTreeClassifier",
     "RandomForestClassifier",
     "LogisticRegression",

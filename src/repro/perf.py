@@ -48,6 +48,22 @@ class PhaseTimer:
         self.totals.clear()
         self.counts.clear()
 
+    def merge(self, other: "PhaseTimer | dict") -> None:
+        """Fold another timer (or an :meth:`as_dict` snapshot) into this one.
+
+        This is how per-job timings measured inside worker processes
+        stream back into the parent's report.
+        """
+        if isinstance(other, PhaseTimer):
+            for name, seconds in other.totals.items():
+                self.totals[name] = self.totals.get(name, 0.0) + seconds
+                self.counts[name] = (self.counts.get(name, 0)
+                                     + other.counts.get(name, 0))
+            return
+        for name, entry in other.items():
+            self.totals[name] = self.totals.get(name, 0.0) + entry["seconds"]
+            self.counts[name] = self.counts.get(name, 0) + entry["calls"]
+
     def as_dict(self) -> dict:
         """JSON-ready snapshot: ``{phase: {seconds, calls}}``."""
         return {name: {"seconds": self.totals[name],
@@ -104,3 +120,24 @@ def phase(name: str) -> Iterator[None]:
     else:
         with _TIMER.phase(name):
             yield
+
+
+@contextmanager
+def capture() -> Iterator[PhaseTimer]:
+    """Collect the enclosed block's phases into a fresh, yielded timer.
+
+    Any enclosing global timer still sees the phases: the captured
+    timer is merged into it on exit.  This is how the flow runner
+    attributes phases to individual jobs without losing them from a
+    ``--profile`` session total.
+    """
+    global _TIMER
+    outer = _TIMER
+    inner = PhaseTimer()
+    _TIMER = inner
+    try:
+        yield inner
+    finally:
+        _TIMER = outer
+        if outer is not None:
+            outer.merge(inner)

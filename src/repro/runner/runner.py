@@ -1,0 +1,373 @@
+"""The parallel flow runner.
+
+:class:`FlowRunner` executes a :class:`~repro.runner.matrix.RunMatrix`
+(or any list of :class:`~repro.runner.matrix.JobSpec`) with a process
+pool, deduplicating shared prerequisites and content-addressing every
+product through an :class:`~repro.io.artifacts.ArtifactStore`:
+
+* the all-NDR *reference* flow each slack-pegged cell needs for its
+  budgets runs once per design — a cached upstream job, not a per-cell
+  recomputation;
+* the default-rule *build* is shared across every policy/slack cell of
+  a design (each cell mutates its own snapshot);
+* completed *cells* are cached whole, so a warm rerun of the same
+  matrix is pure deserialisation;
+* an ALL-NDR cell is the reference flow under different budgets — the
+  runner re-wraps the cached reference instead of re-running it.
+
+Workers stream per-job :mod:`repro.perf` phase timings and static
+verification diagnostics back to the parent, and the
+``REPRO_VERIFY_FLOWS`` hook fires identically inside workers (the pool
+initializer forwards the parent's setting into each worker's
+environment before any flow runs).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional, Union
+
+from repro import perf
+from repro.core.flow import FlowResult, run_flow
+from repro.core.policies import Policy
+from repro.core.targets import RobustnessTargets
+from repro.io.artifacts import ArtifactStore, content_key
+from repro.runner.matrix import (DesignRef, JobSpec, RunMatrix,
+                                 design_ref_fingerprint, resolve_design)
+from repro.tech.technology import Technology, default_technology
+
+#: (worst_delta_ps, skew_3sigma_ps) of a design's all-NDR reference.
+RefMetrics = tuple[float, float]
+
+
+@dataclass
+class JobResult:
+    """What one matrix cell streams back to the parent.
+
+    Always lightweight-serializable: summary metrics, rule histogram,
+    per-phase timings and verification diagnostics.  The full
+    :class:`FlowResult` rides along only when the caller asked for it
+    (``return_flows=True``); it is pickled across the process boundary
+    in that case.
+    """
+
+    job: JobSpec
+    summary: dict[str, float]
+    rule_histogram: dict[str, int]
+    ndr_track_cost: float
+    feasible: bool
+    runtime: float
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+    diagnostics: list[dict] = field(default_factory=list)
+    cached: bool = False
+    flow: Optional[FlowResult] = None
+
+
+@dataclass
+class _ExecContext:
+    """Everything a job execution needs besides the job itself."""
+
+    tech: Technology
+    store: Optional[ArtifactStore]
+    verify: bool
+    guide: object = None
+    return_flows: bool = False
+
+
+def _reference_targets(design, tech: Technology,
+                       metrics: Optional[RefMetrics],
+                       slack: Optional[float]) -> RobustnessTargets:
+    """The cell's budgets: period-derived, or pegged to the reference."""
+    if slack is None or metrics is None:
+        return RobustnessTargets.for_period(design.clock_period,
+                                            tech.max_slew)
+    worst_delta, skew_3sigma = metrics
+    return RobustnessTargets.from_reference(worst_delta=worst_delta,
+                                            skew_3sigma=skew_3sigma,
+                                            max_slew=tech.max_slew,
+                                            slack=slack)
+
+
+def _guide_fingerprint(guide) -> str:
+    """Content hash of a fitted guide (cached on the instance)."""
+    from repro.io.artifacts import fingerprint
+    from repro.ml.serialize import forest_to_dict
+
+    fp = getattr(guide, "_content_fp", None)
+    if fp is None:
+        fp = fingerprint(forest_to_dict(guide.model))
+        guide._content_fp = fp
+    return fp
+
+
+def _cell_key(job: JobSpec, ctx: _ExecContext,
+              targets: RobustnessTargets) -> str:
+    """Content hash identifying one completed cell result."""
+    parts = {
+        "design": design_ref_fingerprint(job.design),
+        "tech": ctx.tech,
+        "policy": job.policy_params(),
+        "targets": targets,
+    }
+    if job.policy == Policy.SMART_ML and ctx.guide is not None:
+        parts["guide"] = _guide_fingerprint(ctx.guide)
+    return content_key("flow-cell", **parts)
+
+
+def _verify_diagnostics(flow: FlowResult, label: str) -> list[dict]:
+    """Run the static verifier; return diagnostics, raise on ERRORs."""
+    from repro.verify import (VerificationError, VerifyContext, run_checks)
+
+    report = run_checks(VerifyContext.from_flow(flow))
+    if report.has_errors:
+        raise VerificationError(report, label)
+    return [d.to_dict() for d in report.diagnostics]
+
+
+def _execute_job(job: JobSpec, metrics: Optional[RefMetrics],
+                 ctx: _ExecContext) -> JobResult:
+    """Run (or load) one cell and package the streamed result."""
+    start = time.perf_counter()
+    design = resolve_design(job.design)
+    targets = _reference_targets(design, ctx.tech, metrics, job.slack)
+    key = _cell_key(job, ctx, targets) if ctx.store is not None else None
+
+    with perf.capture() as timer:
+        flow: Optional[FlowResult] = None
+        cached = False
+        if key is not None:
+            loaded = ctx.store.load(key)
+            if isinstance(loaded, FlowResult):
+                flow, cached = loaded, True
+        if flow is None and key is not None and job.policy == Policy.ALL_NDR \
+                and job.slack is not None:
+            # An ALL-NDR cell is the reference flow under pegged
+            # budgets; re-wrap the cached reference instead of
+            # re-running it (deterministic, so numerically identical).
+            ref_job = job.reference_job()
+            ref_targets = _reference_targets(design, ctx.tech, None, None)
+            ref_key = _cell_key(ref_job, ctx, ref_targets)
+            reference = ctx.store.load(ref_key)
+            if isinstance(reference, FlowResult):
+                flow, cached = replace(reference, targets=targets), True
+                ctx.store.save(key, flow)
+        if flow is None:
+            flow = run_flow(design, ctx.tech, policy=job.policy,
+                            targets=targets,
+                            random_fraction=job.random_fraction,
+                            random_seed=job.random_seed,
+                            lambda_track=job.lambda_track,
+                            guide=ctx.guide, store=ctx.store)
+            if key is not None:
+                ctx.store.save(key, flow)
+        diagnostics: list[dict] = []
+        if ctx.verify:
+            diagnostics = _verify_diagnostics(flow, f"runner:{job.label}")
+
+    return JobResult(
+        job=job,
+        summary=flow.summary(),
+        rule_histogram=dict(flow.rule_histogram),
+        ndr_track_cost=flow.ndr_track_cost,
+        feasible=flow.feasible,
+        runtime=time.perf_counter() - start,
+        phases=timer.as_dict(),
+        diagnostics=diagnostics,
+        cached=cached,
+        flow=flow if ctx.return_flows else None,
+    )
+
+
+# -- worker-process plumbing --------------------------------------------------
+
+_WORKER_CTX: Optional[_ExecContext] = None
+
+
+def _pool_init(tech: Technology, store_root: Optional[str], verify: bool,
+               guide, return_flows: bool) -> None:
+    """Per-worker initializer: rebuild the execution context.
+
+    ``REPRO_VERIFY_FLOWS`` is forwarded explicitly so the in-flow
+    verification hook fires in workers exactly as it would in the
+    parent, regardless of how the pool was spawned.
+    """
+    global _WORKER_CTX
+    if verify:
+        os.environ["REPRO_VERIFY_FLOWS"] = "1"
+    else:
+        os.environ.pop("REPRO_VERIFY_FLOWS", None)
+    store = ArtifactStore(store_root) if store_root is not None else None
+    _WORKER_CTX = _ExecContext(tech=tech, store=store, verify=verify,
+                               guide=guide, return_flows=return_flows)
+
+
+def _pool_run(job: JobSpec, metrics: Optional[RefMetrics]) -> JobResult:
+    """Pool entry point: execute one job under the worker context."""
+    assert _WORKER_CTX is not None, "pool used before initialization"
+    return _execute_job(job, metrics, _WORKER_CTX)
+
+
+class FlowRunner:
+    """Schedules a job matrix over a process pool with artifact reuse.
+
+    Parameters
+    ----------
+    tech:
+        Technology shared by every cell (default technology if omitted).
+    store:
+        ``ArtifactStore`` instance, a path for one, or ``None`` to
+        disable caching entirely.  Defaults to the persistent
+        per-user cache (:func:`~repro.io.artifacts.default_cache_dir`).
+    jobs:
+        Default worker count for :meth:`run`; ``1`` executes in-process
+        (same code path, no pool).
+    guide:
+        Fitted :class:`~repro.core.mlguide.NdrClassifierGuide` for
+        SMART_ML cells; shipped to each worker once via the pool
+        initializer.
+    verify:
+        Run the static verifier on every cell and stream its
+        diagnostics back.  ``None`` follows ``REPRO_VERIFY_FLOWS``.
+    """
+
+    def __init__(self, tech: Optional[Technology] = None,
+                 store: Union[ArtifactStore, str, None, bool] = True,
+                 jobs: int = 1, guide=None,
+                 verify: Optional[bool] = None) -> None:
+        self.tech = tech if tech is not None else default_technology()
+        if store is True:
+            store = ArtifactStore()
+        elif store is False:
+            store = None
+        elif isinstance(store, (str, os.PathLike)):
+            store = ArtifactStore(store)
+        self.store: Optional[ArtifactStore] = store
+        self.jobs = max(1, int(jobs))
+        self.guide = guide
+        if verify is None:
+            verify = bool(os.environ.get("REPRO_VERIFY_FLOWS"))
+        self.verify = verify
+        self._ref_metrics: dict[DesignRef, RefMetrics] = {}
+
+    # -- single-cell API ------------------------------------------------------
+
+    def _context(self, return_flows: bool) -> _ExecContext:
+        return _ExecContext(tech=self.tech, store=self.store,
+                            verify=self.verify, guide=self.guide,
+                            return_flows=return_flows)
+
+    def run_job(self, job: JobSpec, return_flow: bool = True) -> JobResult:
+        """Execute one cell in-process (references resolved as needed)."""
+        metrics = self._metrics_for(job)
+        return _execute_job(job, metrics, self._context(return_flow))
+
+    def reference(self, design: DesignRef) -> FlowResult:
+        """The design's all-NDR reference flow (cached upstream job)."""
+        job = JobSpec(design=design, policy=Policy.ALL_NDR, slack=None)
+        result = _execute_job(job, None, self._context(True))
+        self._ref_metrics.setdefault(
+            design, (result.summary["worst_delta_ps"],
+                     result.summary["skew_3sigma_ps"]))
+        assert result.flow is not None
+        return result.flow
+
+    def targets_for(self, design: DesignRef,
+                    slack: float = 0.15) -> RobustnessTargets:
+        """Budgets pegged to the design's cached all-NDR reference."""
+        metrics = self._ref_metrics.get(design)
+        if metrics is None:
+            self.reference(design)
+            metrics = self._ref_metrics[design]
+        worst_delta, skew_3sigma = metrics
+        return RobustnessTargets.from_reference(worst_delta=worst_delta,
+                                                skew_3sigma=skew_3sigma,
+                                                max_slew=self.tech.max_slew,
+                                                slack=slack)
+
+    def _metrics_for(self, job: JobSpec) -> Optional[RefMetrics]:
+        if job.slack is None:
+            return None
+        if job.design not in self._ref_metrics:
+            self.reference(job.design)
+        return self._ref_metrics[job.design]
+
+    # -- matrix API -----------------------------------------------------------
+
+    def run(self, matrix: Union[RunMatrix, Iterable[JobSpec]],
+            jobs: Optional[int] = None, return_flows: bool = False,
+            on_result: Optional[Callable[[JobResult], None]] = None
+            ) -> list[JobResult]:
+        """Execute every cell; results in matrix order.
+
+        Phase 1 computes the deduplicated all-NDR references (one per
+        design, shared by every slack and policy); phase 2 runs the
+        cells.  With ``jobs > 1`` both phases use a process pool.
+        Duplicate cells execute once and fan out to every position.
+        ``on_result`` fires in completion order as cells finish.
+        """
+        job_list = list(matrix)
+        n_workers = self.jobs if jobs is None else max(1, int(jobs))
+        n_workers = min(n_workers, max(len(job_list), 1))
+
+        ref_jobs: list[JobSpec] = []
+        seen_refs: set[DesignRef] = set()
+        for job in job_list:
+            ref = job.reference_job()
+            if ref is not None and job.design not in seen_refs \
+                    and job.design not in self._ref_metrics:
+                seen_refs.add(job.design)
+                ref_jobs.append(ref)
+
+        if n_workers <= 1:
+            for ref in ref_jobs:
+                self.reference(ref.design)
+            results = []
+            for job in job_list:
+                result = self.run_job(job, return_flow=return_flows)
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+            return results
+
+        timer = perf.active()
+        with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_pool_init,
+                initargs=(self.tech,
+                          str(self.store.root) if self.store else None,
+                          self.verify, self.guide, return_flows)) as pool:
+            # Phase 1: deduplicated upstream references.
+            for result in pool.map(_pool_run, ref_jobs,
+                                   [None] * len(ref_jobs)):
+                if timer is not None:
+                    timer.merge(result.phases)
+                self._ref_metrics.setdefault(
+                    result.job.design,
+                    (result.summary["worst_delta_ps"],
+                     result.summary["skew_3sigma_ps"]))
+
+            # Phase 2: the cells, duplicates submitted once.
+            unique: dict[JobSpec, list[int]] = {}
+            for i, job in enumerate(job_list):
+                unique.setdefault(job, []).append(i)
+            future_of = {
+                pool.submit(_pool_run, job, self._metrics_for(job)): job
+                for job in unique
+            }
+            results: list[Optional[JobResult]] = [None] * len(job_list)
+            pending = set(future_of)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    result = future.result()
+                    if timer is not None:
+                        timer.merge(result.phases)
+                    if on_result is not None:
+                        on_result(result)
+                    for i in unique[future_of[future]]:
+                        results[i] = result
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]

@@ -21,6 +21,27 @@ SMALL_SPEC = DesignSpec("small", n_sinks=64, die_edge=280.0,
 
 
 @pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the content-addressed artifact store at a per-session tmp dir.
+
+    Keeps test runs from reading (or polluting) the developer's
+    persistent ``~/.cache/repro`` — stale cells from older code would
+    otherwise leak into CLI/runner tests.
+    """
+    import os
+
+    from repro.io.artifacts import CACHE_DIR_ENV
+
+    old = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(tmp_path_factory.mktemp("artifacts"))
+    yield
+    if old is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = old
+
+
+@pytest.fixture(scope="session", autouse=True)
 def _verify_all_flows():
     """Statically verify every flow result the suite produces.
 

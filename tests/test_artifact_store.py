@@ -1,0 +1,170 @@
+"""ArtifactStore: content addressing, round-trips, corruption recovery."""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.stages import BuildParams, build_stage
+from repro.bench import generate_design
+from repro.io.artifacts import (ArtifactStore, content_key,
+                                design_fingerprint, fingerprint,
+                                technology_fingerprint)
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+def _build_key(design, tech, params=BuildParams()):
+    return content_key("build",
+                       design=design_fingerprint(design),
+                       tech=technology_fingerprint(tech),
+                       params=params)
+
+
+# -- fingerprinting -----------------------------------------------------------
+
+
+def test_fingerprint_is_stable_and_discriminating(tiny_spec, small_spec):
+    assert fingerprint(tiny_spec) == fingerprint(tiny_spec)
+    assert fingerprint(tiny_spec) != fingerprint(small_spec)
+
+
+def test_fingerprint_rejects_unhashable_objects():
+    with pytest.raises(TypeError):
+        fingerprint(object())
+
+
+def test_design_fingerprint_tracks_content(tiny_design, small_design):
+    assert design_fingerprint(tiny_design) == design_fingerprint(tiny_design)
+    assert design_fingerprint(tiny_design) != design_fingerprint(small_design)
+
+
+def test_content_key_varies_with_tech_and_params(tiny_design, tech):
+    base = _build_key(tiny_design, tech)
+    assert base == _build_key(tiny_design, tech)
+    # Different stage parameters -> different artifact.
+    assert base != _build_key(tiny_design, tech,
+                              BuildParams(max_stage_cap=11.0))
+    # Different technology -> different artifact.
+    slow_tech = dataclasses.replace(tech, max_slew=tech.max_slew * 2.0)
+    assert base != _build_key(tiny_design, slow_tech)
+
+
+# -- store round-trips --------------------------------------------------------
+
+
+def test_build_artifact_round_trip(store, tiny_design, tech):
+    physical = build_stage(tiny_design, tech, store=store)
+    key = _build_key(tiny_design, tech)
+    assert store.has(key)
+
+    loaded = store.load(key)
+    assert loaded is not None
+    assert loaded is not physical  # always a fresh object graph
+    assert len(loaded.routing.wires) == len(physical.routing.wires)
+    assert loaded.refine.extraction.network.total_wire_cap == \
+        pytest.approx(physical.refine.extraction.network.total_wire_cap)
+
+
+def test_cache_hit_on_identical_spec(store, tiny_spec, tech):
+    first = build_stage(generate_design(tiny_spec), tech, store=store)
+    hits_before = store.hits
+    second = build_stage(generate_design(tiny_spec), tech, store=store)
+    assert store.hits == hits_before + 1
+    assert second is not first
+    assert second.routing.clock_wirelength() == \
+        pytest.approx(first.routing.clock_wirelength())
+
+
+def test_cache_miss_when_params_or_tech_change(store, tiny_design, tech):
+    build_stage(tiny_design, tech, store=store)
+    misses_before = store.misses
+    build_stage(tiny_design, tech, BuildParams(max_stage_cap=9.0),
+                store=store)
+    slow_tech = dataclasses.replace(tech, max_slew=tech.max_slew * 2.0)
+    build_stage(tiny_design, slow_tech, store=store)
+    assert store.misses == misses_before + 2
+
+
+def test_snapshots_are_mutation_safe(store, tiny_design, tech):
+    """Mutating a cache hit must not poison later hits."""
+    first = build_stage(tiny_design, tech, store=store)
+    wl = first.routing.clock_wirelength()
+    loaded = store.load(_build_key(tiny_design, tech))
+    rule = loaded.tech.rules[-1]
+    for wire in loaded.routing.clock_wires:
+        wire.rule = rule  # vandalise the snapshot
+    again = build_stage(tiny_design, tech, store=store)
+    assert all(w.rule.is_default for w in again.routing.clock_wires)
+    assert again.routing.clock_wirelength() == pytest.approx(wl)
+
+
+# -- corruption ---------------------------------------------------------------
+
+
+def test_corrupt_artifact_is_a_clean_rebuild(store, tiny_design, tech):
+    physical = build_stage(tiny_design, tech, store=store)
+    key = _build_key(tiny_design, tech)
+    path = store.path_for(key)
+    path.write_bytes(b"not a pickle at all")
+    store._memory.clear()  # force the disk read
+
+    assert store.load(key) is None          # corruption -> miss
+    assert not path.exists()                # poisoned entry dropped
+
+    rebuilt = build_stage(tiny_design, tech, store=store)  # clean rebuild
+    assert rebuilt.routing.clock_wirelength() == \
+        pytest.approx(physical.routing.clock_wirelength())
+    assert store.has(key)                   # re-saved
+
+
+def test_truncated_pickle_is_a_miss(store):
+    store.save("k" * 64, {"payload": list(range(100))})
+    path = store.path_for("k" * 64)
+    path.write_bytes(pickle.dumps({"payload": 1})[:-5])
+    store._memory.clear()
+    assert store.load("k" * 64) is None
+
+
+def test_missing_key_is_a_miss(store):
+    assert store.load("0" * 64) is None
+    assert not store.has("0" * 64)
+    store.discard("0" * 64)  # no-op, no raise
+
+
+def test_fetch_builds_once(store):
+    calls = []
+
+    def build():
+        calls.append(1)
+        return {"x": 3}
+
+    assert store.fetch("a" * 64, build) == {"x": 3}
+    assert store.fetch("a" * 64, build) == {"x": 3}
+    assert len(calls) == 1
+
+
+def test_memory_limit_evicts(tmp_path):
+    store = ArtifactStore(tmp_path, memory_limit=2)
+    for i in range(4):
+        store.save(f"{i}" * 64, i)
+    assert len(store._memory) == 2
+    # Evicted entries still load from disk.
+    assert store.load("0" * 64) == 0
+
+
+def test_read_only_root_degrades_to_memory(tmp_path):
+    root = tmp_path / "ro"
+    root.mkdir()
+    root.chmod(0o500)
+    store = ArtifactStore(root)
+    try:
+        store.save("b" * 64, 42)       # disk write fails silently
+        assert store.load("b" * 64) == 42  # memory layer still serves
+    finally:
+        root.chmod(0o700)

@@ -66,6 +66,60 @@ def test_compare_prints_summary(tmp_path, capsys, tiny_design):
         assert token in out
 
 
+def test_run_json_output(tmp_path, capsys, tiny_design):
+    from repro.io import save_design
+
+    design_path = tmp_path / "d.json"
+    save_design(tiny_design, design_path)
+    code = main(["run", "--design", str(design_path), "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["policy"] == "smart"
+    assert payload["feasible"] is True
+    assert payload["summary"]["power_uw"] > 0
+    assert sum(payload["rule_histogram"].values()) > 0
+
+
+def test_compare_json_parallel_matches_serial(tmp_path, capsys, tiny_design):
+    """`--jobs 2` must reproduce the serial summaries bit for bit."""
+    from repro.io import save_design
+
+    design_path = tmp_path / "d.json"
+    save_design(tiny_design, design_path)
+    code = main(["--no-cache", "compare", "--design", str(design_path),
+                 "--json"])
+    serial = json.loads(capsys.readouterr().out)
+    assert code == 0
+    code = main(["--no-cache", "compare", "--design", str(design_path),
+                 "--json", "--jobs", "2"])
+    parallel = json.loads(capsys.readouterr().out)
+    assert code == 0
+
+    def strip_runtimes(payload):
+        for row in payload["rows"]:
+            row.pop("runtime_s")
+        return payload
+
+    assert strip_runtimes(parallel) == strip_runtimes(serial)
+    assert isinstance(serial["smart_saving_pct"], float)
+    assert {row["policy"] for row in serial["rows"]} == \
+        {"no-ndr", "all-ndr", "smart"}
+
+
+def test_cached_rerun_marks_cells_cached(tmp_path, capsys, tiny_design):
+    from repro.io import save_design
+
+    design_path = tmp_path / "d.json"
+    save_design(tiny_design, design_path)
+    main(["compare", "--design", str(design_path), "--json"])
+    cold = json.loads(capsys.readouterr().out)
+    main(["compare", "--design", str(design_path), "--json"])
+    warm = json.loads(capsys.readouterr().out)
+    assert all(row["cached"] for row in warm["rows"])
+    for c, w in zip(cold["rows"], warm["rows"]):
+        assert c["summary"] == w["summary"]
+
+
 def test_sweep_prints_rows(tmp_path, capsys, tiny_design):
     from repro.io import save_design
 

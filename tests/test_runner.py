@@ -1,0 +1,198 @@
+"""FlowRunner / RunMatrix: expansion, dedupe, parallel == serial."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import Policy
+from repro.core.flow import run_flow
+from repro.core.stages import PolicyParams
+from repro.runner import (FlowRunner, JobSpec, RunMatrix,
+                          design_ref_fingerprint, matrix_of, resolve_design)
+
+POLICIES = (Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART)
+
+
+@pytest.fixture(scope="module")
+def tiny_ref(tmp_path_factory, tiny_design) -> str:
+    """The tiny design as a JSON design reference."""
+    from repro.io import save_design
+
+    path = tmp_path_factory.mktemp("designs") / "tiny.json"
+    save_design(tiny_design, path)
+    return str(path)
+
+
+def _runner(tmp_path, **kwargs) -> FlowRunner:
+    kwargs.setdefault("store", str(tmp_path / "artifacts"))
+    return FlowRunner(**kwargs)
+
+
+# -- matrix declarations ------------------------------------------------------
+
+
+def test_matrix_expansion_is_design_major():
+    matrix = RunMatrix(designs=("a", "b"), policies=(Policy.SMART,
+                                                     Policy.NO_NDR),
+                       slacks=(0.15, 0.4))
+    jobs = matrix.jobs()
+    assert len(matrix) == len(jobs) == 8
+    assert [j.design for j in jobs[:4]] == ["a"] * 4
+    assert jobs[0] == JobSpec(design="a", policy=Policy.SMART, slack=0.15)
+    assert jobs[1].slack == 0.4
+    assert "8 jobs" in matrix.describe()
+
+
+def test_matrix_rejects_empty_and_accepts_extra_cells():
+    with pytest.raises(ValueError):
+        RunMatrix(designs=(), policies=())
+    with pytest.raises(ValueError):
+        RunMatrix(designs=("a",), policies=())
+    extra = JobSpec(design="a", policy=Policy.RANDOM, random_seed=7)
+    matrix = RunMatrix(designs=(), policies=(), extra_cells=(extra,))
+    assert list(matrix) == [extra]
+
+
+def test_matrix_of_accepts_scalars():
+    matrix = matrix_of("a", Policy.SMART, 0.2)
+    assert list(matrix) == [JobSpec(design="a", policy=Policy.SMART,
+                                    slack=0.2)]
+
+
+def test_reference_job_pegs_to_all_ndr():
+    cell = JobSpec(design="a", policy=Policy.SMART, slack=0.15)
+    ref = cell.reference_job()
+    assert ref == JobSpec(design="a", policy=Policy.ALL_NDR, slack=None)
+    assert ref.reference_job() is None  # a reference has no reference
+
+
+def test_policy_params_normalisation_drops_unread_knobs():
+    smart = JobSpec(design="a", policy=Policy.SMART, random_seed=9)
+    assert smart.policy_params() == PolicyParams(policy=Policy.SMART)
+    rand = JobSpec(design="a", policy=Policy.RANDOM, random_seed=9)
+    assert rand.policy_params().random_seed == 9
+    # Uniform policies hash identically no matter the knobs.
+    a = JobSpec(design="a", policy=Policy.ALL_NDR, random_seed=1)
+    b = JobSpec(design="a", policy=Policy.ALL_NDR, random_seed=2)
+    assert a.policy_params() == b.policy_params()
+
+
+def test_design_ref_fingerprint_tracks_file_content(tiny_ref, tmp_path):
+    from pathlib import Path
+
+    assert design_ref_fingerprint(tiny_ref) == \
+        design_ref_fingerprint(tiny_ref)
+    copy = tmp_path / "edited.json"
+    copy.write_text(Path(tiny_ref).read_text().replace("tiny", "tinier"))
+    assert design_ref_fingerprint(str(copy)) != \
+        design_ref_fingerprint(tiny_ref)
+    # Benchmark names fingerprint their spec.
+    assert design_ref_fingerprint("ckt64") == design_ref_fingerprint("ckt64")
+    assert design_ref_fingerprint("ckt64") != design_ref_fingerprint("ckt128")
+
+
+def test_resolve_design_roundtrip(tiny_ref, tiny_design):
+    design = resolve_design(tiny_ref)
+    assert design.name == tiny_design.name
+    assert len(design.clock_sinks) == len(tiny_design.clock_sinks)
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_run_flow_is_bitwise_deterministic(tiny_design):
+    """Two invocations with the same inputs agree to the last bit."""
+    first = run_flow(tiny_design, policy=Policy.SMART)
+    second = run_flow(tiny_design, policy=Policy.SMART)
+    assert first.summary() == second.summary()
+    assert first.rule_histogram == second.rule_histogram
+
+
+def test_worker_process_matches_in_process(tiny_ref, tmp_path):
+    """A cell run in a pool worker equals the same cell run in-process."""
+    jobs = [JobSpec(design=tiny_ref, policy=p) for p in POLICIES]
+    serial = _runner(tmp_path / "a").run(jobs)
+    parallel = _runner(tmp_path / "b").run(jobs, jobs=2)
+    for s, p in zip(serial, parallel):
+        assert s.summary == p.summary  # bitwise: exact float equality
+        assert s.rule_histogram == p.rule_histogram
+        assert s.feasible == p.feasible
+
+
+# -- caching and dedupe -------------------------------------------------------
+
+
+def test_reference_computed_once_per_design(tiny_ref, tmp_path):
+    runner = _runner(tmp_path)
+    matrix = matrix_of(tiny_ref, Policy.SMART, (0.6, 0.15))
+    runner.run(matrix)
+    assert list(runner._ref_metrics) == [tiny_ref]
+    # Both cells pegged to the same reference; looser budget never
+    # needs more upgrades than the tighter one.
+    targets_loose = runner.targets_for(tiny_ref, slack=0.6)
+    targets_tight = runner.targets_for(tiny_ref, slack=0.15)
+    assert targets_loose.max_worst_delta > targets_tight.max_worst_delta
+
+
+def test_all_ndr_cell_rewraps_cached_reference(tiny_ref, tmp_path):
+    """A pegged ALL-NDR cell reuses the reference flow, not a re-run."""
+    runner = _runner(tmp_path)
+    result = runner.run([JobSpec(design=tiny_ref,
+                                 policy=Policy.ALL_NDR)])[0]
+    assert result.cached  # cold store, yet served from the reference
+    direct = run_flow(resolve_design(tiny_ref), policy=Policy.ALL_NDR,
+                      targets=runner.targets_for(tiny_ref))
+    assert result.summary == direct.summary()
+
+
+def test_warm_rerun_is_fully_cached(tiny_ref, tmp_path):
+    runner = _runner(tmp_path)
+    jobs = [JobSpec(design=tiny_ref, policy=p) for p in POLICIES]
+    cold = runner.run(jobs)
+    warm = FlowRunner(store=str(tmp_path / "artifacts")).run(jobs)
+    assert all(r.cached for r in warm)
+    assert [r.summary for r in warm] == [r.summary for r in cold]
+
+
+def test_duplicate_cells_fan_out(tiny_ref, tmp_path):
+    runner = _runner(tmp_path)
+    job = JobSpec(design=tiny_ref, policy=Policy.SMART)
+    results = runner.run([job, job], jobs=2)
+    assert len(results) == 2
+    assert results[0].summary == results[1].summary
+
+
+def test_store_disabled_still_runs(tiny_ref):
+    runner = FlowRunner(store=False)
+    assert runner.store is None
+    result = runner.run_job(JobSpec(design=tiny_ref, policy=Policy.SMART))
+    assert result.feasible and not result.cached
+
+
+# -- streamed phases and verification -----------------------------------------
+
+
+def test_phases_and_diagnostics_stream_back(tiny_ref, tmp_path):
+    runner = _runner(tmp_path, verify=True)
+    jobs = [JobSpec(design=tiny_ref, policy=p) for p in POLICIES]
+    results = runner.run(jobs, jobs=2)
+    smart = next(r for r in results if r.job.policy == Policy.SMART)
+    # The build itself was a store hit (phase 1 built it for the
+    # reference job), so the streamed phases start at the policy stage.
+    assert "flow.policy" in smart.phases
+    assert smart.phases["flow.policy"]["seconds"] >= 0.0
+    for r in results:
+        assert isinstance(r.diagnostics, list)  # verifier ran, no ERRORs
+
+
+def test_pool_initializer_forwards_verify_env(tech, monkeypatch):
+    from repro.runner import runner as runner_mod
+
+    monkeypatch.delenv("REPRO_VERIFY_FLOWS", raising=False)
+    runner_mod._pool_init(tech, None, True, None, False)
+    assert os.environ.get("REPRO_VERIFY_FLOWS") == "1"
+    runner_mod._pool_init(tech, None, False, None, False)
+    assert "REPRO_VERIFY_FLOWS" not in os.environ
+    monkeypatch.setenv("REPRO_VERIFY_FLOWS", "1")  # restore for the suite
