@@ -26,7 +26,7 @@ def _sweep(matrix) -> ExperimentRecord:
         "enable probability", "clock power (uW)")
     flow = matrix.flow(DESIGN, Policy.SMART)
     extraction = flow.physical.extraction
-    freq = 1000.0 / 1000.0  # benchmark designs run at 1 GHz
+    freq = flow.physical.design.clock_freq
     plain = analyze_power(extraction, matrix.tech, freq)
     record.series_named("ungated").add(1.0, plain.p_total)
     network = extraction.network

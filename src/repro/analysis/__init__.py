@@ -1,0 +1,65 @@
+"""Whole-program determinism & cache-soundness analyzer.
+
+An AST-based static pass over the ``repro`` package (or any package
+root) that proves, at CI time, the two invariants the runtime cannot
+cheaply check:
+
+* every function reachable from a pipeline stage or a
+  :class:`~repro.runner.FlowRunner` worker entrypoint is deterministic
+  and free of cross-process shared-state mutation (**D-codes**,
+  :mod:`repro.analysis.rules_determinism`);
+* every input a content-addressed stage reads is folded into its
+  sha256 artifact key (**C-codes**,
+  :mod:`repro.analysis.rules_cachekey`, driven by
+  :data:`repro.io.artifacts.STAGE_KEY_MANIFEST`).
+
+The machinery: :mod:`repro.analysis.callgraph` builds a module-level
+call graph with import/alias/re-export/self resolution;
+:mod:`repro.analysis.effects` infers per-function effects and
+propagates them to a fixpoint over that graph;
+:mod:`repro.analysis.report` wires the rules into the
+:mod:`repro.verify` check registry under kind ``"static"`` and defines
+the inline ``# static: ok[CODE] rationale`` suppression syntax.
+
+Entry points: ``repro lint --static [pkgroot]`` (CLI) and
+:func:`analyze_program` / :func:`build_static_context` (library).
+"""
+
+from repro.analysis.callgraph import (CallSite, ClassInfo, FunctionInfo,
+                                      ModuleInfo, ProgramModel, build_program)
+from repro.analysis.effects import (Effect, EffectOrigin, TransitiveOrigin,
+                                    direct_effects, param_attr_reads,
+                                    reachable_from, transitive_origins)
+from repro.analysis.report import (DEFAULT_DETERMINISM_ROOTS,
+                                   DEFAULT_PROCESS_ROOTS, StaticContext,
+                                   Suppression, analyze_program,
+                                   build_static_context,
+                                   unsuppressed_rationales)
+
+# Importing the rule modules registers every D/C check; keep these
+# after the registry-facing imports (they decorate into it).
+from repro.analysis import rules_determinism as _rules_d  # noqa: E402,F401
+from repro.analysis import rules_cachekey as _rules_c     # noqa: E402,F401
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "DEFAULT_DETERMINISM_ROOTS",
+    "DEFAULT_PROCESS_ROOTS",
+    "Effect",
+    "EffectOrigin",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProgramModel",
+    "StaticContext",
+    "Suppression",
+    "TransitiveOrigin",
+    "analyze_program",
+    "build_program",
+    "build_static_context",
+    "direct_effects",
+    "param_attr_reads",
+    "reachable_from",
+    "transitive_origins",
+    "unsuppressed_rationales",
+]

@@ -1,0 +1,604 @@
+"""Per-function effect inference and fixpoint propagation.
+
+A function's *direct* effects are syntactic facts about its own body:
+it reads ``os.environ``, draws from an unseeded RNG, looks at the wall
+clock, mutates module-level or closure state, lets ``set`` iteration
+order escape, or keys on object identity (``id``/``hash``).  The
+*transitive* effects of a declared root are the union of the direct
+effects of everything reachable from it over the
+:class:`~repro.analysis.callgraph.ProgramModel` call graph — computed
+here as a breadth-first closure with witness paths, which is the
+fixpoint of "effects(f) = direct(f) ∪ ⋃ effects(callees(f))" for the
+acyclic-and-cyclic cases alike (a cycle adds no new origins once every
+member has been visited).
+
+The second half of the module is the *parameter attribute-read*
+fixpoint the cache-key rules consume: for every function and every
+parameter, which attribute names flow out of the parameter — including
+reads that happen inside other functions the parameter was passed to,
+and inside methods/properties of the parameter's own (declared)
+dataclass type.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.analysis.callgraph import (CallSite, FunctionInfo, ProgramModel,
+                                      _dotted_name)
+
+
+class Effect(enum.Enum):
+    """One kind of impurity the analyzer tracks."""
+
+    ENV_READ = "env-read"
+    ENV_WRITE = "env-write"
+    RANDOM_SEEDLESS = "random-seedless"
+    WALL_CLOCK = "wall-clock"
+    GLOBAL_MUTATION = "global-mutation"
+    CLOSURE_MUTATION = "closure-mutation"
+    SET_ORDER = "set-order"
+    OBJECT_IDENTITY = "object-identity"
+    MUTABLE_GLOBAL_READ = "mutable-global-read"
+
+
+@dataclass(frozen=True)
+class EffectOrigin:
+    """One direct occurrence of one effect in one function."""
+
+    effect: Effect
+    function: str
+    module: str
+    lineno: int
+    #: What exactly: the API called, the env var read, the global name
+    #: mutated — whatever makes the diagnostic actionable.
+    detail: str
+    #: For ENV_READ/ENV_WRITE: the literal variable name, when static.
+    env_var: Optional[str] = None
+
+
+#: Module-level RNG entry points that consume interpreter-global state.
+_RANDOM_GLOBAL_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+})
+
+_NUMPY_RANDOM_GLOBAL_FNS = frozenset({
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "gumbel", "laplace", "logistic",
+    "lognormal", "multinomial", "multivariate_normal", "normal",
+    "permutation", "poisson", "rand", "randint", "randn", "random",
+    "random_integers", "random_sample", "ranf", "rayleigh", "sample",
+    "seed", "shuffle", "standard_cauchy", "standard_exponential",
+    "standard_gamma", "standard_normal", "standard_t", "uniform",
+})
+
+#: Other inherently nondeterministic externals.
+_ENTROPY_APIS = frozenset({
+    "os.urandom", "uuid.uuid1", "uuid.uuid4", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.token_urlsafe", "secrets.randbelow",
+    "secrets.choice",
+})
+
+_WALL_CLOCK_APIS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns", "time.localtime",
+    "time.gmtime", "time.ctime", "time.asctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_IDENTITY_APIS = frozenset({"builtins.id", "builtins.hash"})
+
+#: Methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "add", "append", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "reverse", "setdefault", "sort", "update",
+})
+
+#: Calls whose consumption of an iterable is order-insensitive.
+_ORDER_INSENSITIVE_SINKS = frozenset({
+    "builtins.sorted", "builtins.sum", "builtins.min", "builtins.max",
+    "builtins.len", "builtins.any", "builtins.all", "builtins.set",
+    "builtins.frozenset",
+})
+
+_SET_PRODUCING_METHODS = frozenset({
+    "difference", "intersection", "symmetric_difference", "union",
+})
+
+
+def _literal_str(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class _DirectEffects(ast.NodeVisitor):
+    """Collect one function's direct effect origins."""
+
+    def __init__(self, program: ProgramModel, fn: FunctionInfo,
+                 resolve, local_names: set[str],
+                 module_globals: frozenset[str],
+                 env_name_constants: dict[str, str]) -> None:
+        self.program = program
+        self.fn = fn
+        self.resolve = resolve
+        self.locals = local_names
+        self.module_globals = module_globals
+        #: module-level ``X = "SOME_ENV"`` string constants, so
+        #: ``os.environ.get(CACHE_DIR_ENV)`` still yields a var name.
+        self.env_name_constants = env_name_constants
+        self.origins: list[EffectOrigin] = []
+        self.declared_global: set[str] = set()
+        self.declared_nonlocal: set[str] = set()
+        self.set_valued: set[str] = set()
+        self._ordered_sinks: set[int] = set()
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Global):
+                self.declared_global.update(sub.names)
+            elif isinstance(sub, ast.Nonlocal):
+                self.declared_nonlocal.update(sub.names)
+
+    def _emit(self, effect: Effect, lineno: int, detail: str,
+              env_var: Optional[str] = None) -> None:
+        self.origins.append(EffectOrigin(
+            effect=effect, function=self.fn.qualname,
+            module=self.fn.module, lineno=lineno, detail=detail,
+            env_var=env_var))
+
+    # -- environment ---------------------------------------------------------
+
+    def _env_var_of(self, node: Optional[ast.expr]) -> Optional[str]:
+        literal = _literal_str(node)
+        if literal is not None:
+            return literal
+        if isinstance(node, ast.Name):
+            return self.env_name_constants.get(node.id)
+        return None
+
+    def _is_environ(self, node: ast.expr) -> bool:
+        dotted = _dotted_name(node)
+        return dotted is not None and self.resolve(dotted) == "os.environ"
+
+    # -- call classification -------------------------------------------------
+
+    def _check_call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        external = self.resolve(dotted) if dotted is not None else None
+        if external is None:
+            # Mutating method on a module-level global: _CACHE.update(...)
+            if (isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.attr in _MUTATING_METHODS):
+                base = node.func.value.id
+                if base in self.module_globals and base not in self.locals:
+                    self._emit(Effect.GLOBAL_MUTATION, node.lineno,
+                               f"{base}.{node.func.attr}(...) mutates "
+                               f"module-level state")
+            return
+
+        if external == "os.getenv":
+            var = self._env_var_of(node.args[0] if node.args else None)
+            self._emit(Effect.ENV_READ, node.lineno, "os.getenv", var)
+            return
+        if external.startswith("os.environ."):
+            method = external.rsplit(".", 1)[1]
+            var = self._env_var_of(node.args[0] if node.args else None)
+            if method in ("get", "keys", "items", "values", "copy",
+                          "__contains__"):
+                self._emit(Effect.ENV_READ, node.lineno, external, var)
+            else:  # pop / setdefault / update / clear
+                self._emit(Effect.ENV_WRITE, node.lineno, external, var)
+            return
+        if external in ("numpy.random.default_rng", "numpy.random.Generator",
+                        "numpy.random.RandomState", "random.Random"):
+            if not node.args and not node.keywords:
+                self._emit(Effect.RANDOM_SEEDLESS, node.lineno,
+                           f"{external}() without a seed")
+            return
+        if external.startswith("random.") \
+                and external.rsplit(".", 1)[1] in _RANDOM_GLOBAL_FNS:
+            self._emit(Effect.RANDOM_SEEDLESS, node.lineno,
+                       f"{external} uses the interpreter-global RNG")
+            return
+        if external.startswith("numpy.random.") \
+                and external.rsplit(".", 1)[1] in _NUMPY_RANDOM_GLOBAL_FNS:
+            self._emit(Effect.RANDOM_SEEDLESS, node.lineno,
+                       f"{external} uses numpy's global RNG")
+            return
+        if external in _ENTROPY_APIS:
+            self._emit(Effect.RANDOM_SEEDLESS, node.lineno,
+                       f"{external} draws OS entropy")
+            return
+        if external in _WALL_CLOCK_APIS:
+            self._emit(Effect.WALL_CLOCK, node.lineno, external)
+            return
+        if external in _IDENTITY_APIS:
+            self._emit(Effect.OBJECT_IDENTITY, node.lineno,
+                       f"{external}() is interpreter/process dependent")
+            return
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call(node)
+        # Remember order-insensitive consumption so a comprehension or
+        # set expression directly inside sorted()/sum()/... stays legal.
+        dotted = _dotted_name(node.func)
+        external = self.resolve(dotted) if dotted is not None else None
+        if external in _ORDER_INSENSITIVE_SINKS:
+            for arg in node.args:
+                self._ordered_sinks.add(id(arg))
+        elif external in ("builtins.list", "builtins.tuple",
+                          "builtins.enumerate"):
+            for arg in node.args:
+                if self._is_set_expr(arg):
+                    self._emit(Effect.SET_ORDER, node.lineno,
+                               f"{external.rsplit('.', 1)[1]}() over a set "
+                               f"materialises hash order")
+        self.generic_visit(node)
+
+    # -- mutation ------------------------------------------------------------
+
+    def _store_base(self, target: ast.expr) -> Optional[str]:
+        """Base name of a subscript/attribute store target."""
+        while isinstance(target, (ast.Subscript, ast.Attribute)):
+            target = target.value
+        if isinstance(target, ast.Name):
+            return target.id
+        return None
+
+    def _check_store(self, target: ast.expr, lineno: int) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_global:
+                self._emit(Effect.GLOBAL_MUTATION, lineno,
+                           f"assigns module-level '{target.id}' "
+                           f"(declared global)")
+            elif target.id in self.declared_nonlocal:
+                self._emit(Effect.CLOSURE_MUTATION, lineno,
+                           f"assigns enclosing-scope '{target.id}' "
+                           f"(declared nonlocal)")
+            return
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            if isinstance(target, ast.Subscript) \
+                    and self._is_environ(target.value):
+                var = self._env_var_of(target.slice)
+                self._emit(Effect.ENV_WRITE, lineno,
+                           "os.environ[...] assignment", var)
+                return
+            base = self._store_base(target)
+            if base is not None and base not in self.locals \
+                    and base in self.module_globals:
+                self._emit(Effect.GLOBAL_MUTATION, lineno,
+                           f"stores into module-level '{base}'")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store(element, lineno)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node.lineno)
+        self._track_set_assignment(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_store(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                if self._is_environ(target.value):
+                    self._emit(Effect.ENV_WRITE, node.lineno,
+                               "del os.environ[...]",
+                               self._env_var_of(target.slice))
+                    continue
+                base = self._store_base(target)
+                if base is not None and base not in self.locals \
+                        and base in self.module_globals:
+                    self._emit(Effect.GLOBAL_MUTATION, node.lineno,
+                               f"del on module-level '{base}'")
+        self.generic_visit(node)
+
+    # -- environment / mutable-global reads ----------------------------------
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.ctx, ast.Load) and self._is_environ(node.value):
+            self._emit(Effect.ENV_READ, node.lineno, "os.environ[...]",
+                       self._env_var_of(node.slice))
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        # "X" in os.environ
+        for op, comparator in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.In, ast.NotIn)) \
+                    and self._is_environ(comparator):
+                self._emit(Effect.ENV_READ, node.lineno, "in os.environ",
+                           self._env_var_of(node.left))
+        self.generic_visit(node)
+
+    # -- set iteration order -------------------------------------------------
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_valued
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            external = self.resolve(dotted) if dotted is not None else None
+            if external in ("builtins.set", "builtins.frozenset"):
+                return True
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SET_PRODUCING_METHODS
+                    and self._is_set_expr(node.func.value)):
+                return True
+        if isinstance(node, ast.BinOp) \
+                and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub,
+                                         ast.BitXor)):
+            return self._is_set_expr(node.left) \
+                or self._is_set_expr(node.right)
+        return False
+
+    def _track_set_assignment(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            if self._is_set_expr(node.value):
+                self.set_valued.add(node.targets[0].id)
+
+    def _flag_set_iteration(self, iter_node: ast.expr, lineno: int) -> None:
+        if id(iter_node) in self._ordered_sinks:
+            return
+        if self._is_set_expr(iter_node):
+            self._emit(Effect.SET_ORDER, lineno,
+                       "iteration order of a set escapes into results; "
+                       "wrap in sorted(...)")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_set_iteration(node.iter, node.lineno)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        if id(node) not in self._ordered_sinks:
+            for gen in node.generators:
+                self._flag_set_iteration(gen.iter, node.lineno)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set is fine; only *iterating* one is flagged.
+        self.generic_visit(node)
+
+    # -- mutable-global reads ------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load) \
+                and node.id not in self.locals \
+                and node.id in self.module_globals \
+                and (self.fn.module, node.id) in _mutated_globals_of(
+                    self.program):
+            self._emit(Effect.MUTABLE_GLOBAL_READ, node.lineno,
+                       f"reads module-level '{node.id}', which is mutated "
+                       f"elsewhere in the program")
+        self.generic_visit(node)
+
+
+def _mutated_globals_of(program: ProgramModel) -> set[tuple[str, str]]:
+    """(module, name) pairs some function in the program mutates.
+
+    Uses a two-pass scheme: the first direct-effect sweep records the
+    mutation targets; the cached result then feeds
+    ``MUTABLE_GLOBAL_READ`` detection in the second sweep.
+    """
+    cached = program.caches.get("mutated_globals")
+    if cached is None:
+        cached = set()
+        for fn in program.functions.values():
+            module = program.modules[fn.module]
+            for sub in ast.walk(fn.node):
+                if isinstance(sub, ast.Global):
+                    cached.update((fn.module, n) for n in sub.names)
+                elif isinstance(sub, (ast.Assign, ast.AugAssign,
+                                      ast.AnnAssign, ast.Delete)):
+                    targets = (sub.targets
+                               if isinstance(sub, (ast.Assign, ast.Delete))
+                               else [sub.target])
+                    for target in targets:
+                        while isinstance(target, (ast.Subscript,
+                                                  ast.Attribute)):
+                            target = target.value
+                        if isinstance(target, ast.Name) \
+                                and target.id in module.global_names \
+                                and target.id not in _locals_of(fn):
+                            cached.add((fn.module, target.id))
+                elif (isinstance(sub, ast.Call)
+                      and isinstance(sub.func, ast.Attribute)
+                      and sub.func.attr in _MUTATING_METHODS
+                      and isinstance(sub.func.value, ast.Name)
+                      and sub.func.value.id in module.global_names
+                      and sub.func.value.id not in _locals_of(fn)):
+                    cached.add((fn.module, sub.func.value.id))
+        program.caches["mutated_globals"] = cached
+    return cached
+
+
+def _locals_of(fn: FunctionInfo) -> set[str]:
+    cached = getattr(fn, "_locals_cache", None)
+    if cached is None:
+        from repro.analysis.callgraph import _local_store_names
+        cached = _local_store_names(fn.node)
+        fn._locals_cache = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def direct_effects(program: ProgramModel,
+                   qualname: str) -> list[EffectOrigin]:
+    """Direct effect origins of one function (memoised on the model)."""
+    cache = program.caches.setdefault("direct_effects", {})
+    if qualname not in cache:
+        fn = program.functions[qualname]
+        module = program.modules[fn.module]
+        from repro.analysis.callgraph import _CallCollector
+        resolver = _CallCollector(program, module, fn)
+
+        def resolve(dotted: str) -> Optional[str]:
+            expanded = resolver.resolve_name(dotted)
+            if expanded is None:
+                return None
+            # Externals only: in-program names are edges, not effects.
+            if program.resolve_export(expanded) is not None:
+                return None
+            return expanded
+
+        env_constants = _env_name_constants(program, module)
+        visitor = _DirectEffects(program, fn, resolve, _locals_of(fn),
+                                 module.global_names, env_constants)
+        visitor.visit(fn.node)
+        cache[qualname] = visitor.origins
+    return cache[qualname]
+
+
+def _env_name_constants(program: ProgramModel, module) -> dict[str, str]:
+    """Module-level ``NAME = "STRING"`` constants (env-var indirection)."""
+    cache = program.caches.setdefault("env_constants", {})
+    if module.name not in cache:
+        constants: dict[str, str] = {}
+        try:
+            tree = ast.parse("\n".join(module.source_lines))
+        except SyntaxError:  # pragma: no cover - parsed once already
+            tree = ast.Module(body=[], type_ignores=[])
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                value = _literal_str(stmt.value)
+                if value is not None:
+                    constants[stmt.targets[0].id] = value
+        cache[module.name] = constants
+    return cache[module.name]
+
+
+@dataclass(frozen=True)
+class TransitiveOrigin:
+    """One direct origin plus the call path that reaches it from a root."""
+
+    origin: EffectOrigin
+    #: Qualified names from the root (inclusive) to the origin's
+    #: function (inclusive).
+    path: tuple[str, ...]
+
+
+def reachable_from(program: ProgramModel, root: str) -> dict[str, tuple[str, ...]]:
+    """Functions reachable from ``root`` with one witness path each."""
+    cache = program.caches.setdefault("reachable", {})
+    if root not in cache:
+        paths: dict[str, tuple[str, ...]] = {}
+        if root in program.functions:
+            paths[root] = (root,)
+            frontier = [root]
+            while frontier:
+                current = frontier.pop()
+                for site in program.callees(current):
+                    assert site.target is not None
+                    if site.target not in paths:
+                        paths[site.target] = paths[current] + (site.target,)
+                        frontier.append(site.target)
+        cache[root] = paths
+    return cache[root]
+
+
+def transitive_origins(program: ProgramModel, root: str,
+                       effects: Iterable[Effect]) -> list[TransitiveOrigin]:
+    """Every direct origin of ``effects`` reachable from ``root``."""
+    wanted = set(effects)
+    out: list[TransitiveOrigin] = []
+    for qualname, path in reachable_from(program, root).items():
+        for origin in direct_effects(program, qualname):
+            if origin.effect in wanted:
+                out.append(TransitiveOrigin(origin=origin, path=path))
+    out.sort(key=lambda t: (t.origin.module, t.origin.lineno,
+                            t.origin.effect.value))
+    return out
+
+
+# -- parameter attribute-read fixpoint ----------------------------------------
+
+
+def param_attr_reads(program: ProgramModel) -> dict[str, dict[str, set[str]]]:
+    """For every function: parameter name -> attribute names read.
+
+    The result is a fixpoint over parameter passing: when ``f`` passes
+    its parameter ``p`` to ``g`` (positionally or by keyword), the
+    attributes ``g`` reads off the corresponding parameter count as
+    reads of ``p`` in ``f``.  Method calls ``p.m(...)`` bind ``p`` to
+    ``m``'s ``self`` once the cache-key rule resolves ``m`` against the
+    parameter's declared class (see
+    :func:`repro.analysis.rules_cachekey.stage_field_reads`).
+    """
+    cached = program.caches.get("param_reads")
+    if cached is not None:
+        return cached
+
+    reads: dict[str, dict[str, set[str]]] = {
+        qualname: {p: set() for p in fn.params}
+        for qualname, fn in program.functions.items()}
+
+    # Direct reads: Attribute(value=Name(param), ctx=Load).
+    for qualname, fn in program.functions.items():
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Attribute) \
+                    and isinstance(sub.value, ast.Name) \
+                    and sub.value.id in reads[qualname]:
+                reads[qualname][sub.value.id].add(sub.attr)
+
+    # Propagation constraints: (caller, caller_param) ⊇ (callee, callee_param)
+    links: list[tuple[str, str, str, str]] = []
+    for qualname, fn in program.functions.items():
+        for site in fn.calls:
+            if site.target is None or site.is_reference:
+                continue
+            callee = program.functions[site.target]
+            callee_params = list(callee.params)
+            offset = 0
+            # Calling a method through its class instance skips self.
+            if callee.class_qualname is not None and callee_params \
+                    and callee_params[0] in ("self", "cls") \
+                    and callee.name != "__init__":
+                offset = 1
+            if callee.name == "__init__" and callee_params \
+                    and callee_params[0] == "self":
+                offset = 1
+            for pos, caller_param in enumerate(site.pos_args):
+                if caller_param is None:
+                    continue
+                index = pos + offset
+                if index < len(callee_params):
+                    links.append((qualname, caller_param,
+                                  site.target, callee_params[index]))
+            for kw_name, caller_param in site.kw_args.items():
+                if caller_param is not None and kw_name in callee_params:
+                    links.append((qualname, caller_param,
+                                  site.target, kw_name))
+
+    changed = True
+    while changed:
+        changed = False
+        for caller, caller_param, callee, callee_param in links:
+            source = reads[callee][callee_param]
+            sink = reads[caller][caller_param]
+            if not source <= sink:
+                sink |= source
+                changed = True
+
+    program.caches["param_reads"] = reads
+    return reads

@@ -1,0 +1,157 @@
+"""Static-analysis context, suppressions and the run entry point.
+
+``repro lint --static`` builds a :class:`StaticContext` — the program
+model plus the declared analysis roots, the runner's forwarded-env
+whitelist and the cache-key manifest — and pushes it through the same
+check registry the DRC/oracle families use, so D/C findings come out
+as ordinary :class:`~repro.verify.diagnostics.Diagnostic` records in a
+:class:`~repro.verify.diagnostics.VerifyReport`.
+
+Suppressions are inline and carry the code they silence::
+
+    start = time.perf_counter()  # static: ok[D002] runtime metadata only
+
+``# static: ok[D002,C003] reason`` silences several codes on one line.
+A marker without a rationale after the bracket is still honored at
+runtime but fails the repo's own hygiene test
+(``tests/test_analysis_static.py``), which keeps the acceptance rule
+"every suppression carries a rationale" machine-checked.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.analysis.callgraph import ProgramModel, build_program
+from repro.verify.diagnostics import Diagnostic, Severity, VerifyReport
+from repro.verify.registry import register, run_checks
+
+#: ``# static: ok[D001]`` / ``# static: ok[D002,C003] rationale``
+SUPPRESS_RE = re.compile(r"#\s*static:\s*ok\[([A-Z0-9,\s]+)\]\s*(.*)")
+
+#: Stage functions whose transitive closure must be deterministic: the
+#: four pipeline stages of :mod:`repro.core.stages`.
+DEFAULT_DETERMINISM_ROOTS: tuple[str, ...] = (
+    "repro.core.stages.build_stage",
+    "repro.core.stages.policy_stage",
+    "repro.core.stages.retrim_stage",
+    "repro.core.stages.analyze_stage",
+)
+
+#: Functions that execute inside worker processes: the pool
+#: initializer/entry of the flow runner and the CLI's suite worker.
+DEFAULT_PROCESS_ROOTS: tuple[str, ...] = (
+    "repro.runner.runner._pool_init",
+    "repro.runner.runner._pool_run",
+    "repro.cli._suite_row",
+)
+
+
+@dataclass
+class Suppression:
+    """One inline suppression marker found in a module."""
+
+    module: str
+    lineno: int
+    codes: tuple[str, ...]
+    rationale: str
+
+
+@dataclass
+class StaticContext:
+    """Everything one static-analysis run inspects."""
+
+    program: ProgramModel
+    determinism_roots: tuple[str, ...] = DEFAULT_DETERMINISM_ROOTS
+    process_roots: tuple[str, ...] = DEFAULT_PROCESS_ROOTS
+    env_whitelist: tuple[str, ...] = ()
+    manifest: tuple = ()
+    _suppressions: Optional[dict[tuple[str, int], Suppression]] = field(
+        default=None, repr=False)
+
+    def suppressions(self) -> dict[tuple[str, int], Suppression]:
+        """(module, lineno) -> marker, scanned lazily from the sources."""
+        if self._suppressions is None:
+            table: dict[tuple[str, int], Suppression] = {}
+            for module in self.program.modules.values():
+                for i, line in enumerate(module.source_lines, start=1):
+                    match = SUPPRESS_RE.search(line)
+                    if match is not None:
+                        codes = tuple(c.strip()
+                                      for c in match.group(1).split(",")
+                                      if c.strip())
+                        table[(module.name, i)] = Suppression(
+                            module=module.name, lineno=i, codes=codes,
+                            rationale=match.group(2).strip())
+            self._suppressions = table
+        return self._suppressions
+
+    def suppressed(self, code: str, module: str, lineno: int) -> bool:
+        """True when ``module:lineno`` carries a marker for ``code``."""
+        marker = self.suppressions().get((module, lineno))
+        return marker is not None and code in marker.codes
+
+
+@register("static-config", kind="static")
+def check_static_config(ctx) -> Iterator[Diagnostic]:
+    """Declared roots and manifest entries resolve to real functions."""
+    program = getattr(ctx, "program", None)
+    if program is None:
+        return
+    for root in (*ctx.determinism_roots, *ctx.process_roots):
+        if root not in program.functions:
+            yield Diagnostic(
+                rule="static-config", severity=Severity.ERROR,
+                message=f"declared analysis root '{root}' does not exist "
+                        f"in package '{program.package}'",
+                hint="update the root lists in repro.analysis.report (or "
+                     "the ones passed to StaticContext) after renaming "
+                     "stage/worker functions")
+    for entry in ctx.manifest:
+        missing = [name for name, attr in (
+            (entry.stage, "functions"), (entry.params_type, "classes"))
+            if name not in getattr(program, attr)]
+        for name in missing:
+            yield Diagnostic(
+                rule="static-config", severity=Severity.ERROR,
+                message=f"manifest entry '{entry.kind}' names unknown "
+                        f"'{name}'",
+                hint="keep STAGE_KEY_MANIFEST in sync with the stage "
+                     "functions and parameter dataclasses it describes")
+
+
+def build_static_context(
+        paths: Optional[Sequence[Union[str, Path]]] = None) -> StaticContext:
+    """The default context: the installed ``repro`` package itself.
+
+    ``paths`` may name one package root directory (e.g. ``src/repro``);
+    the repro-specific roots, whitelist and manifest still apply, which
+    is exactly right for linting a checkout of this repository.
+    """
+    import repro
+    from repro.io.artifacts import STAGE_KEY_MANIFEST
+    from repro.runner.runner import FORWARDED_ENV_WHITELIST
+
+    if paths:
+        if len(paths) > 1:
+            raise ValueError("static analysis takes one package root")
+        root = Path(paths[0])
+    else:
+        root = Path(repro.__file__).parent
+    program = build_program(root, package="repro")
+    return StaticContext(program=program,
+                         env_whitelist=FORWARDED_ENV_WHITELIST,
+                         manifest=STAGE_KEY_MANIFEST)
+
+
+def analyze_program(ctx: StaticContext) -> VerifyReport:
+    """Run every registered static check over ``ctx``."""
+    return run_checks(ctx, kinds=["static"])  # type: ignore[arg-type]
+
+
+def unsuppressed_rationales(ctx: StaticContext) -> list[Suppression]:
+    """Suppression markers with no rationale text (hygiene violations)."""
+    return [s for s in ctx.suppressions().values() if not s.rationale]

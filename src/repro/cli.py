@@ -7,6 +7,7 @@ Subcommands::
     python -m repro compare --design ckt256 [--with-ml] [--jobs N] [--json]
     python -m repro sweep --design ckt128 --slacks 0.6,0.3,0.15 [--jobs N]
     python -m repro lint --design ckt256 --policy smart [--json]
+    python -m repro lint --static [src/repro]          # whole-program D/C codes
 
 ``--design`` accepts a built-in benchmark name or a path to a design
 JSON file (see :mod:`repro.io`).  Robustness budgets default to the
@@ -227,7 +228,13 @@ def cmd_lint(args) -> int:
     period-derived spec (no all-NDR reference run) — the linter checks
     structural coherence, not quality-of-result, so the cheap targets
     are enough to drive the flow under inspection.
+
+    ``--static`` analyzes the *source* instead of a flow: the
+    whole-program determinism / cache-soundness checker
+    (:mod:`repro.analysis`) over the installed package or a package
+    root given as a positional path (``repro lint --static src/repro``).
     """
+    import repro.analysis  # registers the static D/C checks
     from repro.core import run_flow
     from repro.core.targets import RobustnessTargets
     from repro.verify import registered_checks, run_checks, VerifyContext
@@ -236,8 +243,16 @@ def cmd_lint(args) -> int:
         for check in registered_checks():
             print(f"{check.rule:22s} [{check.kind:6s}] {check.doc}")
         return 0
+    if args.static:
+        ctx = repro.analysis.build_static_context(args.paths or None)
+        report = repro.analysis.analyze_program(ctx)
+        if args.json:
+            print(report.to_json())
+        else:
+            print(report.render())
+        return 1 if report.has_errors else 0
     if not args.design:
-        print("lint: --design is required (or use --list-checks)",
+        print("lint: --design is required (or use --list-checks/--static)",
               file=sys.stderr)
         return 2
     tech = default_technology()
@@ -321,6 +336,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the report as JSON")
     p_lint.add_argument("--list-checks", action="store_true",
                         help="list registered checks and exit")
+    p_lint.add_argument("--static", action="store_true",
+                        help="run the whole-program determinism / "
+                             "cache-soundness analyzer instead of a flow")
+    p_lint.add_argument("paths", nargs="*",
+                        help="package root for --static "
+                             "(default: the installed repro package)")
     return parser
 
 

@@ -149,7 +149,7 @@ def run_flow(design: Design, tech: Optional[Technology] = None,
     if targets is None:
         targets = RobustnessTargets.for_period(design.clock_period,
                                                tech.max_slew)
-    start = time.perf_counter()
+    start = time.perf_counter()  # static: ok[D002] feeds FlowResult.runtime metadata only
     optimizing = policy in (Policy.SMART, Policy.SMART_SHIELD,
                             Policy.SMART_ML)
     policy_params = PolicyParams(policy=policy,
@@ -195,9 +195,9 @@ def run_flow(design: Design, tech: Optional[Technology] = None,
         rule_histogram=routing.rule_histogram(),
         ndr_track_cost=routing.ndr_track_cost(),
         optimize=optimize,
-        runtime=time.perf_counter() - start,
+        runtime=time.perf_counter() - start,  # static: ok[D002] feeds FlowResult.runtime metadata only
     )
-    if os.environ.get("REPRO_VERIFY_FLOWS"):
+    if os.environ.get("REPRO_VERIFY_FLOWS"):  # static: ok[C003] gates an assertion hook only; never alters artifact content
         # Test/CI hook: statically verify every flow result produced
         # anywhere in the process (set by the test suite's conftest).
         from repro.verify import assert_flow_clean

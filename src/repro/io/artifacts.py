@@ -29,13 +29,68 @@ import json
 import os
 import pickle
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Callable, Optional, Union
 
 #: Bump to invalidate every previously stored artifact (schema change).
 ARTIFACT_SCHEMA = 1
 
 #: Environment variable overriding the default on-disk cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@dataclasses.dataclass(frozen=True)
+class StageKeyEntry:
+    """Declares what one content-addressed artifact kind hashes.
+
+    The whole-program cache-soundness analyzer
+    (:mod:`repro.analysis.rules_cachekey`) diffs ``hashed_fields`` —
+    the parameter-dataclass fields this manifest *declares* folded into
+    the stage's content key — against the fields the stage function's
+    transitive closure actually *reads*.  A read outside the manifest
+    is a stale-cache bug (C001); a hashed field nothing reads is a
+    spurious-miss smell (C002).
+
+    Attributes
+    ----------
+    kind:
+        The :func:`content_key` kind tag ("build", "flow-cell", ...).
+    stage:
+        Qualified name of the function that consumes the parameters
+        and produces the artifact.
+    params_type:
+        Qualified name of the parameter dataclass hashed into the key.
+    params_param:
+        Name of ``stage``'s formal parameter carrying that dataclass.
+    hashed_fields:
+        The dataclass fields folded into the content key.
+    """
+
+    kind: str
+    stage: str
+    params_type: str
+    params_param: str
+    hashed_fields: tuple[str, ...]
+
+
+#: Every content-addressed artifact kind, its producing stage, and the
+#: parameter fields its key hashes.  Keep in sync with the
+#: ``content_key`` call sites; ``repro lint --static`` enforces the
+#: read-vs-hashed diff at CI time.
+STAGE_KEY_MANIFEST: tuple[StageKeyEntry, ...] = (
+    StageKeyEntry(
+        kind="build",
+        stage="repro.core.stages.build_stage",
+        params_type="repro.core.stages.BuildParams",
+        params_param="params",
+        hashed_fields=("max_stage_cap",)),
+    StageKeyEntry(
+        kind="flow-cell",
+        stage="repro.runner.runner._execute_job",
+        params_type="repro.runner.matrix.JobSpec",
+        params_param="job",
+        hashed_fields=("design", "policy", "slack", "random_fraction",
+                       "random_seed", "lambda_track")),
+)
 
 
 def default_cache_dir() -> Path:
@@ -175,7 +230,8 @@ class ArtifactStore:
         except OSError:
             pass
 
-    def fetch(self, key: str, build, *args, **kwargs) -> Any:
+    def fetch(self, key: str, build: Callable[..., Any],
+              *args: Any, **kwargs: Any) -> Any:
         """``load(key)`` or build-and-save: the one-call cache pattern."""
         obj = self.load(key)
         if obj is None:

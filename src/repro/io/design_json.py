@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Union
 
 from repro.geom.point import Point
 from repro.geom.rect import Rect
@@ -20,7 +20,7 @@ from repro.netlist.net import NetKind
 SCHEMA_VERSION = 1
 
 
-def design_to_dict(design: Design) -> dict:
+def design_to_dict(design: Design) -> dict[str, Any]:
     """Serialise a design to a JSON-ready dict."""
     design.validate()
     flops = [
@@ -55,7 +55,7 @@ def design_to_dict(design: Design) -> dict:
     }
 
 
-def design_from_dict(data: dict) -> Design:
+def design_from_dict(data: dict[str, Any]) -> Design:
     """Rebuild a design from :func:`design_to_dict` output."""
     schema = data.get("schema")
     if schema != SCHEMA_VERSION:

@@ -10,15 +10,16 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Union
 
 from repro.route.router import RoutingResult
+from repro.route.wires import RoutedWire
 from repro.tech.ndr import rule_by_name
 
 SCHEMA_VERSION = 1
 
 
-def _signature(wire) -> list:
+def _signature(wire: RoutedWire) -> list[object]:
     return [wire.layer.name, wire.track,
             round(wire.segment.lo, 4), round(wire.segment.hi, 4)]
 
@@ -49,7 +50,7 @@ def save_rule_assignment(routing: RoutingResult,
     return len(entries)
 
 
-def load_rule_assignment(path: Union[str, Path]) -> dict:
+def load_rule_assignment(path: Union[str, Path]) -> dict[str, Any]:
     """Read a rule-assignment file (validated for schema)."""
     payload = json.loads(Path(path).read_text())
     if payload.get("schema") != SCHEMA_VERSION:
@@ -58,7 +59,8 @@ def load_rule_assignment(path: Union[str, Path]) -> dict:
     return payload
 
 
-def apply_rule_assignment(routing: RoutingResult, payload: dict) -> int:
+def apply_rule_assignment(routing: RoutingResult,
+                          payload: dict[str, Any]) -> int:
     """Stamp a loaded assignment onto a routing; returns entries applied.
 
     Every entry's geometric signature must match the live wire; a

@@ -115,10 +115,10 @@ def active() -> Optional[PhaseTimer]:
 @contextmanager
 def phase(name: str) -> Iterator[None]:
     """Time the enclosed block globally when profiling is enabled."""
-    if _TIMER is None:
+    if _TIMER is None:  # static: ok[C003] profiling toggle read; phase timings are metadata, never artifact content
         yield
     else:
-        with _TIMER.phase(name):
+        with _TIMER.phase(name):  # static: ok[C003] profiling toggle read; phase timings are metadata, never artifact content
             yield
 
 
@@ -134,10 +134,10 @@ def capture() -> Iterator[PhaseTimer]:
     global _TIMER
     outer = _TIMER
     inner = PhaseTimer()
-    _TIMER = inner
+    _TIMER = inner  # static: ok[D004] process-local profiling slot, restored in the finally below
     try:
         yield inner
     finally:
-        _TIMER = outer
+        _TIMER = outer  # static: ok[D004] restores the outer timer; profiling state never crosses processes
         if outer is not None:
             outer.merge(inner)

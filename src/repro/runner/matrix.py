@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterator, Optional, Sequence, Union
+from typing import Any, Iterator, Optional, Sequence, Union
 
 from repro.core.policies import Policy
 from repro.core.stages import PolicyParams
@@ -138,7 +138,7 @@ class RunMatrix:
 def matrix_of(designs: Union[DesignRef, Sequence[DesignRef]],
               policies: Union[Policy, Sequence[Policy]],
               slacks: Union[None, float, Sequence[Optional[float]]] = 0.15,
-              **kwargs) -> RunMatrix:
+              **kwargs: Any) -> RunMatrix:
     """Convenience constructor accepting scalars or sequences."""
     if isinstance(designs, str):
         designs = (designs,)

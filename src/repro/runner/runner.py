@@ -28,19 +28,29 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Optional, Union
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Union
 
 from repro import perf
 from repro.core.flow import FlowResult, run_flow
 from repro.core.policies import Policy
 from repro.core.targets import RobustnessTargets
 from repro.io.artifacts import ArtifactStore, content_key
+from repro.netlist.design import Design
 from repro.runner.matrix import (DesignRef, JobSpec, RunMatrix,
                                  design_ref_fingerprint, resolve_design)
 from repro.tech.technology import Technology, default_technology
 
 #: (worst_delta_ps, skew_3sigma_ps) of a design's all-NDR reference.
 RefMetrics = tuple[float, float]
+
+#: Environment variables the runner deliberately forwards into (or
+#: honors inside) worker processes.  The static determinism analyzer
+#: (``repro lint --static``) allows env access to exactly these names
+#: from worker-reachable code; reading anything else is a D003 finding
+#: because a worker would silently diverge from the parent.
+FORWARDED_ENV_WHITELIST: tuple[str, ...] = ("REPRO_VERIFY_FLOWS",
+                                            "REPRO_CACHE_DIR")
 
 
 @dataclass
@@ -61,7 +71,7 @@ class JobResult:
     feasible: bool
     runtime: float
     phases: dict[str, dict[str, float]] = field(default_factory=dict)
-    diagnostics: list[dict] = field(default_factory=list)
+    diagnostics: list[dict[str, object]] = field(default_factory=list)
     cached: bool = False
     flow: Optional[FlowResult] = None
 
@@ -77,7 +87,7 @@ class _ExecContext:
     return_flows: bool = False
 
 
-def _reference_targets(design, tech: Technology,
+def _reference_targets(design: Design, tech: Technology,
                        metrics: Optional[RefMetrics],
                        slack: Optional[float]) -> RobustnessTargets:
     """The cell's budgets: period-derived, or pegged to the reference."""
@@ -91,7 +101,7 @@ def _reference_targets(design, tech: Technology,
                                             slack=slack)
 
 
-def _guide_fingerprint(guide) -> str:
+def _guide_fingerprint(guide: Any) -> str:
     """Content hash of a fitted guide (cached on the instance)."""
     from repro.io.artifacts import fingerprint
     from repro.ml.serialize import forest_to_dict
@@ -100,7 +110,7 @@ def _guide_fingerprint(guide) -> str:
     if fp is None:
         fp = fingerprint(forest_to_dict(guide.model))
         guide._content_fp = fp
-    return fp
+    return str(fp)
 
 
 def _cell_key(job: JobSpec, ctx: _ExecContext,
@@ -117,7 +127,7 @@ def _cell_key(job: JobSpec, ctx: _ExecContext,
     return content_key("flow-cell", **parts)
 
 
-def _verify_diagnostics(flow: FlowResult, label: str) -> list[dict]:
+def _verify_diagnostics(flow: FlowResult, label: str) -> list[dict[str, object]]:
     """Run the static verifier; return diagnostics, raise on ERRORs."""
     from repro.verify import (VerificationError, VerifyContext, run_checks)
 
@@ -130,30 +140,32 @@ def _verify_diagnostics(flow: FlowResult, label: str) -> list[dict]:
 def _execute_job(job: JobSpec, metrics: Optional[RefMetrics],
                  ctx: _ExecContext) -> JobResult:
     """Run (or load) one cell and package the streamed result."""
-    start = time.perf_counter()
+    start = time.perf_counter()  # static: ok[D002] feeds JobResult.runtime metadata only
     design = resolve_design(job.design)
     targets = _reference_targets(design, ctx.tech, metrics, job.slack)
-    key = _cell_key(job, ctx, targets) if ctx.store is not None else None
+    store = ctx.store
+    key = _cell_key(job, ctx, targets) if store is not None else None
 
     with perf.capture() as timer:
         flow: Optional[FlowResult] = None
         cached = False
-        if key is not None:
-            loaded = ctx.store.load(key)
+        if key is not None and store is not None:
+            loaded = store.load(key)
             if isinstance(loaded, FlowResult):
                 flow, cached = loaded, True
-        if flow is None and key is not None and job.policy == Policy.ALL_NDR \
-                and job.slack is not None:
+        if flow is None and key is not None and store is not None \
+                and job.policy == Policy.ALL_NDR and job.slack is not None:
             # An ALL-NDR cell is the reference flow under pegged
             # budgets; re-wrap the cached reference instead of
             # re-running it (deterministic, so numerically identical).
             ref_job = job.reference_job()
+            assert ref_job is not None  # slack is not None here
             ref_targets = _reference_targets(design, ctx.tech, None, None)
             ref_key = _cell_key(ref_job, ctx, ref_targets)
-            reference = ctx.store.load(ref_key)
+            reference = store.load(ref_key)
             if isinstance(reference, FlowResult):
                 flow, cached = replace(reference, targets=targets), True
-                ctx.store.save(key, flow)
+                store.save(key, flow)
         if flow is None:
             flow = run_flow(design, ctx.tech, policy=job.policy,
                             targets=targets,
@@ -161,9 +173,9 @@ def _execute_job(job: JobSpec, metrics: Optional[RefMetrics],
                             random_seed=job.random_seed,
                             lambda_track=job.lambda_track,
                             guide=ctx.guide, store=ctx.store)
-            if key is not None:
-                ctx.store.save(key, flow)
-        diagnostics: list[dict] = []
+            if key is not None and store is not None:
+                store.save(key, flow)
+        diagnostics: list[dict[str, object]] = []
         if ctx.verify:
             diagnostics = _verify_diagnostics(flow, f"runner:{job.label}")
 
@@ -173,7 +185,7 @@ def _execute_job(job: JobSpec, metrics: Optional[RefMetrics],
         rule_histogram=dict(flow.rule_histogram),
         ndr_track_cost=flow.ndr_track_cost,
         feasible=flow.feasible,
-        runtime=time.perf_counter() - start,
+        runtime=time.perf_counter() - start,  # static: ok[D002] feeds JobResult.runtime metadata only
         phases=timer.as_dict(),
         diagnostics=diagnostics,
         cached=cached,
@@ -187,7 +199,7 @@ _WORKER_CTX: Optional[_ExecContext] = None
 
 
 def _pool_init(tech: Technology, store_root: Optional[str], verify: bool,
-               guide, return_flows: bool) -> None:
+               guide: object, return_flows: bool) -> None:
     """Per-worker initializer: rebuild the execution context.
 
     ``REPRO_VERIFY_FLOWS`` is forwarded explicitly so the in-flow
@@ -200,7 +212,7 @@ def _pool_init(tech: Technology, store_root: Optional[str], verify: bool,
     else:
         os.environ.pop("REPRO_VERIFY_FLOWS", None)
     store = ArtifactStore(store_root) if store_root is not None else None
-    _WORKER_CTX = _ExecContext(tech=tech, store=store, verify=verify,
+    _WORKER_CTX = _ExecContext(tech=tech, store=store, verify=verify,  # static: ok[D004] per-worker context slot, written once by the pool initializer before any job runs
                                guide=guide, return_flows=return_flows)
 
 
@@ -234,17 +246,20 @@ class FlowRunner:
     """
 
     def __init__(self, tech: Optional[Technology] = None,
-                 store: Union[ArtifactStore, str, None, bool] = True,
-                 jobs: int = 1, guide=None,
+                 store: Union[ArtifactStore, str, Path, None, bool] = True,
+                 jobs: int = 1, guide: object = None,
                  verify: Optional[bool] = None) -> None:
         self.tech = tech if tech is not None else default_technology()
-        if store is True:
-            store = ArtifactStore()
-        elif store is False:
-            store = None
-        elif isinstance(store, (str, os.PathLike)):
-            store = ArtifactStore(store)
-        self.store: Optional[ArtifactStore] = store
+        resolved: Optional[ArtifactStore]
+        if isinstance(store, ArtifactStore):
+            resolved = store
+        elif isinstance(store, bool):
+            resolved = ArtifactStore() if store else None
+        elif store is None:
+            resolved = None
+        else:
+            resolved = ArtifactStore(store)
+        self.store: Optional[ArtifactStore] = resolved
         self.jobs = max(1, int(jobs))
         self.guide = guide
         if verify is None:
@@ -324,13 +339,13 @@ class FlowRunner:
         if n_workers <= 1:
             for ref in ref_jobs:
                 self.reference(ref.design)
-            results = []
+            serial: list[JobResult] = []
             for job in job_list:
                 result = self.run_job(job, return_flow=return_flows)
                 if on_result is not None:
                     on_result(result)
-                results.append(result)
-            return results
+                serial.append(result)
+            return serial
 
         timer = perf.active()
         with ProcessPoolExecutor(
@@ -357,7 +372,7 @@ class FlowRunner:
                 pool.submit(_pool_run, job, self._metrics_for(job)): job
                 for job in unique
             }
-            results: list[Optional[JobResult]] = [None] * len(job_list)
+            slots: list[Optional[JobResult]] = [None] * len(job_list)
             pending = set(future_of)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -368,6 +383,7 @@ class FlowRunner:
                     if on_result is not None:
                         on_result(result)
                     for i in unique[future_of[future]]:
-                        results[i] = result
-        assert all(r is not None for r in results)
-        return results  # type: ignore[return-value]
+                        slots[i] = result
+        results = [r for r in slots if r is not None]
+        assert len(results) == len(job_list)
+        return results

@@ -8,7 +8,11 @@ themselves under a stable rule id and a *kind*:
 * ``"drc"``  — domain design-rule / electrical-rule checks over the
   routed geometry and the RC network;
 * ``"oracle"`` — engine-coherence checks that recompute incrementally
-  maintained state from scratch and diff.
+  maintained state from scratch and diff;
+* ``"static"`` — whole-program determinism / cache-soundness rules
+  over the source itself (:mod:`repro.analysis`); they receive a
+  :class:`~repro.analysis.report.StaticContext` instead of a
+  :class:`VerifyContext` and skip silently when handed anything else.
 
 ``run_checks`` executes a selection and collects one
 :class:`~repro.verify.diagnostics.VerifyReport`.  A check that raises
@@ -46,7 +50,7 @@ def register(rule: str, kind: str) -> Callable[[CheckFn], CheckFn]:
     The function's first docstring line becomes the check's one-line
     description in ``registered_checks`` listings.
     """
-    if kind not in ("drc", "oracle"):
+    if kind not in ("drc", "oracle", "static"):
         raise ValueError(f"unknown check kind {kind!r}")
 
     def decorate(fn: CheckFn) -> CheckFn:

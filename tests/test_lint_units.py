@@ -88,6 +88,19 @@ def test_repo_sources_are_clean():
     assert not findings, "\n".join(f.render() for f in findings)
 
 
+def test_default_paths_cover_benchmarks_too():
+    repo = Path(__file__).resolve().parent.parent
+    defaults = lint_units.default_paths()
+    assert repo / "src" in defaults
+    assert repo / "tools" in defaults
+    assert repo / "benchmarks" in defaults
+
+
+def test_main_without_args_lints_the_default_trees(capsys):
+    assert lint_units.main([]) == 0
+    assert capsys.readouterr().out == ""
+
+
 @pytest.mark.parametrize("snippet", [
     "x = {1.0: 'a'}[key]",       # float literal, but no ==/!=
     "y = f(0.0)",                # argument position

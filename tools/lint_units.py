@@ -24,9 +24,11 @@ line — the marker documents that the comparison/constant is deliberate
 
 Usage::
 
-    python tools/lint_units.py src [more paths...]
+    python tools/lint_units.py [paths...]
 
-Exits 1 if any finding survives suppression, 0 otherwise.  Pure stdlib.
+With no paths, lints the repository's ``src``, ``tools`` and
+``benchmarks`` trees (skipping any that do not exist).  Exits 1 if any
+finding survives suppression, 0 otherwise.  Pure stdlib.
 """
 
 from __future__ import annotations
@@ -48,6 +50,16 @@ CONVERSION_LITERALS: tuple[float, ...] = (1000.0, 0.001)  # lint-units: ok
 
 #: Files whose whole purpose is defining the conversion constants.
 EXEMPT_FILES: tuple[str, ...] = ("units.py",)
+
+#: Trees linted when the CLI is given no paths, relative to the repo
+#: root (the parent of this script's directory).
+DEFAULT_TREES: tuple[str, ...] = ("src", "tools", "benchmarks")
+
+
+def default_paths() -> list[Path]:
+    """The repo's lintable trees, skipping any that do not exist."""
+    root = Path(__file__).resolve().parent.parent
+    return [root / tree for tree in DEFAULT_TREES if (root / tree).is_dir()]
 
 
 @dataclass(frozen=True)
@@ -149,10 +161,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="unit-hygiene linter (U001 float-literal equality, "
                     "U002 magic unit-conversion constants)")
-    parser.add_argument("paths", nargs="+", type=Path,
-                        help="files or directories to lint")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint "
+                             "(default: the repo's src, tools and "
+                             "benchmarks trees)")
     args = parser.parse_args(argv)
-    findings = lint_paths(args.paths)
+    findings = lint_paths(args.paths or default_paths())
     for finding in findings:
         print(finding.render())
     if findings:
