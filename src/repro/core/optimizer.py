@@ -366,7 +366,10 @@ class SmartNdrOptimizer:
             # width cuts the shared resistance that multiplies every
             # coupling downstream of it.
             ranked: list[tuple[float, float, float, int, Move]] = []
-            candidate_ids = set(contributions) | set(cc_through)
+            # Iterate in wire-id order: ranked.sort below is stable, so
+            # equal-score candidates tie-break by insertion order — set
+            # iteration order must not leak into the plan.
+            candidate_ids = sorted(set(contributions) | set(cc_through))
             for wire_id in candidate_ids:
                 if wire_id in plan or wire_id not in contexts:
                     continue
