@@ -21,7 +21,7 @@ from typing import Optional, Sequence
 
 import pytest
 
-from repro import perf
+from repro import obs
 from repro.bench import benchmark_suite, generate_design, spec_by_name
 from repro.core import FlowResult, NdrClassifierGuide, Policy, RobustnessTargets
 from repro.runner import FlowRunner, JobSpec
@@ -95,21 +95,44 @@ class SuiteMatrix:
 
 
 def pytest_addoption(parser):
+    # pytest owns --trace (its pdb hook), so the obs flag gets a
+    # bench- prefix here even though the repro CLI spells it --trace.
+    parser.addoption(
+        "--bench-trace", nargs="?", const="", default=None, metavar="PATH",
+        help="record an obs trace of the bench session; print the phase "
+             "breakdown and write trace JSONL to PATH (bare --bench-trace "
+             "skips the file)")
     parser.addoption(
         "--profile-phases", action="store_true", default=False,
-        help="record and print per-phase flow timings (repro.perf)")
+        help="deprecated alias for bare --bench-trace")
+
+
+def _trace_opt(config) -> Optional[str]:
+    trace = config.getoption("--bench-trace")
+    if trace is None and config.getoption("--profile-phases"):
+        trace = ""
+    return trace
 
 
 def pytest_configure(config):
-    if config.getoption("--profile-phases"):
-        perf.enable()
+    if _trace_opt(config) is not None:
+        obs.enable("bench")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    timer = perf.active()
-    if config.getoption("--profile-phases") and timer is not None:
-        terminalreporter.write_line("")
-        terminalreporter.write_line(timer.report("bench phase timings"))
+    tracer = obs.active()
+    trace = _trace_opt(config)
+    if trace is None or tracer is None:
+        return
+    from repro.obs.report import phase_breakdown
+
+    terminalreporter.write_line("")
+    terminalreporter.write_line(phase_breakdown(tracer).render())
+    if trace:
+        from repro.obs.export import export_jsonl
+
+        out = export_jsonl(tracer, path=trace)
+        terminalreporter.write_line(f"trace written to {out}")
 
 
 _MATRIX: Optional[SuiteMatrix] = None

@@ -13,8 +13,9 @@ Usage::
 import sys
 from pathlib import Path
 
-from repro import (Policy, default_technology, generate_design, run_flow,
-                   spec_by_name, targets_from_reference)
+from repro import (default_technology, generate_design, spec_by_name,
+                   targets_from_reference)
+from repro.api import Policy, run_flow
 from repro.io import save_rule_assignment, write_wire_report
 from repro.reporting import Table
 from repro.viz import save_clock_svg

@@ -13,9 +13,9 @@ Usage::
 
 import time
 
-from repro import (NdrClassifierGuide, Policy, default_technology,
-                   generate_design, run_flow, spec_by_name,
-                   targets_from_reference)
+from repro import (NdrClassifierGuide, default_technology, generate_design,
+                   spec_by_name, targets_from_reference)
+from repro.api import Policy, run_flow
 from repro.reporting import Table
 
 TRAIN = ("ckt64", "ckt128", "ckt256")

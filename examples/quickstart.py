@@ -1,55 +1,40 @@
 """Quickstart: smart NDR on one benchmark design.
 
-Runs the three headline policies on a 256-sink block and prints the
-power/robustness comparison the paper's abstract summarises.
+Runs the three headline policies on a 256-sink block through the
+stable :mod:`repro.api` facade and prints the power/robustness
+comparison the paper's abstract summarises.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro import (Policy, default_technology, generate_design, run_flow,
-                   spec_by_name, targets_from_reference)
+from repro.api import compare
 from repro.reporting import Table
+
+DESIGN = "ckt256"
 
 
 def main() -> None:
-    tech = default_technology()
-    spec = spec_by_name("ckt256")
-
     # Budgets pegged to the all-NDR reference: "as robust as all-NDR,
-    # within 15%" — the paper's operational spec.
-    reference = run_flow(generate_design(spec), tech, policy=Policy.ALL_NDR)
-    targets = targets_from_reference(reference.analyses, tech)
-    print(f"Design {spec.name}: {spec.n_sinks} sinks, "
-          f"{spec.n_aggressors} aggressor nets, "
-          f"{spec.die_edge:.0f} um die, 1 GHz clock")
-    print(f"Budgets: delta-delay <= {targets.max_worst_delta:.2f} ps, "
-          f"3-sigma skew <= {targets.max_skew_3sigma:.2f} ps, "
-          f"slew <= {targets.max_slew:.0f} ps, EM util <= 1.0\n")
+    # within 15%" — the paper's operational spec.  compare() schedules
+    # the reference as a shared upstream job.
+    report = compare(DESIGN, slack=0.15)
 
     table = Table(
         "Clock power and robustness per routing policy",
         ["policy", "power (uW)", "wire cap (fF)", "dd (ps)", "3sig (ps)",
          "EM viol", "upgraded wires", "feasible"])
-    rows = {}
-    for policy in (Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART):
-        flow = run_flow(generate_design(spec), tech, policy=policy,
-                        targets=targets)
-        rows[policy] = flow
-        hist = flow.rule_histogram
-        upgraded = sum(hist.values()) - hist.get("W1S1", 0)
-        a = flow.analyses
-        table.add_row(policy.value, flow.clock_power, a.power.wire_cap,
-                      a.crosstalk.worst_delta, a.mc.skew_3sigma,
-                      int(a.em.num_violations), upgraded,
-                      "yes" if flow.feasible else "NO")
+    for cell in report.cells:
+        s = cell.summary
+        table.add_row(cell.policy, s["power_uw"], s["wire_cap_ff"],
+                      s["worst_delta_ps"], s["skew_3sigma_ps"],
+                      int(s["em_violations"]), cell.upgraded_wires,
+                      "yes" if cell.feasible else "NO")
     print(table.render())
 
-    p_all = rows[Policy.ALL_NDR].clock_power
-    p_smart = rows[Policy.SMART].clock_power
-    print(f"\nSmart NDR saves {100 * (p_all - p_smart) / p_all:.1f}% clock "
-          f"power vs the uniform all-NDR flow, at the same robustness spec.")
+    print(f"\nSmart NDR saves {report.smart_saving_pct:.1f}% clock power "
+          f"vs the uniform all-NDR flow, at the same robustness spec.")
 
 
 if __name__ == "__main__":

@@ -11,16 +11,16 @@ technology modeling, clock tree synthesis, track routing, RC extraction,
 Elmore/crosstalk/Monte-Carlo timing, EM checks, and a power model — see
 ``DESIGN.md`` for the inventory.
 
-Quickstart::
+Quickstart (the supported surface is :mod:`repro.api`)::
 
-    from repro import (benchmark_suite, generate_design,
-                       default_technology, run_flow, Policy)
+    from repro.api import compare
 
-    design = generate_design(benchmark_suite()[0])
-    result = run_flow(design, policy=Policy.SMART)
-    print(result.summary())
+    report = compare("ckt64")
+    print(f"smart saves {report.smart_saving_pct:.1f}% vs all-ndr")
 """
 
+from repro import api
+from repro.api import CompareReport, SweepReport, compare, sweep, trace_report
 from repro.bench import DesignSpec, benchmark_suite, generate_design, spec_by_name
 from repro.core import (FlowResult, NdrClassifierGuide, OptimizeResult,
                         Policy, RobustnessTargets, SmartNdrOptimizer,
@@ -33,6 +33,12 @@ from repro.tech import (RoutingRule, RuleName, RULE_SET, Technology,
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "CompareReport",
+    "SweepReport",
+    "compare",
+    "sweep",
+    "trace_report",
     "DesignSpec",
     "benchmark_suite",
     "generate_design",

@@ -1,0 +1,248 @@
+"""The stable, typed entry points of the repro package.
+
+Everything here is the *supported surface*: the CLI is a thin shell
+over these functions, the examples import them, and their signatures
+and result dataclasses change only with a deliberate version bump.
+Internals (``repro.core``, ``repro.runner``, ...) remain importable but
+may be reshaped between versions.
+
+* :func:`run_flow` — one policy flow on one design (re-exported from
+  :mod:`repro.core`);
+* :func:`compare` — NO/ALL/SMART (and optionally ML) on one design,
+  returning a :class:`CompareReport`;
+* :func:`sweep` — budget-slack sweep of the smart policy, returning a
+  :class:`SweepReport`;
+* :func:`lint` — the DRC/ERC + engine-oracle verifier over a flow, or
+  the whole-program static analyzer (``static=True``);
+* :func:`trace_report` — render a ``--trace`` JSONL file the way the
+  ``repro trace`` subcommand does;
+* :func:`fit_guide` — the inline-trained ML guide the ``*_ml``
+  policies use.
+
+Each report dataclass is plain data (JSON-ready via
+:func:`dataclasses.asdict`), so callers can persist or post-process
+results without touching runner internals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from repro.core import NdrClassifierGuide, Policy, run_flow
+from repro.runner import FlowRunner, JobResult, JobSpec, RunMatrix
+from repro.tech import Technology, default_technology
+
+__all__ = [
+    "CellReport",
+    "CompareReport",
+    "SweepPoint",
+    "SweepReport",
+    "Policy",
+    "compare",
+    "fit_guide",
+    "lint",
+    "run_flow",
+    "sweep",
+    "trace_report",
+]
+
+
+# -- result dataclasses --------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CellReport:
+    """One executed matrix cell, flattened to plain data."""
+
+    design: str
+    policy: str
+    slack: Optional[float]
+    feasible: bool
+    cached: bool
+    runtime_s: float
+    summary: dict[str, float]
+    rule_histogram: dict[str, int]
+
+    @property
+    def power_uw(self) -> float:
+        return self.summary["power_uw"]
+
+    @property
+    def upgraded_wires(self) -> int:
+        """Wires assigned any non-default rule."""
+        return (sum(self.rule_histogram.values())
+                - self.rule_histogram.get("W1S1", 0))
+
+
+@dataclasses.dataclass(frozen=True)
+class CompareReport:
+    """A policy comparison on one design at one slack."""
+
+    design: str
+    slack: float
+    #: Smart-policy power saving vs the all-NDR reference, in percent.
+    smart_saving_pct: float
+    cells: tuple[CellReport, ...]
+
+    def cell(self, policy: Union[Policy, str]) -> CellReport:
+        """The row of one policy (KeyError when absent)."""
+        name = policy.value if isinstance(policy, Policy) else str(policy)
+        for row in self.cells:
+            if row.policy == name:
+                return row
+        raise KeyError(f"no {name!r} cell in this comparison")
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One slack point of a budget sweep."""
+
+    slack: float
+    power_uw: float
+    upgraded_pct: float
+    feasible: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepReport:
+    """A smart-policy budget-slack sweep on one design."""
+
+    design: str
+    points: tuple[SweepPoint, ...]
+
+
+def _cell_report(result: JobResult) -> CellReport:
+    return CellReport(design=result.job.design,
+                      policy=result.job.policy.value,
+                      slack=result.job.slack,
+                      feasible=result.feasible,
+                      cached=result.cached,
+                      runtime_s=result.runtime,
+                      summary=dict(result.summary),
+                      rule_histogram=dict(result.rule_histogram))
+
+
+# -- entry points --------------------------------------------------------------
+
+
+def fit_guide(seed: int = 0,
+              designs: Sequence[str] = ("ckt64", "ckt128"),
+              tech: Optional[Technology] = None) -> NdrClassifierGuide:
+    """Train the NDR classifier guide on built-in benchmarks."""
+    from repro.bench import generate_design, spec_by_name
+
+    guide = NdrClassifierGuide(seed=seed)
+    guide.fit_designs([generate_design(spec_by_name(n)) for n in designs],
+                      tech if tech is not None else default_technology())
+    return guide
+
+
+def _runner(tech: Optional[Technology], store: Any, jobs: int,
+            guide: Optional[NdrClassifierGuide]) -> FlowRunner:
+    return FlowRunner(tech=tech if tech is not None else default_technology(),
+                      store=store, jobs=jobs, guide=guide)
+
+
+def compare(design: str, slack: float = 0.15, with_ml: bool = False,
+            jobs: int = 1, store: Any = True,
+            tech: Optional[Technology] = None,
+            guide: Optional[NdrClassifierGuide] = None) -> CompareReport:
+    """Compare NO/ALL/SMART (and optionally ML) policies on one design.
+
+    ``store`` accepts anything :class:`~repro.runner.FlowRunner` does:
+    ``True`` for the per-user artifact cache, ``False``/``None`` to
+    disable, a path, or a live store.  With ``with_ml`` a guide is
+    trained inline unless one is passed.
+    """
+    policies = [Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART]
+    if with_ml:
+        if guide is None:
+            guide = fit_guide(tech=tech)
+        policies.append(Policy.SMART_ML)
+    runner = _runner(tech, store, jobs, guide)
+    matrix = RunMatrix(designs=(design,), policies=tuple(policies),
+                       slacks=(slack,))
+    results = runner.run(matrix, jobs=jobs)
+    by_policy = {r.job.policy: r for r in results}
+    p_all = by_policy[Policy.ALL_NDR].summary["power_uw"]
+    p_smart = by_policy[Policy.SMART].summary["power_uw"]
+    saving = 100.0 * (p_all - p_smart) / p_all
+    return CompareReport(design=design, slack=slack, smart_saving_pct=saving,
+                         cells=tuple(_cell_report(r) for r in results))
+
+
+def sweep(design: str, slacks: Sequence[float] = (0.6, 0.3, 0.15),
+          jobs: int = 1, store: Any = True,
+          tech: Optional[Technology] = None) -> SweepReport:
+    """Sweep the budget slack for the smart policy on one design.
+
+    The all-NDR reference is computed once and every slack's budgets
+    derive from it — a sweep costs one reference plus one smart flow
+    per point.
+    """
+    ordered = sorted((float(s) for s in slacks), reverse=True)
+    runner = _runner(tech, store, jobs, None)
+    matrix = RunMatrix(designs=(design,), policies=(Policy.SMART,),
+                       slacks=tuple(ordered))
+    results = runner.run(matrix, jobs=jobs)
+    points = []
+    for result in results:
+        hist = result.rule_histogram
+        total = sum(hist.values())
+        points.append(SweepPoint(
+            slack=float(result.job.slack or 0.0),
+            power_uw=result.summary["power_uw"],
+            upgraded_pct=100.0 * (total - hist.get("W1S1", 0)) / total,
+            feasible=result.feasible))
+    return SweepReport(design=design, points=tuple(points))
+
+
+def lint(design: Optional[str] = None,
+         policy: Union[Policy, str] = Policy.SMART,
+         kinds: Optional[Sequence[str]] = None,
+         static: bool = False,
+         paths: Optional[Sequence[str]] = None,
+         tech: Optional[Technology] = None) -> Any:
+    """Run the verifier: a flow's DRC/ERC + oracle checks, or ``--static``.
+
+    With ``static=True`` the whole-program determinism /
+    cache-soundness analyzer runs over ``paths`` (default: the
+    installed package) and the flow arguments are ignored.  Returns
+    the report object (:class:`~repro.verify.VerifyReport` or the
+    static analyzer's report) — both expose ``has_errors``,
+    ``render()`` and ``to_json()``.
+    """
+    import repro.analysis  # registers the static D/C checks
+
+    if static:
+        ctx = repro.analysis.build_static_context(list(paths) if paths
+                                                  else None)
+        return repro.analysis.analyze_program(ctx)
+    if not design:
+        raise ValueError("lint needs a design (or static=True)")
+    from repro.core.targets import RobustnessTargets
+    from repro.runner import resolve_design
+    from repro.verify import VerifyContext, run_checks
+
+    resolved_tech = tech if tech is not None else default_technology()
+    design_obj = resolve_design(design)
+    targets = RobustnessTargets.for_period(design_obj.clock_period,
+                                           resolved_tech.max_slew)
+    flow = run_flow(design_obj, resolved_tech,
+                    policy=Policy(policy) if isinstance(policy, str)
+                    else policy,
+                    targets=targets)
+    return run_checks(VerifyContext.from_flow(flow),
+                      kinds=list(kinds) if kinds else None)
+
+
+def trace_report(path: Union[str, Path], top: int = 10) -> str:
+    """Render a trace JSONL file (the ``repro trace`` subcommand view)."""
+    from repro.obs.export import load_trace
+    from repro.obs.report import render_trace_report
+
+    trace = load_trace(path)
+    return render_trace_report(trace, top=top,
+                               title=f"trace {trace.name} ({Path(path).name})")

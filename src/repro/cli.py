@@ -2,12 +2,13 @@
 
 Subcommands::
 
-    python -m repro suite [--jobs N]            # benchmark statistics
+    python -m repro suite [--jobs N] [--json]   # benchmark statistics
     python -m repro run --design ckt256 --policy smart [--json]
     python -m repro compare --design ckt256 [--with-ml] [--jobs N] [--json]
     python -m repro sweep --design ckt128 --slacks 0.6,0.3,0.15 [--jobs N]
     python -m repro lint --design ckt256 --policy smart [--json]
     python -m repro lint --static [src/repro]          # whole-program D/C codes
+    python -m repro trace trace.jsonl [--top N]        # render a trace file
 
 ``--design`` accepts a built-in benchmark name or a path to a design
 JSON file (see :mod:`repro.io`).  Robustness budgets default to the
@@ -18,25 +19,31 @@ Every command schedules its flows through the
 upstream job computed once per (design, tech), the default-rule build
 is shared across policies and slacks, and completed cells are
 content-addressed in the on-disk artifact store, so repeat invocations
-are warm.  ``--jobs N`` fans the cells out over worker processes;
-``--no-cache`` (before the subcommand) disables the artifact store.
+are warm.  The programmatic equivalents live in :mod:`repro.api`.
 
-``--profile`` (before the subcommand) prints a per-phase wall-time
-breakdown of the run — worker phase timings are streamed back into the
-parent's report — see :mod:`repro.perf`.
+Common options (every subcommand): ``--jobs N`` fans the cells out
+over worker processes; ``--no-cache`` disables the artifact store;
+``--trace [PATH]`` records the run as an :mod:`repro.obs` trace —
+worker span trees are re-rooted into the parent's — prints the phase
+breakdown at exit, and writes trace JSONL to PATH (bare ``--trace``
+content-addresses the file next to the artifact store).  The old
+``--profile`` spelling is a deprecated alias for bare ``--trace``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
+from pathlib import Path
 
-from repro import perf
+from repro import obs
+from repro.api import CellReport, compare, fit_guide, sweep
 from repro.bench import benchmark_suite, generate_design, spec_by_name
-from repro.core import NdrClassifierGuide, Policy
+from repro.core import Policy
 from repro.io import save_rule_assignment, write_wire_report
-from repro.runner import FlowRunner, JobSpec, RunMatrix, resolve_design
+from repro.runner import FlowRunner, JobSpec
 from repro.viz import save_clock_svg
 from repro.reporting import Table
 from repro.tech import default_technology
@@ -47,14 +54,6 @@ def _runner(args, guide=None) -> FlowRunner:
     return FlowRunner(tech=default_technology(),
                       store=not getattr(args, "no_cache", False),
                       jobs=getattr(args, "jobs", 1), guide=guide)
-
-
-def _fit_guide() -> NdrClassifierGuide:
-    """The inline-trained guide the ML policy paths use."""
-    guide = NdrClassifierGuide(seed=0)
-    guide.fit_designs([generate_design(spec_by_name(n))
-                       for n in ("ckt64", "ckt128")], default_technology())
-    return guide
 
 
 def _result_dict(result) -> dict:
@@ -71,14 +70,12 @@ def _result_dict(result) -> dict:
     }
 
 
-def _result_row(table: Table, result) -> None:
-    s = result.summary
-    hist = result.rule_histogram
-    upgraded = sum(hist.values()) - hist.get("W1S1", 0)
-    table.add_row(result.job.policy.value, s["power_uw"], s["wire_cap_ff"],
+def _report_row(table: Table, cell: CellReport) -> None:
+    s = cell.summary
+    table.add_row(cell.policy, s["power_uw"], s["wire_cap_ff"],
                   s["skew_ps"], s["worst_delta_ps"], s["skew_3sigma_ps"],
-                  int(s["em_violations"]), upgraded,
-                  "yes" if result.feasible else "NO")
+                  int(s["em_violations"]), cell.upgraded_wires,
+                  "yes" if cell.feasible else "NO")
 
 
 def _policy_table(title: str) -> Table:
@@ -90,9 +87,13 @@ def cmd_suite(args) -> int:
     """Print default-rule statistics for the whole benchmark suite."""
     specs = list(benchmark_suite())
     rows = _suite_rows(specs, args)
-    table = Table("Benchmark suite (default-rule routing)",
-                  ["design", "sinks", "die um", "aggr", "clk WL um",
-                   "latency ps", "skew ps"])
+    columns = ["design", "sinks", "die um", "aggr", "clk WL um",
+               "latency ps", "skew ps"]
+    if args.json:
+        print(json.dumps([dict(zip(columns, row)) for row in rows],
+                         indent=2, sort_keys=True))
+        return 0
+    table = Table("Benchmark suite (default-rule routing)", columns)
     for row in rows:
         table.add_row(*row)
     print(table.render())
@@ -130,7 +131,7 @@ def _suite_rows(specs, args) -> list[tuple]:
 def cmd_run(args) -> int:
     """Run one policy on one design; optional rules/report/SVG outputs."""
     policy = Policy(args.policy)
-    guide = _fit_guide() if policy == Policy.SMART_ML else None
+    guide = fit_guide() if policy == Policy.SMART_ML else None
     runner = _runner(args, guide=guide)
     job = JobSpec(design=args.design, policy=policy, slack=args.slack)
     result = runner.run_job(job, return_flow=True)
@@ -139,7 +140,13 @@ def cmd_run(args) -> int:
         print(json.dumps(_result_dict(result), indent=2, sort_keys=True))
     else:
         table = _policy_table(f"{args.design} under {policy.value}")
-        _result_row(table, result)
+        s = result.summary
+        hist = result.rule_histogram
+        table.add_row(policy.value, s["power_uw"], s["wire_cap_ff"],
+                      s["skew_ps"], s["worst_delta_ps"], s["skew_3sigma_ps"],
+                      int(s["em_violations"]),
+                      sum(hist.values()) - hist.get("W1S1", 0),
+                      "yes" if result.feasible else "NO")
         print(table.render())
     if args.verbose and not args.json:
         from repro.reporting import analysis_summary
@@ -167,33 +174,22 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     """Compare NO/ALL/SMART (and optionally ML) on one design."""
-    policies = [Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART]
-    guide = None
-    if args.with_ml:
-        guide = _fit_guide()
-        policies.append(Policy.SMART_ML)
-    runner = _runner(args, guide=guide)
-    matrix = RunMatrix(designs=(args.design,), policies=tuple(policies),
-                       slacks=(args.slack,))
-    results = runner.run(matrix, jobs=args.jobs)
-    by_policy = {r.job.policy: r for r in results}
-    p_all = by_policy[Policy.ALL_NDR].summary["power_uw"]
-    p_smart = by_policy[Policy.SMART].summary["power_uw"]
-    saving = 100.0 * (p_all - p_smart) / p_all
+    report = compare(args.design, slack=args.slack, with_ml=args.with_ml,
+                     jobs=args.jobs, store=not args.no_cache)
     if args.json:
         print(json.dumps({
-            "design": args.design,
-            "slack": args.slack,
-            "smart_saving_pct": saving,
-            "rows": [_result_dict(r) for r in results],
+            "design": report.design,
+            "slack": report.slack,
+            "smart_saving_pct": report.smart_saving_pct,
+            "rows": [dataclasses.asdict(cell) for cell in report.cells],
         }, indent=2, sort_keys=True))
         return 0
     table = _policy_table(f"{args.design}: policy comparison "
                           f"(slack {args.slack:.2f})")
-    for result in results:
-        _result_row(table, result)
+    for cell in report.cells:
+        _report_row(table, cell)
     print(table.render())
-    print(f"smart saves {saving:.1f}% vs all-ndr")
+    print(f"smart saves {report.smart_saving_pct:.1f}% vs all-ndr")
     return 0
 
 
@@ -204,19 +200,18 @@ def cmd_sweep(args) -> int:
     budgets derive from it — a sweep costs one reference plus one smart
     flow per point, not one reference per point.
     """
-    slacks = sorted((float(s) for s in args.slacks.split(",")), reverse=True)
-    runner = _runner(args)
-    matrix = RunMatrix(designs=(args.design,), policies=(Policy.SMART,),
-                       slacks=tuple(slacks))
-    results = runner.run(matrix, jobs=args.jobs)
+    slacks = [float(s) for s in args.slacks.split(",")]
+    report = sweep(args.design, slacks=slacks, jobs=args.jobs,
+                   store=not args.no_cache)
+    if args.json:
+        print(json.dumps(dataclasses.asdict(report), indent=2,
+                         sort_keys=True))
+        return 0
     table = Table(f"{args.design}: budget-slack sweep",
                   ["slack", "P (uW)", "upgraded %", "feasible"])
-    for result in results:
-        hist = result.rule_histogram
-        total = sum(hist.values())
-        table.add_row(result.job.slack, result.summary["power_uw"],
-                      100.0 * (total - hist.get("W1S1", 0)) / total,
-                      "yes" if result.feasible else "NO")
+    for point in report.points:
+        table.add_row(point.slack, point.power_uw, point.upgraded_pct,
+                      "yes" if point.feasible else "NO")
     print(table.render())
     return 0
 
@@ -234,37 +229,26 @@ def cmd_lint(args) -> int:
     (:mod:`repro.analysis`) over the installed package or a package
     root given as a positional path (``repro lint --static src/repro``).
     """
-    import repro.analysis  # registers the static D/C checks
-    from repro.core import run_flow
-    from repro.core.targets import RobustnessTargets
-    from repro.verify import registered_checks, run_checks, VerifyContext
+    from repro.api import lint
+    from repro.verify import registered_checks
 
     if args.list_checks:
+        import repro.analysis  # registers the static D/C checks
+
         for check in registered_checks():
             print(f"{check.rule:22s} [{check.kind:6s}] {check.doc}")
         return 0
     if args.static:
-        ctx = repro.analysis.build_static_context(args.paths or None)
-        report = repro.analysis.analyze_program(ctx)
-        if args.json:
-            print(report.to_json())
-        else:
-            print(report.render())
-        return 1 if report.has_errors else 0
-    if not args.design:
-        print("lint: --design is required (or use --list-checks/--static)",
-              file=sys.stderr)
-        return 2
-    tech = default_technology()
-    design = resolve_design(args.design)
-    targets = RobustnessTargets.for_period(design.clock_period,
-                                           tech.max_slew)
-    flow = run_flow(design, tech, policy=Policy(args.policy),
-                    targets=targets)
-    kinds = None
-    if args.checks != "all":
-        kinds = [k.strip() for k in args.checks.split(",") if k.strip()]
-    report = run_checks(VerifyContext.from_flow(flow), kinds=kinds)
+        report = lint(static=True, paths=args.paths or None)
+    else:
+        if not args.design:
+            print("lint: --design is required (or use --list-checks/"
+                  "--static)", file=sys.stderr)
+            return 2
+        kinds = None
+        if args.checks != "all":
+            kinds = [k.strip() for k in args.checks.split(",") if k.strip()]
+        report = lint(design=args.design, policy=args.policy, kinds=kinds)
     if args.json:
         print(report.to_json())
     else:
@@ -272,22 +256,63 @@ def cmd_lint(args) -> int:
     return 1 if report.has_errors else 0
 
 
+def cmd_trace(args) -> int:
+    """Render a trace JSONL file; exit 2 on a malformed trace."""
+    from repro.api import trace_report
+    from repro.obs.export import TraceSchemaError, load_trace
+
+    try:
+        if args.json:
+            trace = load_trace(args.file)
+            print(json.dumps({"meta": trace.meta,
+                              "phase_totals": trace.phase_totals(),
+                              "metrics": trace.metrics},
+                             indent=2, sort_keys=True))
+        else:
+            print(trace_report(args.file, top=args.top))
+    except (OSError, TraceSchemaError) as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def add_common_opts(p) -> None:
+    """The options every subcommand shares.
+
+    Defaults are ``SUPPRESS`` so a subcommand-level flag overrides the
+    parser-wide ``set_defaults`` values without clobbering deprecated
+    top-level spellings (``repro --no-cache compare ...`` still works).
+    """
+    p.add_argument("--jobs", type=int, default=argparse.SUPPRESS,
+                   metavar="N",
+                   help="worker processes for flow cells (default 1)")
+    p.add_argument("--json", action="store_true", default=argparse.SUPPRESS,
+                   help="emit the result as JSON")
+    p.add_argument("--no-cache", action="store_true",
+                   default=argparse.SUPPRESS,
+                   help="disable the content-addressed artifact store")
+    p.add_argument("--trace", nargs="?", const="", default=argparse.SUPPRESS,
+                   metavar="PATH",
+                   help="record an obs trace; print the phase breakdown and "
+                        "write trace JSONL to PATH (bare --trace "
+                        "content-addresses it next to the artifact store)")
+    p.add_argument("--profile", action="store_true",
+                   default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
         prog="repro", description="Smart non-default clock routing flows")
     parser.add_argument("--profile", action="store_true",
-                        help="print per-phase wall-time breakdown at exit")
+                        help="deprecated alias for bare --trace")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the content-addressed artifact store")
+    parser.set_defaults(jobs=1, json=False, trace=None)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_jobs(p) -> None:
-        p.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for flow cells (default 1)")
-
     p_suite = sub.add_parser("suite", help="print benchmark suite statistics")
-    add_jobs(p_suite)
+    add_common_opts(p_suite)
 
     p_run = sub.add_parser("run", help="run one policy on one design")
     p_run.add_argument("--design", required=True,
@@ -304,24 +329,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render the routed clock tree to this SVG path")
     p_run.add_argument("--verbose", action="store_true",
                        help="print the full signoff-style summary")
-    p_run.add_argument("--json", action="store_true",
-                       help="emit the result row as JSON")
-    add_jobs(p_run)
+    add_common_opts(p_run)
 
     p_cmp = sub.add_parser("compare", help="compare policies on one design")
     p_cmp.add_argument("--design", required=True)
     p_cmp.add_argument("--slack", type=float, default=0.15)
     p_cmp.add_argument("--with-ml", action="store_true",
                        help="include the ML-guided policy (trains inline)")
-    p_cmp.add_argument("--json", action="store_true",
-                       help="emit the comparison rows as JSON")
-    add_jobs(p_cmp)
+    add_common_opts(p_cmp)
 
     p_sweep = sub.add_parser("sweep", help="sweep budget slack (smart policy)")
     p_sweep.add_argument("--design", required=True)
     p_sweep.add_argument("--slacks", default="0.6,0.3,0.15",
                          help="comma-separated slack values")
-    add_jobs(p_sweep)
+    add_common_opts(p_sweep)
 
     p_lint = sub.add_parser(
         "lint", help="run the static DRC/ERC + engine-oracle verifier")
@@ -332,8 +353,6 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--checks", default="all",
                         help="comma-separated check kinds (drc,oracle) "
                              "or 'all'")
-    p_lint.add_argument("--json", action="store_true",
-                        help="emit the report as JSON")
     p_lint.add_argument("--list-checks", action="store_true",
                         help="list registered checks and exit")
     p_lint.add_argument("--static", action="store_true",
@@ -342,7 +361,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("paths", nargs="*",
                         help="package root for --static "
                              "(default: the installed repro package)")
+    add_common_opts(p_lint)
+
+    p_trace = sub.add_parser(
+        "trace", help="render a recorded trace JSONL file")
+    p_trace.add_argument("file", help="trace JSONL path (from --trace)")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="critical-path depth (default 10)")
+    add_common_opts(p_trace)
     return parser
+
+
+def _finish_trace(tracer: obs.Tracer, args) -> None:
+    """Print the breakdown and write the trace file at CLI exit."""
+    from repro.obs.export import export_jsonl
+    from repro.obs.report import metrics_table, phase_breakdown
+
+    print()
+    print(phase_breakdown(tracer).render())
+    if len(tracer.metrics):
+        print()
+        print(metrics_table(tracer).render())
+    out = None
+    if args.trace:
+        out = export_jsonl(tracer, path=args.trace)
+    elif not args.no_cache:
+        from repro.io import default_cache_dir
+
+        out = export_jsonl(tracer,
+                           directory=Path(default_cache_dir()) / "traces")
+    if out is not None:
+        print(f"trace written to {out}", file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -354,16 +403,22 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "lint": cmd_lint,
+        "trace": cmd_trace,
     }[args.command]
-    if not args.profile:
+    if getattr(args, "profile", False):
+        print("note: --profile is deprecated; use --trace [PATH]",
+              file=sys.stderr)
+        if args.trace is None:
+            args.trace = ""
+    if args.trace is None:
         return handler(args)
-    timer = perf.enable()
+    tracer = obs.enable(f"repro.{args.command}")
     try:
-        return handler(args)
+        with obs.span(f"cli.{args.command}"):
+            return handler(args)
     finally:
-        print()
-        print(timer.report(f"phase timings ({args.command})"))
-        perf.disable()
+        _finish_trace(tracer, args)
+        obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -31,7 +31,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro import perf
+from repro import obs, perf
 from repro.core.evaluation import AnalysisBundle, analyze_all
 from repro.core.features import WireContext, wire_contexts
 from repro.core.sensitivity import (RuleSensitivity, SensitivityCache,
@@ -147,6 +147,7 @@ class SmartNdrOptimizer:
                 stall = 0
             prev_score = min(prev_score, score)
             iterations += 1
+            obs.counter("opt.iterations").inc()
             plan: dict[int, Move] = {}
             with perf.phase("opt.plan"):
                 contexts = wire_contexts(self.tree, extraction)
@@ -162,6 +163,7 @@ class SmartNdrOptimizer:
                     sigma_batch *= 2
             if not plan:
                 break  # nothing more to try; report infeasible below
+            obs.histogram("opt.plan_wires").observe(float(len(plan)))
             for wire_id, move in plan.items():
                 self.routing.assign_rule(wire_id, move.rule)
                 if move.shielded:

@@ -26,6 +26,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.evaluation import AnalysisBundle
 from repro.core.targets import RobustnessTargets
 from repro.cts.tree import ClockTree
@@ -150,6 +151,8 @@ class AnalysisEngine:
         are now stage-local.
         """
         dirty, stages = incremental_re_extract(self.extraction, wire_ids)
+        obs.counter("engine.incremental_re_extracts").inc()
+        obs.histogram("engine.dirty_wires").observe(float(len(dirty)))
         network = self.extraction.network
         tracks = self.extraction.routing.tracks
         for wire_id in dirty:
@@ -175,12 +178,14 @@ class AnalysisEngine:
                 # neither appeared nor vanished — patch scalars in place.
                 self.kernel.stages[stage_idx].retrim(
                     network.stages[stage_idx])
+                obs.counter("engine.stage_retrims").inc()
                 continue
             network.rebuild_stage(stage_idx, self.tree,
                                   self.extraction.routing,
                                   self.extraction.wires)
             self.kernel.recompile_stage(stage_idx, self.extraction.wires)
             self.frozen.invalidate_stage(stage_idx)
+            obs.counter("engine.stage_rebuilds").inc()
         self._timing = self._xtalk = None
         self._power = self._mc = None
 

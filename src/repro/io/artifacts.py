@@ -31,6 +31,8 @@ import pickle
 from pathlib import Path
 from typing import Any, Callable, Optional, Union
 
+from repro import obs
+
 #: Bump to invalidate every previously stored artifact (schema change).
 ARTIFACT_SCHEMA = 1
 
@@ -185,6 +187,7 @@ class ArtifactStore:
     def save(self, key: str, obj: Any) -> None:
         """Persist ``obj`` under ``key`` (atomic rename; best effort)."""
         blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        obs.counter("artifacts.saves").inc()
         self._remember(key, blob)
         path = self.path_for(key)
         try:
@@ -205,6 +208,7 @@ class ArtifactStore:
                 blob = path.read_bytes()
             except OSError:
                 self.misses += 1
+                obs.counter("artifacts.misses").inc()
                 return None
         try:
             obj = pickle.loads(blob)
@@ -213,9 +217,12 @@ class ArtifactStore:
             # drop the poisoned entry so the rebuild can overwrite it.
             self.discard(key)
             self.misses += 1
+            obs.counter("artifacts.corruptions").inc()
+            obs.counter("artifacts.misses").inc()
             return None
         self._remember(key, blob)
         self.hits += 1
+        obs.counter("artifacts.hits").inc()
         return obj
 
     def has(self, key: str) -> bool:

@@ -1,0 +1,206 @@
+"""Trace JSONL export and parsing.
+
+A trace file is newline-delimited JSON, one *event* per line:
+
+``meta``
+    First line.  ``{"event": "meta", "schema": 1, "name": ...,
+    "digest": <sha256 of every following line>}`` — the digest makes
+    the file self-addressing: its canonical filename is
+    ``<digest>.jsonl`` and a reader can detect truncation.
+``span``
+    ``{"event": "span", "id", "parent", "name", "start_s", "dur_s",
+    "attrs"}`` — one finished span, ids sequential, parents before
+    children.
+``metric``
+    ``{"event": "metric", "name", "kind", ...}`` — one registry entry
+    (``counter``/``gauge`` carry ``value``; ``histogram`` carries
+    ``count``/``sum``/``min``/``max``).
+
+:func:`export_jsonl` writes a tracer out (to an explicit path, or
+content-addressed into a directory); :func:`load_trace` parses and
+validates a file back into a :class:`TraceData`.  The schema is
+deliberately small and documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord, Tracer
+
+#: Bump on any incompatible change to the event layout.
+TRACE_SCHEMA = 1
+
+_SPAN_KEYS = {"event", "id", "parent", "name", "start_s", "dur_s", "attrs"}
+_METRIC_KINDS = {"counter": {"value"}, "gauge": {"value"},
+                 "histogram": {"count", "sum", "min", "max"}}
+
+
+class TraceSchemaError(ValueError):
+    """A trace file does not conform to :data:`TRACE_SCHEMA`."""
+
+
+@dataclass
+class TraceData:
+    """A parsed trace file: meta header, spans, metric snapshot."""
+
+    meta: dict[str, Any]
+    spans: list[SpanRecord] = field(default_factory=list)
+    metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return str(self.meta.get("name", "trace"))
+
+    def phase_totals(self) -> dict[str, dict[str, float]]:
+        """Per-name totals over the spans (see ``Tracer.phase_totals``)."""
+        out: dict[str, dict[str, float]] = {}
+        for record in self.spans:
+            entry = out.setdefault(record.name, {"seconds": 0.0, "calls": 0})
+            entry["seconds"] += record.duration_s or 0.0
+            entry["calls"] += 1
+        return out
+
+
+def _event_lines(tracer: Tracer) -> list[str]:
+    """The span/metric event lines (everything after the meta line)."""
+    lines = []
+    for record in tracer.records:
+        lines.append(json.dumps({"event": "span", **record.as_dict()},
+                                sort_keys=True, separators=(",", ":")))
+    for name, entry in tracer.metrics.export().items():
+        lines.append(json.dumps({"event": "metric", "name": name, **entry},
+                                sort_keys=True, separators=(",", ":")))
+    return lines
+
+
+def trace_digest(lines: list[str]) -> str:
+    """sha256 over the event lines — the trace's content address."""
+    h = hashlib.sha256()
+    for line in lines:
+        h.update(line.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def export_jsonl(tracer: Tracer,
+                 path: Optional[Union[str, Path]] = None,
+                 directory: Optional[Union[str, Path]] = None) -> Path:
+    """Write ``tracer`` as trace JSONL; return the file written.
+
+    With ``path``, write exactly there.  With ``directory`` instead,
+    the file is content-addressed: ``<directory>/<digest>.jsonl`` —
+    the spelling used to park traces next to the artifact store.
+    """
+    lines = _event_lines(tracer)
+    digest = trace_digest(lines)
+    if path is None:
+        if directory is None:
+            raise ValueError("export_jsonl needs a path or a directory")
+        path = Path(directory) / f"{digest}.jsonl"
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    meta = json.dumps({"event": "meta", "schema": TRACE_SCHEMA,
+                       "name": tracer.name, "digest": digest},
+                      sort_keys=True, separators=(",", ":"))
+    out.write_text("\n".join([meta, *lines]) + "\n", encoding="utf-8")
+    return out
+
+
+def _check(cond: bool, lineno: int, msg: str) -> None:
+    if not cond:
+        raise TraceSchemaError(f"trace line {lineno}: {msg}")
+
+
+def validate_event(event: dict[str, Any], lineno: int) -> None:
+    """Raise :class:`TraceSchemaError` unless ``event`` is well-formed."""
+    kind = event.get("event")
+    if kind == "span":
+        _check(set(event) == _SPAN_KEYS, lineno,
+               f"span keys {sorted(event)} != {sorted(_SPAN_KEYS)}")
+        _check(isinstance(event["id"], int) and event["id"] > 0, lineno,
+               "span id must be a positive int")
+        _check(event["parent"] is None or isinstance(event["parent"], int),
+               lineno, "span parent must be an int or null")
+        _check(isinstance(event["name"], str) and bool(event["name"]),
+               lineno, "span name must be a non-empty string")
+        _check(isinstance(event["start_s"], (int, float)), lineno,
+               "span start_s must be a number")
+        _check(isinstance(event["dur_s"], (int, float))
+               and event["dur_s"] >= 0.0, lineno,
+               "span dur_s must be a non-negative number")
+        _check(isinstance(event["attrs"], dict), lineno,
+               "span attrs must be an object")
+    elif kind == "metric":
+        wanted = _METRIC_KINDS.get(str(event.get("kind")))
+        _check(wanted is not None, lineno,
+               f"unknown metric kind {event.get('kind')!r}")
+        assert wanted is not None
+        _check(isinstance(event.get("name"), str), lineno,
+               "metric name must be a string")
+        missing = wanted - set(event)
+        _check(not missing, lineno, f"metric missing fields {sorted(missing)}")
+    elif kind == "meta":
+        _check(event.get("schema") == TRACE_SCHEMA, lineno,
+               f"schema {event.get('schema')!r} != {TRACE_SCHEMA}")
+    else:
+        raise TraceSchemaError(f"trace line {lineno}: "
+                               f"unknown event {kind!r}")
+
+
+def load_trace(path: Union[str, Path]) -> TraceData:
+    """Parse and validate a trace JSONL file.
+
+    Raises :class:`TraceSchemaError` on malformed events, a missing or
+    mismatched meta header, dangling parent links, or a digest that
+    does not cover the event lines (truncated file).
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise TraceSchemaError(f"{path}: empty trace file")
+    events: list[dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceSchemaError(f"trace line {lineno}: bad JSON "
+                                   f"({exc.msg})") from exc
+        _check(isinstance(event, dict), lineno, "event must be an object")
+        validate_event(event, lineno)
+        events.append(event)
+    _check(events[0].get("event") == "meta", 1,
+           "first event must be the meta header")
+    meta = events[0]
+    digest = trace_digest(lines[1:])
+    _check(meta.get("digest") == digest, 1,
+           "digest mismatch: trace file is truncated or edited")
+    data = TraceData(meta=meta)
+    seen_ids: set[int] = set()
+    for lineno, event in enumerate(events[1:], start=2):
+        if event["event"] == "span":
+            _check(event["id"] not in seen_ids, lineno,
+                   f"duplicate span id {event['id']}")
+            _check(event["parent"] is None or event["parent"] in seen_ids,
+                   lineno, f"span {event['id']} has unknown parent "
+                           f"{event['parent']} (parents precede children)")
+            seen_ids.add(event["id"])
+            data.spans.append(SpanRecord(
+                span_id=event["id"], parent_id=event["parent"],
+                name=event["name"], start_s=float(event["start_s"]),
+                duration_s=float(event["dur_s"]),
+                attrs=dict(event["attrs"])))
+        elif event["event"] == "metric":
+            entry = {k: v for k, v in event.items()
+                     if k not in ("event", "name")}
+            data.metrics[event["name"]] = entry
+        else:
+            _check(False, lineno, "meta header must be the first event")
+    # Round-trip the metrics through a registry so kinds are coherent.
+    MetricsRegistry().merge(data.metrics)
+    return data

@@ -1,0 +1,193 @@
+"""The metrics registry: counters, gauges and histogram summaries.
+
+Metrics complement spans: a span says *where the time went*, a metric
+says *how often something happened* (artifact-store hits, optimizer
+iterations, verify diagnostics) or *how big something was* (delta-plan
+sizes, dirty-wire counts).  Each :class:`~repro.obs.spans.Tracer` owns
+one :class:`MetricsRegistry`; the module-level helpers in
+:mod:`repro.obs` resolve against the installed tracer and degrade to a
+shared no-op when tracing is off, so hot-path instrumentation costs one
+``None`` check when disabled.
+
+Cross-process semantics mirror spans: a worker's registry is exported
+with its trace payload and merged into the parent's — counters add,
+gauges last-write, histogram summaries combine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+    def export(self) -> dict[str, Any]:
+        """JSON-ready snapshot (the trace ``metric`` event body)."""
+        return {"kind": "counter", "value": self.value}
+
+    def merge(self, other: dict[str, Any]) -> None:
+        """Fold an exported counter in: counts add."""
+        self.value += float(other["value"])
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def export(self) -> dict[str, Any]:
+        """JSON-ready snapshot (the trace ``metric`` event body)."""
+        return {"kind": "gauge", "value": self.value}
+
+    def merge(self, other: dict[str, Any]) -> None:
+        """Fold an exported gauge in: last write wins."""
+        self.value = float(other["value"])
+
+
+@dataclass
+class Histogram:
+    """A streaming summary (count/sum/min/max) of observed values."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = 0.0
+    max: float = 0.0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of everything observed so far (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def export(self) -> dict[str, Any]:
+        """JSON-ready snapshot (the trace ``metric`` event body)."""
+        return {"kind": "histogram", "count": self.count,
+                "sum": self.total, "min": self.min, "max": self.max}
+
+    def merge(self, other: dict[str, Any]) -> None:
+        """Fold an exported histogram in: summaries combine."""
+        count = int(other["count"])
+        if count == 0:
+            return
+        if self.count == 0:
+            self.min, self.max = float(other["min"]), float(other["max"])
+        else:
+            self.min = min(self.min, float(other["min"]))
+            self.max = max(self.max, float(other["max"]))
+        self.count += count
+        self.total += float(other["sum"])
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+_KINDS: dict[str, type[Metric]] = {"counter": Counter, "gauge": Gauge,
+                                   "histogram": Histogram}
+
+
+class _NullMetric:
+    """Accepts every metric operation and records nothing.
+
+    The shared sink the module-level helpers hand out when no tracer
+    is installed — instrumented hot paths never branch on "is tracing
+    on" beyond the helper's single lookup.
+    """
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard a counter increment."""
+
+    def set(self, value: float) -> None:
+        """Discard a gauge write."""
+
+    def observe(self, value: float) -> None:
+        """Discard a histogram observation."""
+
+
+NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create by kind."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: type[Metric]) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(f"metric {name!r} is {type(metric).__name__}, "
+                            f"requested as {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The named counter (created on first use)."""
+        metric = self._get(name, Counter)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge (created on first use)."""
+        metric = self._get(name, Gauge)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram (created on first use)."""
+        metric = self._get(name, Histogram)
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def value(self, name: str) -> float:
+        """Scalar value of a counter/gauge (KeyError when absent)."""
+        metric = self._metrics[name]
+        if isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; "
+                            f"read .export() fields instead")
+        return metric.value
+
+    def export(self) -> dict[str, dict[str, Any]]:
+        """JSON-ready snapshot, name-sorted: ``{name: {kind, ...}}``."""
+        return {name: self._metrics[name].export()
+                for name in sorted(self._metrics)}
+
+    def merge(self, exported: dict[str, dict[str, Any]]) -> None:
+        """Fold an :meth:`export` snapshot (a worker's deltas) in."""
+        for name in sorted(exported):
+            entry = exported[name]
+            kind = _KINDS.get(str(entry.get("kind")))
+            if kind is None:
+                raise ValueError(f"metric {name!r} has unknown kind "
+                                 f"{entry.get('kind')!r}")
+            self._get(name, kind).merge(entry)

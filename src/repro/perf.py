@@ -1,30 +1,48 @@
-"""Per-phase wall-time accounting.
+"""Deprecated per-phase timing shim over :mod:`repro.obs`.
 
-The flow and the optimizer are instrumented with coarse named phases
-(``extract``, ``refine``, ``analyze``, ``plan`` ...).  Timing is off by
-default and costs one ``None`` check per phase entry; :func:`enable`
-installs a module-level :class:`PhaseTimer` that every ``with
-perf.phase(...)`` block then reports into.  The CLI exposes this as
-``python -m repro --profile ...`` and the benchmark suite as
-``pytest benchmarks --profile-phases``.
+This module used to own a flat, module-global wall-time accumulator.
+The structured observability layer (:mod:`repro.obs`) replaced it:
+``perf.phase(name)`` is now exactly ``obs.span(name)``, and the timer
+objects handed out by :func:`enable` / :func:`capture` are read views
+that aggregate the tracer's span records into the old
+``{phase: {seconds, calls}}`` shape.  All historic call sites keep
+working; new code should use :mod:`repro.obs` directly —
+:func:`enable` and :func:`capture` emit a :class:`DeprecationWarning`
+saying so.
 
-Phases nest naturally (``optimize`` encloses ``extract`` + ``analyze``
-+ ...), so the report is a breakdown, not a partition: inner phases are
-also counted inside their enclosing phase's total.
+Semantics preserved from the old module:
+
+* phases nest and the report is a breakdown, not a partition (inner
+  phases also count inside their enclosing phase's total);
+* ``capture`` runs a block under a fresh collector and the enclosing
+  session still sees the phases afterwards.
+
+Semantics deliberately *fixed*: the old ``capture`` folded totals into
+the outer timer by flat name-keyed merge, so a cell that executed
+in-process on a cache fallback could be counted twice.  The shim
+re-roots the captured *span records* instead — each span has one
+identity and is adopted at most once, so totals cannot double-count.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro import obs
+
 
 @dataclass
 class PhaseTimer:
-    """Accumulates wall time and call counts per named phase."""
+    """Accumulates wall time and call counts per named phase.
+
+    Kept for back-compat (snapshot maths, ``merge`` of ``as_dict``
+    payloads); live timing now flows through :mod:`repro.obs` spans.
+    """
 
     totals: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
@@ -49,11 +67,7 @@ class PhaseTimer:
         self.counts.clear()
 
     def merge(self, other: "PhaseTimer | dict") -> None:
-        """Fold another timer (or an :meth:`as_dict` snapshot) into this one.
-
-        This is how per-job timings measured inside worker processes
-        stream back into the parent's report.
-        """
+        """Fold another timer (or an :meth:`as_dict` snapshot) into this one."""
         if isinstance(other, PhaseTimer):
             for name, seconds in other.totals.items():
                 self.totals[name] = self.totals.get(name, 0.0) + seconds
@@ -62,7 +76,7 @@ class PhaseTimer:
             return
         for name, entry in other.items():
             self.totals[name] = self.totals.get(name, 0.0) + entry["seconds"]
-            self.counts[name] = self.counts.get(name, 0) + entry["calls"]
+            self.counts[name] = self.counts.get(name, 0) + int(entry["calls"])
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot: ``{phase: {seconds, calls}}``."""
@@ -90,54 +104,115 @@ class PhaseTimer:
             fh.write("\n")
 
 
-_TIMER: Optional[PhaseTimer] = None
+class SpanPhaseView:
+    """A :class:`PhaseTimer`-shaped read view over an obs tracer.
+
+    ``totals``/``counts``/``as_dict``/``report`` aggregate the
+    tracer's span records on access; ``merge``/``add`` accept legacy
+    snapshots into a side accumulator that is combined in.
+    """
+
+    def __init__(self, tracer: obs.Tracer) -> None:
+        self.tracer = tracer
+        self._extra = PhaseTimer()
+
+    def _combined(self) -> PhaseTimer:
+        timer = PhaseTimer()
+        timer.merge(self.tracer.phase_totals())
+        timer.merge(self._extra)
+        return timer
+
+    @property
+    def totals(self) -> dict[str, float]:
+        return self._combined().totals
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return self._combined().counts
+
+    def add(self, name: str, seconds: float) -> None:
+        """Credit ``seconds`` to ``name`` in the legacy side accumulator."""
+        self._extra.add(name, seconds)
+
+    def merge(self, other: "PhaseTimer | SpanPhaseView | dict") -> None:
+        """Fold a legacy timer/snapshot into the side accumulator."""
+        if isinstance(other, SpanPhaseView):
+            other = other._combined()
+        self._extra.merge(other)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block as a span on the wrapped tracer."""
+        with self.tracer.span(name):
+            yield
+
+    def reset(self) -> None:
+        """Drop everything recorded so far (spans included)."""
+        self.tracer.records.clear()
+        self._extra.reset()
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot: ``{phase: {seconds, calls}}``."""
+        return self._combined().as_dict()
+
+    def report(self, title: str = "phase timings") -> str:
+        """Aligned text table, most expensive phase first."""
+        return self._combined().report(title)
+
+    def write_json(self, path) -> None:
+        """Write the :meth:`as_dict` snapshot to ``path``."""
+        self._combined().write_json(path)
 
 
-def enable() -> PhaseTimer:
-    """Install (or return the already-installed) global timer."""
-    global _TIMER
-    if _TIMER is None:
-        _TIMER = PhaseTimer()
-    return _TIMER
+_VIEW: Optional[SpanPhaseView] = None
+
+
+def _view_for(tracer: obs.Tracer) -> SpanPhaseView:
+    global _VIEW
+    if _VIEW is None or _VIEW.tracer is not tracer:
+        _VIEW = SpanPhaseView(tracer)  # static: ok[D004] process-local profiling view over the obs tracer slot
+    return _VIEW
+
+
+def enable() -> SpanPhaseView:
+    """Deprecated: install the obs tracer; return a timer-shaped view."""
+    warnings.warn("repro.perf.enable() is deprecated; use "
+                  "repro.obs.enable() and the span/metric API instead",
+                  DeprecationWarning, stacklevel=2)
+    return _view_for(obs.enable())
 
 
 def disable() -> None:
-    """Remove the global timer; ``phase`` blocks become no-ops again."""
-    global _TIMER
-    _TIMER = None
+    """Remove the tracer; ``phase`` blocks become no-ops again."""
+    global _VIEW
+    obs.disable()
+    _VIEW = None  # static: ok[D004] process-local profiling view cleared with the tracer
 
 
-def active() -> Optional[PhaseTimer]:
-    """The installed global timer, or None when profiling is off."""
-    return _TIMER
+def active() -> Optional[SpanPhaseView]:
+    """The timer view over the installed tracer, or None when off."""
+    tracer = obs.active()
+    if tracer is None:
+        return None
+    return _view_for(tracer)
+
+
+def phase(name: str):
+    """Time the enclosed block as an :func:`repro.obs.span`."""
+    return obs.span(name)
 
 
 @contextmanager
-def phase(name: str) -> Iterator[None]:
-    """Time the enclosed block globally when profiling is enabled."""
-    if _TIMER is None:  # static: ok[C003] profiling toggle read; phase timings are metadata, never artifact content
-        yield
-    else:
-        with _TIMER.phase(name):  # static: ok[C003] profiling toggle read; phase timings are metadata, never artifact content
-            yield
+def capture() -> Iterator[SpanPhaseView]:
+    """Deprecated: collect the block's phases into a fresh, yielded view.
 
-
-@contextmanager
-def capture() -> Iterator[PhaseTimer]:
-    """Collect the enclosed block's phases into a fresh, yielded timer.
-
-    Any enclosing global timer still sees the phases: the captured
-    timer is merged into it on exit.  This is how the flow runner
-    attributes phases to individual jobs without losing them from a
-    ``--profile`` session total.
+    An enclosing tracer still sees the phases — the captured span
+    records are re-rooted under the current span on exit (identity
+    adoption, so nothing is ever counted twice; see
+    :func:`repro.obs.capture`).
     """
-    global _TIMER
-    outer = _TIMER
-    inner = PhaseTimer()
-    _TIMER = inner  # static: ok[D004] process-local profiling slot, restored in the finally below
-    try:
-        yield inner
-    finally:
-        _TIMER = outer  # static: ok[D004] restores the outer timer; profiling state never crosses processes
-        if outer is not None:
-            outer.merge(inner)
+    warnings.warn("repro.perf.capture() is deprecated; use "
+                  "repro.obs.capture() instead",
+                  DeprecationWarning, stacklevel=3)
+    with obs.capture("perf.capture") as tracer:
+        yield SpanPhaseView(tracer)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Iterator, Optional, Sequence, Union
 
+from repro import obs
 from repro.core.policies import Policy
 from repro.core.stages import PolicyParams
 from repro.netlist.design import Design
@@ -117,6 +118,8 @@ class RunMatrix:
                for p in self.policies
                for s in self.slacks]
         out.extend(self.extra_cells)
+        obs.counter("runner.matrix_expansions").inc()
+        obs.gauge("runner.matrix_cells").set(float(len(out)))
         return out
 
     def __len__(self) -> int:

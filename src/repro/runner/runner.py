@@ -15,10 +15,13 @@ product through an :class:`~repro.io.artifacts.ArtifactStore`:
 * an ALL-NDR cell is the reference flow under different budgets — the
   runner re-wraps the cached reference instead of re-running it.
 
-Workers stream per-job :mod:`repro.perf` phase timings and static
-verification diagnostics back to the parent, and the
-``REPRO_VERIFY_FLOWS`` hook fires identically inside workers (the pool
-initializer forwards the parent's setting into each worker's
+Workers stream a full :mod:`repro.obs` trace — their span tree plus
+metric deltas — and static verification diagnostics back to the
+parent inside each :class:`JobResult`; when the parent session is
+traced, :meth:`FlowRunner.run` re-roots every worker trace under its
+``runner.matrix`` span, so a parallel run yields one coherent trace.
+The ``REPRO_VERIFY_FLOWS`` hook fires identically inside workers (the
+pool initializer forwards the parent's setting into each worker's
 environment before any flow runs).
 """
 
@@ -31,7 +34,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Optional, Union
 
-from repro import perf
+from repro import obs
 from repro.core.flow import FlowResult, run_flow
 from repro.core.policies import Policy
 from repro.core.targets import RobustnessTargets
@@ -58,7 +61,12 @@ class JobResult:
     """What one matrix cell streams back to the parent.
 
     Always lightweight-serializable: summary metrics, rule histogram,
-    per-phase timings and verification diagnostics.  The full
+    per-phase timings and verification diagnostics.  ``trace`` is the
+    cell's full span tree + metric deltas
+    (:meth:`repro.obs.Tracer.export_payload`) when the cell ran under
+    a tracer the caller cannot see (a worker process, or an untraced
+    parent); it is ``None`` once a traced parent has adopted it —
+    adoption is by span identity, exactly once.  The full
     :class:`FlowResult` rides along only when the caller asked for it
     (``return_flows=True``); it is pickled across the process boundary
     in that case.
@@ -73,6 +81,7 @@ class JobResult:
     phases: dict[str, dict[str, float]] = field(default_factory=dict)
     diagnostics: list[dict[str, object]] = field(default_factory=list)
     cached: bool = False
+    trace: Optional[dict[str, Any]] = None
     flow: Optional[FlowResult] = None
 
 
@@ -139,45 +148,63 @@ def _verify_diagnostics(flow: FlowResult, label: str) -> list[dict[str, object]]
 
 def _execute_job(job: JobSpec, metrics: Optional[RefMetrics],
                  ctx: _ExecContext) -> JobResult:
-    """Run (or load) one cell and package the streamed result."""
+    """Run (or load) one cell and package the streamed result.
+
+    The cell always executes under a captured tracer wrapped in one
+    ``runner.cell`` span, so per-phase timings stream back even when
+    the session is untraced.  A traced caller sees the cell's spans
+    re-rooted under its current span on capture exit (identity
+    adoption — the span-level fix for the old ``perf.capture`` flat
+    merge that double-counted cells run in-process on a cache
+    fallback); otherwise the payload rides back on ``JobResult.trace``
+    for the parent process to adopt.
+    """
     start = time.perf_counter()  # static: ok[D002] feeds JobResult.runtime metadata only
     design = resolve_design(job.design)
     targets = _reference_targets(design, ctx.tech, metrics, job.slack)
     store = ctx.store
     key = _cell_key(job, ctx, targets) if store is not None else None
 
-    with perf.capture() as timer:
-        flow: Optional[FlowResult] = None
-        cached = False
-        if key is not None and store is not None:
-            loaded = store.load(key)
-            if isinstance(loaded, FlowResult):
-                flow, cached = loaded, True
-        if flow is None and key is not None and store is not None \
-                and job.policy == Policy.ALL_NDR and job.slack is not None:
-            # An ALL-NDR cell is the reference flow under pegged
-            # budgets; re-wrap the cached reference instead of
-            # re-running it (deterministic, so numerically identical).
-            ref_job = job.reference_job()
-            assert ref_job is not None  # slack is not None here
-            ref_targets = _reference_targets(design, ctx.tech, None, None)
-            ref_key = _cell_key(ref_job, ctx, ref_targets)
-            reference = store.load(ref_key)
-            if isinstance(reference, FlowResult):
-                flow, cached = replace(reference, targets=targets), True
-                store.save(key, flow)
-        if flow is None:
-            flow = run_flow(design, ctx.tech, policy=job.policy,
-                            targets=targets,
-                            random_fraction=job.random_fraction,
-                            random_seed=job.random_seed,
-                            lambda_track=job.lambda_track,
-                            guide=ctx.guide, store=ctx.store)
+    with obs.capture(f"cell:{job.label}") as tracer:
+        with tracer.span(obs.CELL_SPAN, cell=job.label,
+                         design=str(job.design),
+                         policy=job.policy.value) as cell:
+            flow: Optional[FlowResult] = None
+            cached = False
             if key is not None and store is not None:
-                store.save(key, flow)
-        diagnostics: list[dict[str, object]] = []
-        if ctx.verify:
-            diagnostics = _verify_diagnostics(flow, f"runner:{job.label}")
+                loaded = store.load(key)
+                if isinstance(loaded, FlowResult):
+                    flow, cached = loaded, True
+            if flow is None and key is not None and store is not None \
+                    and job.policy == Policy.ALL_NDR and job.slack is not None:
+                # An ALL-NDR cell is the reference flow under pegged
+                # budgets; re-wrap the cached reference instead of
+                # re-running it (deterministic, so numerically identical).
+                ref_job = job.reference_job()
+                assert ref_job is not None  # slack is not None here
+                ref_targets = _reference_targets(design, ctx.tech, None, None)
+                ref_key = _cell_key(ref_job, ctx, ref_targets)
+                reference = store.load(ref_key)
+                if isinstance(reference, FlowResult):
+                    flow, cached = replace(reference, targets=targets), True
+                    store.save(key, flow)
+            if flow is None:
+                flow = run_flow(design, ctx.tech, policy=job.policy,
+                                targets=targets,
+                                random_fraction=job.random_fraction,
+                                random_seed=job.random_seed,
+                                lambda_track=job.lambda_track,
+                                guide=ctx.guide, store=ctx.store)
+                if key is not None and store is not None:
+                    store.save(key, flow)
+            diagnostics: list[dict[str, object]] = []
+            if ctx.verify:
+                diagnostics = _verify_diagnostics(flow, f"runner:{job.label}")
+            cell.attrs["cached"] = cached
+            tracer.metrics.counter(
+                "runner.cells_cached" if cached
+                else "runner.cells_computed").inc()
+        phases = tracer.phase_totals()
 
     return JobResult(
         job=job,
@@ -186,9 +213,10 @@ def _execute_job(job: JobSpec, metrics: Optional[RefMetrics],
         ndr_track_cost=flow.ndr_track_cost,
         feasible=flow.feasible,
         runtime=time.perf_counter() - start,  # static: ok[D002] feeds JobResult.runtime metadata only
-        phases=timer.as_dict(),
+        phases=phases,
         diagnostics=diagnostics,
         cached=cached,
+        trace=None if obs.active() is not None else tracer.export_payload(),
         flow=flow if ctx.return_flows else None,
     )
 
@@ -207,6 +235,10 @@ def _pool_init(tech: Technology, store_root: Optional[str], verify: bool,
     parent, regardless of how the pool was spawned.
     """
     global _WORKER_CTX
+    # A forked worker inherits the parent's installed tracer; drop it so
+    # every cell's trace streams back on JobResult.trace (the parent
+    # adopts it exactly once) instead of vanishing into the fork copy.
+    obs.disable()
     if verify:
         os.environ["REPRO_VERIFY_FLOWS"] = "1"
     else:
@@ -322,6 +354,11 @@ class FlowRunner:
         cells.  With ``jobs > 1`` both phases use a process pool.
         Duplicate cells execute once and fan out to every position.
         ``on_result`` fires in completion order as cells finish.
+
+        When the session is traced, the whole run is one
+        ``runner.matrix`` span; every worker's streamed trace payload
+        is adopted (re-identified and re-rooted) directly under it, so
+        the parallel run reads as one tree.
         """
         job_list = list(matrix)
         n_workers = self.jobs if jobs is None else max(1, int(jobs))
@@ -336,18 +373,40 @@ class FlowRunner:
                 seen_refs.add(job.design)
                 ref_jobs.append(ref)
 
-        if n_workers <= 1:
-            for ref in ref_jobs:
-                self.reference(ref.design)
-            serial: list[JobResult] = []
-            for job in job_list:
-                result = self.run_job(job, return_flow=return_flows)
-                if on_result is not None:
-                    on_result(result)
-                serial.append(result)
-            return serial
+        with obs.span(obs.MATRIX_SPAN, cells=len(job_list),
+                      references=len(ref_jobs),
+                      workers=n_workers) as matrix_span:
+            if n_workers <= 1:
+                for ref in ref_jobs:
+                    self.reference(ref.design)
+                serial: list[JobResult] = []
+                for job in job_list:
+                    result = self.run_job(job, return_flow=return_flows)
+                    if on_result is not None:
+                        on_result(result)
+                    serial.append(result)
+                return serial
+            results = self._run_pool(job_list, ref_jobs, n_workers,
+                                     return_flows, on_result, matrix_span)
+        return results
 
-        timer = perf.active()
+    def _run_pool(self, job_list: list[JobSpec], ref_jobs: list[JobSpec],
+                  n_workers: int, return_flows: bool,
+                  on_result: Optional[Callable[[JobResult], None]],
+                  matrix_span: Optional[obs.SpanRecord]) -> list[JobResult]:
+        """The pooled phases of :meth:`run` (references, then cells)."""
+        tracer = obs.active()
+
+        def absorb(result: JobResult) -> None:
+            # Re-root the worker's span tree + metric deltas under the
+            # matrix span, once; the payload is consumed so no later
+            # pass can count it again.
+            if tracer is not None and result.trace is not None:
+                parent = (matrix_span.span_id
+                          if matrix_span is not None else None)
+                tracer.adopt(result.trace, parent_id=parent)
+                result.trace = None
+
         with ProcessPoolExecutor(
                 max_workers=n_workers,
                 initializer=_pool_init,
@@ -357,8 +416,7 @@ class FlowRunner:
             # Phase 1: deduplicated upstream references.
             for result in pool.map(_pool_run, ref_jobs,
                                    [None] * len(ref_jobs)):
-                if timer is not None:
-                    timer.merge(result.phases)
+                absorb(result)
                 self._ref_metrics.setdefault(
                     result.job.design,
                     (result.summary["worst_delta_ps"],
@@ -368,6 +426,8 @@ class FlowRunner:
             unique: dict[JobSpec, list[int]] = {}
             for i, job in enumerate(job_list):
                 unique.setdefault(job, []).append(i)
+            obs.counter("runner.cells_deduped").inc(
+                len(job_list) - len(unique))
             future_of = {
                 pool.submit(_pool_run, job, self._metrics_for(job)): job
                 for job in unique
@@ -378,8 +438,7 @@ class FlowRunner:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     result = future.result()
-                    if timer is not None:
-                        timer.merge(result.phases)
+                    absorb(result)
                     if on_result is not None:
                         on_result(result)
                     for i in unique[future_of[future]]:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+from repro import obs
 from repro.verify.context import VerifyContext
 from repro.verify.diagnostics import Diagnostic, Severity, VerifyReport
 
@@ -97,4 +98,8 @@ def run_checks(ctx: VerifyContext,
                 hint="a crashing checker usually means the structure it "
                      "walks is itself corrupt")])
         report.checks_run.append(check.rule)
+    obs.counter("verify.checks_run").inc(float(len(selected)))
+    for diagnostic in report.diagnostics:
+        obs.counter(
+            f"verify.{diagnostic.severity.name.lower()}_diagnostics").inc()
     return report

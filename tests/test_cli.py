@@ -120,6 +120,77 @@ def test_cached_rerun_marks_cells_cached(tmp_path, capsys, tiny_design):
         assert c["summary"] == w["summary"]
 
 
+def test_trace_flag_records_and_renders(tmp_path, capsys, tiny_design):
+    """--trace writes a valid JSONL trace; `repro trace` renders it."""
+    from repro import obs
+    from repro.io import save_design
+    from repro.obs.export import load_trace
+
+    design_path = tmp_path / "d.json"
+    save_design(tiny_design, design_path)
+    trace_path = tmp_path / "trace.jsonl"
+    code = main(["compare", "--design", str(design_path),
+                 "--trace", str(trace_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "phase breakdown" in out
+    assert obs.active() is None  # main() tears the tracer down
+
+    trace = load_trace(trace_path)
+    matrix = [s for s in trace.spans if s.name == obs.MATRIX_SPAN]
+    cells = [s for s in trace.spans if s.name == obs.CELL_SPAN]
+    assert len(matrix) == 1
+    assert len(cells) >= 3
+    assert all(c.parent_id == matrix[0].span_id for c in cells)
+
+    code = main(["trace", str(trace_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    for section in ("phase breakdown", "cell timeline", "critical path",
+                    "metrics"):
+        assert section in out
+
+    code = main(["trace", str(trace_path), "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["meta"]["schema"] == 1
+    assert "runner.cell" in payload["phase_totals"]
+
+
+def test_trace_subcommand_rejects_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    code = main(["trace", str(bad)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "trace:" in err
+    assert main(["trace", str(tmp_path / "missing.jsonl")]) == 2
+    capsys.readouterr()
+
+
+def test_profile_flag_is_deprecated_trace_alias(tmp_path, capsys,
+                                                tiny_design):
+    from repro.io import save_design
+
+    design_path = tmp_path / "d.json"
+    save_design(tiny_design, design_path)
+    code = main(["--profile", "run", "--design", str(design_path),
+                 "--no-cache"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "deprecated" in captured.err
+    assert "phase breakdown" in captured.out
+
+
+def test_suite_json_flag_parses():
+    args = build_parser().parse_args(["suite", "--json", "--jobs", "2"])
+    assert args.command == "suite" and args.json and args.jobs == 2
+    args = build_parser().parse_args(["compare", "--design", "ckt64",
+                                      "--trace"])
+    assert args.trace == ""
+    args = build_parser().parse_args(["compare", "--design", "ckt64"])
+    assert args.trace is None
+
+
 def test_sweep_prints_rows(tmp_path, capsys, tiny_design):
     from repro.io import save_design
 
