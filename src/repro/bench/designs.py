@@ -159,12 +159,15 @@ _SUITE: tuple[DesignSpec, ...] = (
 )
 
 
-#: Additional named designs outside the standard tables (macro variants).
+#: Additional named designs outside the standard tables (macro variants,
+#: plus the scaling-benchmark rungs above the Table-1 sizes).
 _EXTRA: tuple[DesignSpec, ...] = (
     DesignSpec("ckt256m", n_sinks=256, die_edge=560.0, seed=13,
                n_blockages=3),
     DesignSpec("ckt512m", n_sinks=512, die_edge=800.0, seed=14,
                n_blockages=4),
+    DesignSpec("ckt4096", n_sinks=4096, die_edge=2240.0, seed=17),
+    DesignSpec("ckt16384", n_sinks=16384, die_edge=4480.0, seed=19),
 )
 
 

@@ -28,8 +28,10 @@ optimizer would stamp them everywhere.
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
+from typing import Union
 
 from repro import obs, perf
 from repro.core.evaluation import AnalysisBundle, analyze_all
@@ -85,7 +87,7 @@ class SmartNdrOptimizer:
                  tech: Technology, targets: RobustnessTargets, freq: float,
                  lambda_track: float = 0.05, max_iterations: int = 10,
                  use_shielding: bool = False,
-                 use_engine: bool = True,
+                 use_engine: Union[bool, str] = True,
                  verify_every: int = 0) -> None:
         if lambda_track < 0.0:
             raise ValueError("lambda_track must be non-negative")
@@ -94,6 +96,9 @@ class SmartNdrOptimizer:
         if verify_every < 0:
             raise ValueError("verify_every must be >= 0")
         self.use_shielding = use_shielding
+        #: ``False`` = legacy full re-analysis; ``True`` = incremental
+        #: engine on the default backend; a string names a registered
+        #: engine backend (see :mod:`repro.engine.backends`)
         self.use_engine = use_engine
         #: debug mode: run the engine-coherence oracle every N applied
         #: iterations (0 = off); raises VerificationError on any ERROR
@@ -122,7 +127,8 @@ class SmartNdrOptimizer:
             # back in, which would cycle at module-import time.
             from repro.engine import AnalysisEngine
             engine = AnalysisEngine(extraction, self.tree, self.tech,
-                                    self.freq, self.targets)
+                                    self.freq, self.targets,
+                                    backend=self.use_engine)
             self._sens_cache = SensitivityCache(self.routing,
                                                self.tech.rules)
         with perf.phase("opt.analyze"):
@@ -367,10 +373,14 @@ class SmartNdrOptimizer:
             # Two levers per wire: spacing cuts its own coupling caps;
             # width cuts the shared resistance that multiplies every
             # coupling downstream of it.
-            ranked: list[tuple[float, float, float, int, Move]] = []
-            # Iterate in wire-id order: ranked.sort below is stable, so
-            # equal-score candidates tie-break by insertion order — set
-            # iteration order must not leak into the plan.
+            #
+            # A heap on (-score, seq) instead of a full sort: only the
+            # consumed prefix pays log cost, and equal-score candidates
+            # pop in insertion order — the old stable sort's tie-break,
+            # so set iteration order still cannot leak into the plan.
+            # Candidates come from cached sensitivities (``sens`` above),
+            # so pushing is cheap and popping is the only ranked work.
+            ranked: list[tuple[float, int, float, float, int, Move]] = []
             candidate_ids = sorted(set(contributions) | set(cc_through))
             for wire_id in candidate_ids:
                 if wire_id in plan or wire_id not in contexts:
@@ -394,12 +404,12 @@ class SmartNdrOptimizer:
                     if reduction <= 1e-9:
                         continue
                     cost = max(cand.cost_vs(current, self.lambda_track), 1e-6)
-                    ranked.append((reduction / cost, reduction, ratio,
-                                   wire_id, move))
-            ranked.sort(key=lambda t: t[0], reverse=True)
-            for _, reduction, ratio, wire_id, move in ranked:
-                if needed <= 0.0:
-                    break
+                    ranked.append((-(reduction / cost), len(ranked),
+                                   reduction, ratio, wire_id, move))
+            heapq.heapify(ranked)
+            while ranked and needed > 0.0:
+                _, _, reduction, ratio, wire_id, move = \
+                    heapq.heappop(ranked)
                 if wire_id in plan:
                     continue
                 plan[wire_id] = move
@@ -434,12 +444,15 @@ class SmartNdrOptimizer:
             total_score += score
             if wire.rule.width_mult >= 2.0 or wire_id in plan:
                 continue
-            scored.append((score, wire_id))
-        scored.sort(reverse=True)
+            scored.append((-score, -wire_id))
+        # Heap on (-score, -wire_id): pops match the old descending
+        # tuple sort (score desc, then wire id desc on ties), but only
+        # the covered prefix is ever ordered.
+        heapq.heapify(scored)
         covered = 0.0
-        for score, wire_id in scored:
-            if covered >= fraction * total_score:
-                break
+        while scored and covered < fraction * total_score:
+            neg_score, neg_id = heapq.heappop(scored)
+            score, wire_id = -neg_score, -neg_id
             wire = self.routing.tracks.wire(wire_id)
             widened = self._widened(wire.rule)
             if widened != wire.rule:

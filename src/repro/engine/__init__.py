@@ -13,12 +13,20 @@ than to the design:
   moved.  Monte Carlo keeps its seeded draws frozen across iterations.
 """
 
-from repro.engine.kernel import NetworkKernel, StageKernel
+from repro.engine.backends import (EngineBackend, available_backends,
+                                   get_backend, resolve_backend)
+from repro.engine.batched import BatchedNetworkKernel
 from repro.engine.incremental import AnalysisEngine, FrozenVariation
+from repro.engine.kernel import NetworkKernel, StageKernel
 
 __all__ = [
+    "AnalysisEngine",
+    "BatchedNetworkKernel",
+    "EngineBackend",
+    "FrozenVariation",
     "NetworkKernel",
     "StageKernel",
-    "AnalysisEngine",
-    "FrozenVariation",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
 ]

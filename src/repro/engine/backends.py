@@ -1,0 +1,120 @@
+"""Analysis-engine backend registry.
+
+The engine seam (:class:`~repro.engine.incremental.AnalysisEngine`,
+``SmartNdrOptimizer(use_engine=...)``) selects a *backend*: a factory
+that compiles one clock network into a kernel object exposing the
+shared analysis API (``static_timing`` / ``crosstalk`` / ``em`` /
+``monte_carlo`` plus the incremental-update and ``stage_view``
+entry points).  Registered backends:
+
+* ``numpy-dense`` — per-stage kernels, Python work-stack dispatch
+  (:mod:`repro.engine.kernel`).  The legacy-shaped reference.
+* ``numpy-sparse`` — whole-design batched arenas, one sweep per
+  analysis (:mod:`repro.engine.batched`).  The default.
+* ``numba`` — jit-compiled sweeps over the batched arenas; registered
+  only when numba is importable, otherwise requesting it raises with
+  an install hint (:mod:`repro.engine.numba_backend`).
+
+All backends are verified bit-identical (``np.array_equal``) by the
+backend-equivalence suite, so the choice is purely a performance knob:
+it never changes artifact content, and
+:meth:`~repro.core.stages.PolicyParams.normalized` strips it from
+cache keys.
+
+Selection order: an explicit name beats the ``REPRO_ENGINE_BACKEND``
+environment variable, which beats :data:`DEFAULT_BACKEND`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+DEFAULT_BACKEND = "numpy-sparse"
+
+ENV_VAR = "REPRO_ENGINE_BACKEND"
+
+
+@dataclass(frozen=True)
+class EngineBackend:
+    """One registered backend: a named kernel factory."""
+
+    name: str
+    #: ``(network, routing, parasitics) -> kernel``
+    factory: Callable = field(repr=False)
+    description: str = ""
+
+    def build(self, network, routing, parasitics):
+        """Compile one clock network with this backend."""
+        return self.factory(network, routing, parasitics)
+
+
+_REGISTRY: dict[str, EngineBackend] = {}
+#: name -> reason it cannot be used in this environment
+_UNAVAILABLE: dict[str, str] = {}
+
+
+def register_backend(backend: EngineBackend) -> EngineBackend:
+    """Register (or replace) a backend under its name."""
+    _REGISTRY[backend.name] = backend
+    _UNAVAILABLE.pop(backend.name, None)
+    return backend
+
+
+def register_unavailable(name: str, reason: str) -> None:
+    """Record a known backend that cannot run here (missing dep)."""
+    if name not in _REGISTRY:
+        _UNAVAILABLE[name] = reason
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends usable in this environment, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> EngineBackend:
+    """Look up a backend by name; raise helpfully when it cannot run."""
+    backend = _REGISTRY.get(name)
+    if backend is not None:
+        return backend
+    if name in _UNAVAILABLE:
+        raise RuntimeError(
+            f"engine backend {name!r} is not available: "
+            f"{_UNAVAILABLE[name]}")
+    raise KeyError(
+        f"unknown engine backend {name!r}; "
+        f"available: {', '.join(available_backends())}")
+
+
+def default_backend_name() -> str:
+    """The environment-selected default backend name."""
+    return os.environ.get(ENV_VAR, DEFAULT_BACKEND) or DEFAULT_BACKEND  # static: ok[C003] perf knob; backends are bit-identical, artifact content unchanged
+
+
+def resolve_backend(spec=None) -> EngineBackend:
+    """Resolve a ``use_engine``-style spec to a backend.
+
+    ``spec`` may be a backend name, or ``None`` / ``True`` (any
+    non-string truthy) for the environment default.
+    """
+    if isinstance(spec, str) and spec:
+        return get_backend(spec)
+    return get_backend(default_backend_name())
+
+
+def _register_builtin() -> None:
+    from repro.engine.batched import BatchedNetworkKernel
+    from repro.engine.kernel import NetworkKernel
+    register_backend(EngineBackend(
+        name="numpy-dense", factory=NetworkKernel,
+        description="per-stage kernels, Python work-stack dispatch"))
+    register_backend(EngineBackend(
+        name="numpy-sparse", factory=BatchedNetworkKernel,
+        description="whole-design batched arenas, one sweep per analysis"))
+
+    from repro.engine import numba_backend
+    numba_backend.register()
+
+
+_register_builtin()

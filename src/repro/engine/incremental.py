@@ -22,7 +22,7 @@ compile, the same price as the legacy full rebuild.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 import numpy as np
 
@@ -30,7 +30,8 @@ from repro import obs
 from repro.core.evaluation import AnalysisBundle
 from repro.core.targets import RobustnessTargets
 from repro.cts.tree import ClockTree
-from repro.engine.kernel import NetworkKernel, StageKernel
+from repro.engine.backends import resolve_backend
+from repro.engine.kernel import StageKernel
 from repro.extract.extractor import Extraction, incremental_re_extract
 from repro.power.clockpower import PowerReport, analyze_power
 from repro.reliability.em import DEFAULT_EM_FACTOR, EmReport
@@ -65,34 +66,73 @@ class FrozenVariation:
         n_cells = max(self.cells.values(), default=0) + 1
         self.z_width = rng.standard_normal((n_cells, n_samples))
         self.z_thick = rng.standard_normal((n_cells, n_samples))
-        self.z_rand: dict[int, np.ndarray] = {}
-        self.area_scale: dict[int, np.ndarray] = {}
-        self.r_scale: dict[int, np.ndarray] = {}
-        for wire in routing.clock_wires:
-            self.z_rand[wire.wire_id] = rng.standard_normal(n_samples)
-            self._factors(wire)
+
+        # One (wires, samples) draw equals the legacy per-wire sequence
+        # bit for bit (row-major fill), and one matrix expression equals
+        # the per-wire `wire_variation_factors` rows (the scalar factors
+        # broadcast elementwise in the same association).
+        wires = list(routing.clock_wires)
+        #: wire id -> row in the factor matrices (clock_wires order)
+        self.wire_row = {w.wire_id: i for i, w in enumerate(wires)}
+        self._z_rand_mat = rng.standard_normal((len(wires), n_samples))
+        if wires:
+            cells_idx = np.array([self.cells[w.wire_id] for w in wires],
+                                 dtype=np.int64)
+            minw = np.array([w.layer.min_width for w in wires])
+            width = np.array([w.width for w in wires])
+            rel_w = ((self.z_width[cells_idx] * self.var.width_sigma
+                      + self._z_rand_mat * self.var.width_rand_sigma)
+                     * minw[:, None] / width[:, None])
+            rel_t = self.z_thick[cells_idx] * self.var.thickness_sigma
+            w_factor = np.clip(1.0 + rel_w, 0.3, None)
+            t_factor = np.clip(1.0 + rel_t, 0.3, None)
+            self._area_mat = w_factor
+            self._r_mat = 1.0 / (w_factor * t_factor)
+        else:
+            self._area_mat = np.zeros((0, n_samples))
+            self._r_mat = np.zeros((0, n_samples))
+
+        # Per-wire dict views into the matrices (row refreshes write
+        # through, so the views never go stale).
+        self.z_rand: dict[int, np.ndarray] = {
+            w.wire_id: self._z_rand_mat[i] for i, w in enumerate(wires)}
+        self.area_scale: dict[int, np.ndarray] = {
+            w.wire_id: self._area_mat[i] for i, w in enumerate(wires)}
+        self.r_scale: dict[int, np.ndarray] = {
+            w.wire_id: self._r_mat[i] for i, w in enumerate(wires)}
 
         d2d = rng.standard_normal(n_samples) * self.var.buffer_d2d_sigma
-        self.buf_scale: list[np.ndarray] = []
-        for _stage in network.stages:
-            rand = rng.standard_normal(n_samples) \
-                * self.var.buffer_rand_sigma
-            self.buf_scale.append(np.clip(1.0 + d2d + rand, 0.3, None))
+        n_stages = len(network.stages)
+        rand = rng.standard_normal((n_stages, n_samples)) \
+            * self.var.buffer_rand_sigma
+        self._buf_mat = np.clip(1.0 + d2d[None, :] + rand, 0.3, None)
+        self.buf_scale: list[np.ndarray] = [
+            self._buf_mat[i] for i in range(n_stages)]
 
         #: stage index -> (area_scale, r_scale) matrices in column order
         self._stage_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
-    def _factors(self, wire) -> None:
-        cell = self.cells[wire.wire_id]
-        area, r = wire_variation_factors(
-            self.var, wire, self.z_width[cell],
-            self.z_rand[wire.wire_id], self.z_thick[cell])
-        self.area_scale[wire.wire_id] = area
-        self.r_scale[wire.wire_id] = r
+    def area_matrix(self) -> np.ndarray:
+        """(wires, samples) area-cap scale factors, ``wire_row`` order."""
+        return self._area_mat
+
+    def r_matrix(self) -> np.ndarray:
+        """(wires, samples) resistance scale factors, ``wire_row`` order."""
+        return self._r_mat
+
+    def buf_matrix(self) -> np.ndarray:
+        """(stages, samples) buffer delay scale factors."""
+        return self._buf_mat
 
     def refresh_wire(self, wire, stage_idx: Optional[int] = None) -> None:
         """Recompute one wire's factors (its width moved) from frozen draws."""
-        self._factors(wire)
+        row = self.wire_row[wire.wire_id]
+        cell = self.cells[wire.wire_id]
+        area, r = wire_variation_factors(
+            self.var, wire, self.z_width[cell],
+            self._z_rand_mat[row], self.z_thick[cell])
+        self._area_mat[row] = area
+        self._r_mat[row] = r
         if stage_idx is not None:
             self._stage_cache.pop(stage_idx, None)
 
@@ -123,14 +163,17 @@ class AnalysisEngine:
 
     def __init__(self, extraction: Extraction, tree: ClockTree,
                  tech: Technology, freq: float,
-                 targets: RobustnessTargets) -> None:
+                 targets: RobustnessTargets,
+                 backend: Union[bool, str, None] = None) -> None:
         self.extraction = extraction
         self.tree = tree
         self.tech = tech
         self.freq = freq
         self.targets = targets
-        self.kernel = NetworkKernel(extraction.network, extraction.routing,
-                                    extraction.wires)
+        self.backend = resolve_backend(backend)
+        with obs.span("engine.compile", backend=self.backend.name):
+            self.kernel = self.backend.build(
+                extraction.network, extraction.routing, extraction.wires)
         self.frozen = FrozenVariation(
             extraction.network, extraction.routing, tech,
             n_samples=targets.mc_samples, seed=targets.mc_seed)
@@ -176,8 +219,8 @@ class AnalysisEngine:
             if network.retrim_stage(stage_idx, self.tree):
                 # Common case: pad/snake values moved but the snake node
                 # neither appeared nor vanished — patch scalars in place.
-                self.kernel.stages[stage_idx].retrim(
-                    network.stages[stage_idx])
+                self.kernel.retrim_stage(stage_idx,
+                                         network.stages[stage_idx])
                 obs.counter("engine.stage_retrims").inc()
                 continue
             network.rebuild_stage(stage_idx, self.tree,
@@ -191,25 +234,39 @@ class AnalysisEngine:
 
     # -- analyses ----------------------------------------------------------
 
+    def _mark_rss(self) -> None:
+        """Publish the process peak-RSS after a stage-batch analysis."""
+        obs.gauge("engine.peak_rss_bytes").set(float(obs.peak_rss_bytes()))
+
     def static_timing(self) -> ClockTiming:
         """Elmore static timing, cached until a change notification."""
         if self._timing is None:
-            self._timing = self.kernel.static_timing(self.tech)
+            with obs.span("engine.static_timing",
+                          backend=self.backend.name):
+                self._timing = self.kernel.static_timing(self.tech)
+            self._mark_rss()
         return self._timing
 
     def analyze(self) -> AnalysisBundle:
         """The full bundle, recomputing only invalidated analyses."""
         if self._xtalk is None:
-            self._xtalk = self.kernel.crosstalk(
-                alignment=self.targets.alignment)
+            with obs.span("engine.crosstalk", backend=self.backend.name):
+                self._xtalk = self.kernel.crosstalk(
+                    alignment=self.targets.alignment)
+            self._mark_rss()
         if self._em is None:
-            self._em = self.kernel.em(self.tech.vdd, self.freq,
-                                      em_factor=DEFAULT_EM_FACTOR)
+            with obs.span("engine.em", backend=self.backend.name):
+                self._em = self.kernel.em(self.tech.vdd, self.freq,
+                                          em_factor=DEFAULT_EM_FACTOR)
+            self._mark_rss()
         if self._power is None:
             self._power = analyze_power(self.extraction, self.tech,
                                         self.freq)
         if self._mc is None:
-            self._mc = self.kernel.monte_carlo(self.frozen)
+            with obs.span("engine.monte_carlo",
+                          backend=self.backend.name):
+                self._mc = self.kernel.monte_carlo(self.frozen)
+            self._mark_rss()
         return AnalysisBundle(timing=self.static_timing(),
                               crosstalk=self._xtalk, em=self._em,
                               power=self._power, mc=self._mc)

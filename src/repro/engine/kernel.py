@@ -1,25 +1,36 @@
 """Vectorised RC analysis kernels over compiled stage structures.
 
-A :class:`StageKernel` is the dense-array mirror of one
+This module is the ``numpy-dense`` backend (see
+:mod:`repro.engine.backends`): one :class:`StageKernel` per RC stage,
+analyses driven by a Python work-stack over stages.  It is the
+legacy-shaped backend — per-stage arrays, per-stage Python dispatch —
+kept as the bit-exact reference the whole-design ``numpy-sparse``
+backend (:mod:`repro.engine.batched`) is verified against.
+
+A :class:`StageKernel` is the array mirror of one
 :class:`~repro.extract.rcnetwork.Stage`:
 
 * per-node ``parent`` / ``r`` / ``cap_fixed`` vectors (node index order
-  is topological — parents precede children by construction);
-* a node x local-wire incidence matrix ``B`` with per-wire half-cap
-  vectors (``area_half``, ``rest_half``) so nominal and Monte-Carlo
-  capacitance profiles are one matmul;
-* a sink x node path-membership matrix ``P`` (and the full node x node
-  membership ``M``) so per-sink Elmore delay is ``P @ (r * down)`` and
-  the crosstalk shared-resistance matrix is ``r_drive + (P * r) @ M.T``
-  — both replacing per-sink ``path_to_root`` Python walks;
+  is topological — parents precede children by construction), plus the
+  per-depth ``levels`` index arrays of
+  :func:`repro.engine.treeops.build_levels`;
+* a flat incidence entry list ``(ent_node, ent_col)`` — one entry per
+  (node, local wire) capacitance site, in extraction order — with
+  per-wire half-cap vectors (``area_half``, ``rest_half``) so nominal
+  and Monte-Carlo capacitance profiles are one ordered scatter-add
+  (:func:`repro.engine.treeops.scatter_add`);
 * per-wire geometry (width, thickness, jmax) for EM and variation.
+
+Elmore delays and crosstalk shared-resistance sums run as the
+bottom-up/top-down sweeps of :mod:`repro.engine.treeops` — no dense
+node x node membership matrix is ever materialised (the old ``M`` was
+O(n^2) per stage and only ever consumed through its sink-row slice).
+Because both backends issue the same float additions in the same order
+(see the treeops module docstring), their results agree bit for bit.
 
 All of it is patchable in place: a rule re-assignment touches one wire
 column plus one resistance entry, after which the cached downstream /
-shared-resistance products are invalidated and lazily rebuilt.  The
-downstream-capacitance accumulation itself deliberately stays a
-reversed loop over node indices — it mirrors the legacy float ordering,
-and on tree-shaped stages there is no deeper vectorisation to win.
+path products are invalidated and lazily rebuilt.
 """
 
 from __future__ import annotations
@@ -28,6 +39,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.engine.treeops import (accumulate_downstream, accumulate_prefix,
+                                  build_levels, scatter_add)
 from repro.extract.capmodel import WireParasitics
 from repro.extract.rcnetwork import ClockRcNetwork, Stage
 from repro.reliability.em import DEFAULT_EM_FACTOR, EmReport, WireCurrent
@@ -52,6 +65,7 @@ class StageKernel:
         self.parent = np.array(
             [-1 if nd.parent is None else nd.parent for nd in nodes],
             dtype=np.int64)
+        self.levels = build_levels(self.parent)
         self.r = np.array([nd.r for nd in nodes])
         self.cap_fixed = np.array([nd.cap_fixed for nd in nodes])
 
@@ -74,10 +88,17 @@ class StageKernel:
         self.node_col = np.full(n, -1, dtype=np.int64)
         self.node_col[self.wire_far] = np.arange(m, dtype=np.int64)
 
-        self.B = np.zeros((n, m))
+        # Incidence entries in extraction order: one (node, column) pair
+        # per capacitance site.  Scatter-adds over this list replace the
+        # old dense node x wire matrix ``B``.
+        ent_node: list[int] = []
+        ent_col: list[int] = []
         for nd in nodes:
             for wid, _a, _b in nd.cap_wire:
-                self.B[nd.idx, col_of[wid]] = 1.0
+                ent_node.append(nd.idx)
+                ent_col.append(col_of[wid])
+        self.ent_node = np.array(ent_node, dtype=np.int64)
+        self.ent_col = np.array(ent_col, dtype=np.int64)
 
         self.area_half = np.zeros(m)
         self.rest_half = np.zeros(m)
@@ -89,23 +110,13 @@ class StageKernel:
         for wid, col in col_of.items():
             self._load_wire(col, parasitics[wid], routing.tracks.wire(wid))
 
-        # Path membership: M[v, k] = 1 iff k lies on root->v.
-        M = np.zeros((n, n))
-        for i in range(n):
-            p = self.parent[i]
-            if p >= 0:
-                M[i] = M[p]
-            M[i, i] = 1.0
-        self.M = M
-
         self.sink_nodes = [s.node_idx for s in stage.sinks]
         self.sink_pins = [s.sink_pin for s in stage.sinks]
         self.sink_next_tree = [s.next_stage_tree_id for s in stage.sinks]
-        self.P = M[self.sink_nodes] if stage.sinks else np.zeros((0, n))
+        self._sink_nodes_arr = np.array(self.sink_nodes, dtype=np.int64)
 
         self._down: Optional[np.ndarray] = None
         self._timing = None     # (total, driver_delay, driver_slew, elm)
-        self._shared: Optional[np.ndarray] = None
         self._xtalk = None      # (alignment, worst, expected) per sink
 
     def _load_wire(self, col: int, para: WireParasitics, wire) -> None:
@@ -124,7 +135,6 @@ class StageKernel:
         self.r[self.wire_far[self.col_of[wire_id]]] = para.r
         self._down = None
         self._timing = None
-        self._shared = None
         self._xtalk = None
 
     def retrim(self, stage: Stage) -> None:
@@ -140,7 +150,6 @@ class StageKernel:
             self.r[1] = nodes[1].r
         self._down = None
         self._timing = None
-        self._shared = None
         self._xtalk = None
 
     # -- nominal profiles --------------------------------------------------
@@ -148,11 +157,10 @@ class StageKernel:
     def down_nominal(self) -> np.ndarray:
         """Nominal downstream capacitance per node (cached)."""
         if self._down is None:
-            down = self.cap_fixed + self.B @ (self.area_half
-                                              + self.rest_half)
-            parent = self.parent
-            for i in range(self.n - 1, 0, -1):
-                down[parent[i]] += down[i]
+            down = self.cap_fixed.copy()
+            half_sum = self.area_half + self.rest_half
+            scatter_add(down, self.ent_node, half_sum[self.ent_col])
+            accumulate_downstream(down, self.parent, self.levels)
             self._down = down
         return self._down
 
@@ -161,30 +169,46 @@ class StageKernel:
         if self._timing is None:
             down = self.down_nominal()
             total = float(down[0])
-            elm = self.P @ (self.r * down)
+            acc = self.r * down
+            accumulate_prefix(acc, self.parent, self.levels)
+            elm = acc[self._sink_nodes_arr]
             self._timing = (total, self.driver.delay(total),
                             self.driver.output_slew(total), elm)
         return self._timing
 
-    def shared_matrix(self) -> np.ndarray:
-        """Sink x node shared-resistance matrix (driver R included)."""
-        if self._shared is None:
-            self._shared = self.driver.r_drive \
-                + (self.P * self.r) @ self.M.T
-        return self._shared
-
     def crosstalk_arrays(self, alignment: float):
-        """Per-sink (worst, expected) delta delay for this stage."""
+        """Per-sink (worst, expected) delta delay for this stage.
+
+        The shared-resistance sum is re-associated as a tree sweep:
+        with ``cc_sub[v]`` the subtree sum of per-node coupling halves,
+
+            worst[s] = r_drive * cc_sub[root]
+                       + sum over path(s) of r[v] * cc_sub[v]
+
+        — the same quantity the dense sink x node shared-resistance
+        matrix used to produce, without materialising it.
+        """
         if self._xtalk is None or self._xtalk[0] != alignment:
-            shared = self.shared_matrix()
-            worst = shared @ (self.B @ self.cc_half)
-            expected = shared @ (self.B @ self.act_half) * alignment
+            worst = self._path_coupling(self.cc_half)
+            expected = self._path_coupling(self.act_half) * alignment
             self._xtalk = (alignment, worst, expected)
         return self._xtalk[1], self._xtalk[2]
+
+    def _path_coupling(self, half: np.ndarray) -> np.ndarray:
+        """Per-sink ``sum_k shared_r(s, k) * coupling_node(k)``."""
+        cc_node = np.zeros(self.n)
+        scatter_add(cc_node, self.ent_node, half[self.ent_col])
+        accumulate_downstream(cc_node, self.parent, self.levels)
+        acc = self.r * cc_node
+        accumulate_prefix(acc, self.parent, self.levels)
+        return (self.driver.r_drive * cc_node[0]
+                + acc[self._sink_nodes_arr])
 
 
 class NetworkKernel:
     """All stage kernels of one clock network, analysis entry points."""
+
+    backend_name = "numpy-dense"
 
     def __init__(self, network: ClockRcNetwork, routing: RoutingResult,
                  parasitics: dict[int, WireParasitics]) -> None:
@@ -193,11 +217,30 @@ class NetworkKernel:
         self.stages = [StageKernel(s, parasitics, routing)
                        for s in network.stages]
 
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def stage_view(self, stage_idx: int) -> StageKernel:
+        """Backend-agnostic per-stage array view (oracle entry point)."""
+        return self.stages[stage_idx]
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived-array cache (benchmark / debugging hook)."""
+        for sk in self.stages:
+            sk._down = None
+            sk._timing = None
+            sk._xtalk = None
+
     def patch_wire(self, stage_idx: int, wire_id: int,
                    para: WireParasitics) -> None:
         """Push one wire's new parasitics into its stage kernel."""
         self.stages[stage_idx].patch_wire(
             wire_id, para, self.routing.tracks.wire(wire_id))
+
+    def retrim_stage(self, stage_idx: int, stage: Stage) -> None:
+        """Refresh one stage's pad/snake scalars after a retrim."""
+        self.stages[stage_idx].retrim(stage)
 
     def recompile_stage(self, stage_idx: int,
                         parasitics: dict[int, WireParasitics]) -> None:
@@ -285,7 +328,7 @@ class NetworkKernel:
         :class:`~repro.engine.incremental.FrozenVariation`; with the
         same seed the result matches ``run_monte_carlo`` to float
         round-off (the draws are bit-identical, only summation order
-        inside the matmuls differs).
+        along sink paths differs).
         """
         n_samples = frozen.n_samples
         arrivals: list[np.ndarray] = []
@@ -298,23 +341,25 @@ class NetworkKernel:
             area_scale, r_scale = frozen.stage_scales(stage_idx, sk)
 
             caps = np.broadcast_to(
-                (sk.cap_fixed + sk.B @ sk.rest_half)[:, None],
-                (sk.n, n_samples)).copy()
+                sk.cap_fixed[:, None], (sk.n, n_samples)).copy()
             if sk.m:
-                caps += (sk.B * sk.area_half) @ area_scale
+                contrib = (sk.area_half[sk.ent_col][:, None]
+                           * area_scale[sk.ent_col]
+                           + sk.rest_half[sk.ent_col][:, None])
+                np.add.at(caps, sk.ent_node, contrib)
             down = caps
-            parent = sk.parent
-            for i in range(sk.n - 1, 0, -1):
-                down[parent[i]] += down[i]
+            accumulate_downstream(down, sk.parent, sk.levels)
             total = down[0]
             driver = sk.driver
             driver_delay = (driver.d_intrinsic + driver.r_drive * total) \
                 * frozen.buf_scale[stage_idx]
 
-            r_samples = np.repeat(sk.r[:, None], n_samples, axis=1)
+            r_eff = np.repeat(sk.r[:, None], n_samples, axis=1)
             if sk.m:
-                r_samples[sk.wire_far] *= r_scale
-            elm = sk.P @ (r_samples * down)
+                r_eff[sk.wire_far] *= r_scale
+            rd = r_eff * down
+            accumulate_prefix(rd, sk.parent, sk.levels)
+            elm = rd[sk._sink_nodes_arr]
 
             for i, pin in enumerate(sk.sink_pins):
                 t = entry + driver_delay + elm[i]

@@ -1,0 +1,47 @@
+"""Optional numba-accelerated backend (import-gated stub).
+
+The batched ``numpy-sparse`` backend spends its time in a handful of
+level sweeps (:mod:`repro.engine.treeops`); numba can fuse those into
+single jit kernels and drop the per-level dispatch entirely.  This
+module registers a ``numba`` backend only when numba is importable —
+the container this repo ships in does not install it, so by default
+requesting ``numba`` raises a :class:`RuntimeError` with an install
+hint instead of an :class:`ImportError` at import time.
+
+The current implementation is a correctness-first stub: it reuses
+:class:`~repro.engine.batched.BatchedNetworkKernel` arrays and sweeps
+unchanged (so it stays inside the bit-identity contract of the
+backend-equivalence suite) and only relabels the kernel.  Replacing
+the treeops sweeps with ``@njit`` loops is the intended follow-up once
+the dependency is available.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # noqa: F401
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    NUMBA_AVAILABLE = False
+
+UNAVAILABLE_REASON = ("numba is not installed in this environment "
+                      "(pip install numba to enable)")
+
+
+def register() -> None:
+    """Register the numba backend, or record why it is unavailable."""
+    from repro.engine import backends
+
+    if not NUMBA_AVAILABLE:
+        backends.register_unavailable("numba", UNAVAILABLE_REASON)
+        return
+
+    from repro.engine.batched import BatchedNetworkKernel
+
+    class NumbaNetworkKernel(BatchedNetworkKernel):  # pragma: no cover
+        backend_name = "numba"
+
+    backends.register_backend(backends.EngineBackend(
+        name="numba", factory=NumbaNetworkKernel,
+        description="jit-compiled sweeps over the batched arenas"))

@@ -22,6 +22,8 @@ package.
 
 from __future__ import annotations
 
+import resource
+import sys
 from typing import Union
 
 from repro.obs.metrics import (NULL_METRIC, Counter, Gauge, Histogram,
@@ -58,6 +60,20 @@ def histogram(name: str) -> Union[Histogram, _NullMetric]:
     return tracer.metrics.histogram(name)
 
 
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process, in bytes.
+
+    Reads ``ru_maxrss`` from :func:`resource.getrusage` — kibibytes on
+    Linux, bytes on macOS.  The engine publishes this as the
+    ``engine.peak_rss_bytes`` gauge after each stage-batch analysis so
+    ``repro trace`` shows memory next to time.
+    """
+    rss = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":
+        return rss
+    return rss * 1024
+
+
 __all__ = [
     "CELL_SPAN",
     "MATRIX_SPAN",
@@ -76,5 +92,6 @@ __all__ = [
     "enable",
     "gauge",
     "histogram",
+    "peak_rss_bytes",
     "span",
 ]

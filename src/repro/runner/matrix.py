@@ -65,6 +65,9 @@ class JobSpec:
     random_fraction: float = 0.3
     random_seed: int = 0
     lambda_track: float = 0.05
+    #: analysis-engine backend name ("" = default); bit-identical
+    #: across backends, so it never enters the cell fingerprint
+    engine_backend: str = ""
 
     @property
     def label(self) -> str:
@@ -76,7 +79,8 @@ class JobSpec:
         return PolicyParams(policy=self.policy,
                             random_fraction=self.random_fraction,
                             random_seed=self.random_seed,
-                            lambda_track=self.lambda_track).normalized()
+                            lambda_track=self.lambda_track,
+                            engine_backend=self.engine_backend).normalized()
 
     def reference_job(self) -> Optional["JobSpec"]:
         """The upstream all-NDR reference this cell's budgets need."""
@@ -100,6 +104,7 @@ class RunMatrix:
     random_fraction: float = 0.3
     random_seed: int = 0
     lambda_track: float = 0.05
+    engine_backend: str = ""
     extra_cells: tuple[JobSpec, ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -113,7 +118,8 @@ class RunMatrix:
         out = [JobSpec(design=d, policy=p, slack=s,
                        random_fraction=self.random_fraction,
                        random_seed=self.random_seed,
-                       lambda_track=self.lambda_track)
+                       lambda_track=self.lambda_track,
+                       engine_backend=self.engine_backend)
                for d in self.designs
                for p in self.policies
                for s in self.slacks]

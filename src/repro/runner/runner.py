@@ -146,7 +146,7 @@ def _verify_diagnostics(flow: FlowResult, label: str) -> list[dict[str, object]]
     return [d.to_dict() for d in report.diagnostics]
 
 
-def _execute_job(job: JobSpec, metrics: Optional[RefMetrics],
+def _execute_job(job: JobSpec, metrics: Optional[RefMetrics],  # static: ok[C001] engine_backend is a perf knob; backends are verified bit-identical, so cells sharing a cache entry across backends is the intended behavior
                  ctx: _ExecContext) -> JobResult:
     """Run (or load) one cell and package the streamed result.
 
@@ -194,6 +194,7 @@ def _execute_job(job: JobSpec, metrics: Optional[RefMetrics],
                                 random_fraction=job.random_fraction,
                                 random_seed=job.random_seed,
                                 lambda_track=job.lambda_track,
+                                engine_backend=job.engine_backend,
                                 guide=ctx.guide, store=ctx.store)
                 if key is not None and store is not None:
                     store.save(key, flow)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 LN9: float = math.log(9.0)
 
 
@@ -31,3 +33,19 @@ def propagate_slew(driver_slew: float, elmore: float) -> float:
         raise ValueError("driver slew must be non-negative")
     w = wire_slew(elmore)
     return math.sqrt(driver_slew * driver_slew + w * w)
+
+
+def propagate_slew_array(driver_slew: np.ndarray,
+                         elmore: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`propagate_slew` over matched per-sink arrays.
+
+    Issues the same float operations elementwise (``np.sqrt`` matches
+    ``math.sqrt`` bit for bit on float64), so batched results equal the
+    scalar path exactly.
+    """
+    if driver_slew.size and float(driver_slew.min()) < 0.0:
+        raise ValueError("driver slew must be non-negative")
+    if elmore.size and float(elmore.min()) < 0.0:
+        raise ValueError("Elmore delay must be non-negative")
+    w = LN9 * elmore
+    return np.sqrt(driver_slew * driver_slew + w * w)

@@ -212,14 +212,14 @@ def check_kernel_sync(ctx: VerifyContext) -> Iterator[Diagnostic]:
                  "engine")
         return
     network = ctx.extraction.network
-    if len(engine.kernel.stages) != len(network.stages):
+    if engine.kernel.num_stages != len(network.stages):
         yield Diagnostic(
             rule="kernel-sync", severity=Severity.ERROR,
-            message=f"kernel has {len(engine.kernel.stages)} stages; the "
+            message=f"kernel has {engine.kernel.num_stages} stages; the "
                     f"network has {len(network.stages)}")
         return
     for stage_idx, stage in enumerate(network.stages):
-        have = engine.kernel.stages[stage_idx]
+        have = engine.kernel.stage_view(stage_idx)
         want = StageKernel(stage, ctx.extraction.wires, ctx.routing)
         if have.wire_ids != want.wire_ids or have.n != want.n:
             yield Diagnostic(
@@ -244,7 +244,7 @@ def check_kernel_sync(ctx: VerifyContext) -> Iterator[Diagnostic]:
                             f"{b[worst]:.9g})",
                     stage=stage_idx,
                     hint="patch_wire/retrim missed this stage kernel")
-        for name in ("parent", "B", "M"):
+        for name in ("parent", "ent_node", "ent_col"):
             if not np.array_equal(getattr(have, name),
                                   getattr(want, name)):
                 yield Diagnostic(

@@ -1,0 +1,281 @@
+"""Backend registry behavior and cross-backend bit-identity.
+
+The engine backends are not allowed to be merely *close*: the treeops
+primitives pin the float-addition order, so ``numpy-dense`` (per-stage
+kernels) and ``numpy-sparse`` (whole-design batched arenas) must agree
+``==``-exactly on every analysis, at every size, through any sequence
+of incremental updates.  These tests assert bitwise equality — no
+tolerances anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import DesignSpec, generate_design, spec_by_name
+from repro.core.flow import build_physical_design
+from repro.core.targets import RobustnessTargets
+from repro.cts.refine import refine_skew
+from repro.engine import (AnalysisEngine, FrozenVariation,
+                          available_backends, get_backend, resolve_backend)
+from repro.engine.treeops import (accumulate_downstream,
+                                  accumulate_downstream_loop,
+                                  accumulate_prefix, build_levels)
+from repro.extract.extractor import extract
+
+EQUIV_SIZES = ["ckt64", "ckt256", "ckt1024"]
+
+# Same shape as the conftest tiny fixture, but churn mutates its builds,
+# so every hypothesis example gets fresh ones.
+CHURN_SPEC = DesignSpec("tiny", n_sinks=24, die_edge=160.0,
+                        aggressors_per_sink=2.0, seed=5)
+
+
+# -- treeops micro-asserts (vectorised sweeps vs the legacy loops) ------------
+
+
+def _random_forest(rng, n):
+    """Random topological-order parent array, ~15% extra roots."""
+    parent = np.full(n, -1, dtype=np.int64)
+    for i in range(1, n):
+        if rng.random() > 0.15:
+            parent[i] = int(rng.integers(0, i))
+    return parent
+
+
+def test_downstream_sweep_is_bit_identical_to_loop():
+    rng = np.random.default_rng(1234)
+    for n in (1, 2, 7, 33, 200):
+        for _ in range(5):
+            parent = _random_forest(rng, n)
+            values = rng.standard_normal(n) \
+                * 10.0 ** rng.integers(-6, 7, n)
+            fast = accumulate_downstream(values.copy(), parent,
+                                         build_levels(parent))
+            ref = accumulate_downstream_loop(values.copy(), parent)
+            assert np.array_equal(fast, ref)
+
+
+def test_downstream_sweep_is_bit_identical_to_loop_2d():
+    # The Monte-Carlo sample axis rides along unchanged.
+    rng = np.random.default_rng(99)
+    parent = _random_forest(rng, 64)
+    values = rng.standard_normal((64, 8)) * 10.0 ** rng.integers(-4, 5, (64, 8))
+    fast = accumulate_downstream(values.copy(), parent,
+                                 build_levels(parent))
+    ref = accumulate_downstream_loop(values.copy(), parent)
+    assert np.array_equal(fast, ref)
+
+
+def test_prefix_sweep_is_bit_identical_to_loop():
+    rng = np.random.default_rng(7)
+    for n in (1, 13, 120):
+        parent = _random_forest(rng, n)
+        values = rng.standard_normal(n)
+        fast = accumulate_prefix(values.copy(), parent,
+                                 build_levels(parent))
+        ref = values.copy()
+        for i in range(n):
+            if parent[i] >= 0:
+                ref[i] += ref[parent[i]]
+        assert np.array_equal(fast, ref)
+
+
+def test_concatenated_forest_equals_per_tree_sweeps():
+    # The whole-design arena processes all stage trees at once; each
+    # parent only ever receives additions from its own children, so the
+    # concatenated sweep must equal the per-tree sweeps bit for bit.
+    rng = np.random.default_rng(42)
+    sizes = [5, 11, 1, 30]
+    parents, values, offsets = [], [], []
+    base = 0
+    for n in sizes:
+        p = np.full(n, -1, dtype=np.int64)
+        for i in range(1, n):
+            p[i] = int(rng.integers(0, i))
+        parents.append(p)
+        values.append(rng.standard_normal(n))
+        offsets.append(base)
+        base += n
+    concat_parent = np.concatenate(
+        [np.where(p >= 0, p + off, -1)
+         for p, off in zip(parents, offsets)])
+    concat_values = np.concatenate(values)
+    accumulate_downstream(concat_values, concat_parent,
+                          build_levels(concat_parent))
+    for p, v, off in zip(parents, values, offsets):
+        per_tree = accumulate_downstream(v.copy(), p, build_levels(p))
+        assert np.array_equal(concat_values[off:off + len(v)], per_tree)
+
+
+def test_build_levels_rejects_non_topological_order():
+    with pytest.raises(ValueError, match="topological"):
+        build_levels(np.array([-1, 2, 0], dtype=np.int64))
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_registry_lists_builtin_backends():
+    assert {"numpy-dense", "numpy-sparse"} <= set(available_backends())
+
+
+def test_unknown_backend_raises_with_available_list():
+    with pytest.raises(KeyError, match="unknown engine backend"):
+        get_backend("cuda")
+
+
+def test_numba_backend_is_import_gated():
+    from repro.engine.numba_backend import NUMBA_AVAILABLE
+    if NUMBA_AVAILABLE:  # pragma: no cover - not installed in CI
+        assert "numba" in available_backends()
+    else:
+        assert "numba" not in available_backends()
+        with pytest.raises(RuntimeError, match="numba is not installed"):
+            get_backend("numba")
+
+
+def test_resolve_backend_spec_and_env(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE_BACKEND", raising=False)
+    assert resolve_backend(None).name == "numpy-sparse"
+    assert resolve_backend(True).name == "numpy-sparse"
+    assert resolve_backend("numpy-dense").name == "numpy-dense"
+    monkeypatch.setenv("REPRO_ENGINE_BACKEND", "numpy-dense")
+    assert resolve_backend(None).name == "numpy-dense"
+    assert resolve_backend(True).name == "numpy-dense"
+    # An explicit name still beats the environment.
+    assert resolve_backend("numpy-sparse").name == "numpy-sparse"
+
+
+def test_engine_default_backend_is_sparse(tiny_physical, tech):
+    targets = RobustnessTargets.for_period(
+        tiny_physical.design.clock_period, tech.max_slew)
+    engine = AnalysisEngine(tiny_physical.extraction, tiny_physical.tree,
+                            tech, tiny_physical.design.clock_freq, targets)
+    assert engine.kernel.backend_name == "numpy-sparse"
+
+
+# -- cross-backend bit-identity over the size ladder --------------------------
+
+
+@pytest.fixture(scope="module", params=EQUIV_SIZES)
+def sized_physical(request, tech):
+    """One built design per ladder rung; treated as read-only."""
+    return build_physical_design(
+        generate_design(spec_by_name(request.param)), tech)
+
+
+def _assert_timing_identical(a, b):
+    assert [s.pin.full_name for s in a.sinks] \
+        == [s.pin.full_name for s in b.sinks]
+    assert [s.arrival for s in a.sinks] == [s.arrival for s in b.sinks]
+    assert [s.slew for s in a.sinks] == [s.slew for s in b.sinks]
+    assert a.stage_loads == b.stage_loads
+    assert a.stage_delays == b.stage_delays
+
+
+def test_backends_bit_identical_on_ladder(sized_physical, tech):
+    extraction = sized_physical.extraction
+    freq = sized_physical.design.clock_freq
+    kernels = [
+        get_backend(name).build(extraction.network, extraction.routing,
+                                extraction.wires)
+        for name in ("numpy-dense", "numpy-sparse")]
+    dense, sparse = kernels
+
+    _assert_timing_identical(dense.static_timing(tech),
+                             sparse.static_timing(tech))
+
+    xd = dense.crosstalk(alignment=0.5)
+    xs = sparse.crosstalk(alignment=0.5)
+    assert [s.pin.full_name for s in xd.sinks] \
+        == [s.pin.full_name for s in xs.sinks]
+    assert [s.worst for s in xd.sinks] == [s.worst for s in xs.sinks]
+    assert [s.expected for s in xd.sinks] \
+        == [s.expected for s in xs.sinks]
+
+    ed = dense.em(tech.vdd, freq)
+    es = sparse.em(tech.vdd, freq)
+    assert [w.wire_id for w in ed.wires] == [w.wire_id for w in es.wires]
+    assert [w.i_eff for w in ed.wires] == [w.i_eff for w in es.wires]
+    assert [w.utilization for w in ed.wires] \
+        == [w.utilization for w in es.wires]
+
+    frozen = FrozenVariation(extraction.network, extraction.routing,
+                             tech, n_samples=32, seed=7)
+    md = dense.monte_carlo(frozen)
+    ms = sparse.monte_carlo(frozen)
+    assert md.sink_names == ms.sink_names
+    assert np.array_equal(md.arrivals, ms.arrivals)
+    assert np.array_equal(md.skew_samples, ms.skew_samples)
+
+
+# -- random churn keeps backends locked together ------------------------------
+
+
+def _assert_bundles_bit_identical(a, b):
+    _assert_timing_identical(a.timing, b.timing)
+    assert [s.worst for s in a.crosstalk.sinks] \
+        == [s.worst for s in b.crosstalk.sinks]
+    assert [w.utilization for w in a.em.wires] \
+        == [w.utilization for w in b.em.wires]
+    assert np.array_equal(a.mc.arrivals, b.mc.arrivals)
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_random_churn_keeps_backends_bit_identical(data):
+    """Random patch/retrim sequences leave the backends ``==``-equal.
+
+    Two engines — one per backend — receive the same mutation stream
+    (rule upgrades, shield toggles, skew re-trims) against identical
+    fresh builds; after every churn the full bundles must stay bitwise
+    identical.
+    """
+    from repro.tech import default_technology
+
+    tech = default_technology()
+    rules = sorted(tech.rules, key=lambda r: r.name.value)
+    engines, physicals = {}, {}
+    for name in ("numpy-dense", "numpy-sparse"):
+        phys = build_physical_design(generate_design(CHURN_SPEC), tech)
+        targets = RobustnessTargets.for_period(phys.design.clock_period,
+                                               tech.max_slew)
+        extraction = extract(phys.tree, phys.routing)
+        engines[name] = AnalysisEngine(extraction, phys.tree, tech,
+                                       phys.design.clock_freq, targets,
+                                       backend=name)
+        physicals[name] = phys
+    wire_ids = sorted(
+        w.wire_id for w in physicals["numpy-dense"].routing.clock_wires)
+
+    n_ops = data.draw(st.integers(min_value=1, max_value=5))
+    for _ in range(n_ops):
+        op = data.draw(st.sampled_from(["rule", "shield", "trim"]))
+        if op == "trim":
+            for name, engine in engines.items():
+                phys = physicals[name]
+                refine_skew(phys.tree, phys.routing, tech, engine=engine)
+            continue
+        wid = wire_ids[data.draw(
+            st.integers(min_value=0, max_value=len(wire_ids) - 1))]
+        rule = rules[data.draw(
+            st.integers(min_value=0, max_value=len(rules) - 1))]
+        for name, engine in engines.items():
+            routing = physicals[name].routing
+            if op == "rule":
+                routing.assign_rule(wid, rule)
+            else:
+                routing.assign_shield(wid, True)
+            engine.apply_rule_changes([wid])
+        bundles = {name: engine.analyze()
+                   for name, engine in engines.items()}
+        _assert_bundles_bit_identical(bundles["numpy-dense"],
+                                      bundles["numpy-sparse"])
+
+    bundles = {name: engine.analyze() for name, engine in engines.items()}
+    _assert_bundles_bit_identical(bundles["numpy-dense"],
+                                  bundles["numpy-sparse"])

@@ -21,7 +21,7 @@ from repro.core.sensitivity import (SensitivityCache, _what_if_parasitics,
                                     rule_sensitivities)
 from repro.core.targets import RobustnessTargets
 from repro.cts.refine import refine_skew
-from repro.engine import AnalysisEngine, FrozenVariation, NetworkKernel
+from repro.engine import AnalysisEngine, FrozenVariation, get_backend
 from repro.extract.extractor import extract, incremental_re_extract
 from repro.reliability.em import DEFAULT_EM_FACTOR, analyze_em
 from repro.timing.arrival import analyze_clock_timing
@@ -36,6 +36,17 @@ def physical(request, tech):
     """A fresh mutable physical build per test, both design sizes."""
     spec = request.getfixturevalue(request.param)
     return build_physical_design(generate_design(spec), tech)
+
+
+@pytest.fixture(params=["numpy-dense", "numpy-sparse"])
+def backend(request):
+    """Every registered backend must pass the legacy-equivalence bar."""
+    return request.param
+
+
+def _kernel(backend, extraction):
+    return get_backend(backend).build(extraction.network,
+                                      extraction.routing, extraction.wires)
 
 
 def _targets(physical, tech):
@@ -71,10 +82,9 @@ def _some_clock_wires(routing, n):
 # -- kernel analyses vs legacy ------------------------------------------------
 
 
-def test_kernel_static_timing_matches_legacy(physical, tech):
+def test_kernel_static_timing_matches_legacy(physical, tech, backend):
     extraction = physical.extraction
-    kernel = NetworkKernel(extraction.network, extraction.routing,
-                           extraction.wires)
+    kernel = _kernel(backend, extraction)
     legacy = analyze_clock_timing(extraction.network, tech)
     fast = kernel.static_timing(tech)
     assert fast.latency == pytest.approx(legacy.latency, abs=ATOL)
@@ -86,11 +96,10 @@ def test_kernel_static_timing_matches_legacy(physical, tech):
         assert fs.slew == pytest.approx(ls.slew, abs=ATOL)
 
 
-def test_kernel_crosstalk_and_em_match_legacy(physical, tech):
+def test_kernel_crosstalk_and_em_match_legacy(physical, tech, backend):
     extraction = physical.extraction
     freq = physical.design.clock_freq
-    kernel = NetworkKernel(extraction.network, extraction.routing,
-                           extraction.wires)
+    kernel = _kernel(backend, extraction)
 
     legacy_x = analyze_crosstalk(extraction.network, extraction.wires,
                                  alignment=0.5)
@@ -110,14 +119,13 @@ def test_kernel_crosstalk_and_em_match_legacy(physical, tech):
     assert fast_em.num_violations == legacy_em.num_violations
 
 
-def test_kernel_monte_carlo_reproduces_legacy_draws(physical, tech):
+def test_kernel_monte_carlo_reproduces_legacy_draws(physical, tech, backend):
     """Same seed -> bitwise-equivalent sampling, arrivals within 1e-9."""
     extraction = physical.extraction
     legacy = run_monte_carlo(extraction.network, extraction.wires,
                              extraction.routing, tech,
                              n_samples=64, seed=11)
-    kernel = NetworkKernel(extraction.network, extraction.routing,
-                           extraction.wires)
+    kernel = _kernel(backend, extraction)
     frozen = FrozenVariation(extraction.network, extraction.routing, tech,
                              n_samples=64, seed=11)
     fast = kernel.monte_carlo(frozen)
@@ -156,7 +164,7 @@ def test_incremental_re_extract_matches_full(physical, tech):
         fresh.clock_coupling_cap, abs=ATOL)
 
 
-def test_engine_incremental_equals_full_analysis(physical, tech):
+def test_engine_incremental_equals_full_analysis(physical, tech, backend):
     """Rule + shield churn through the engine == from-scratch analysis."""
     routing = physical.routing
     freq = physical.design.clock_freq
@@ -164,7 +172,8 @@ def test_engine_incremental_equals_full_analysis(physical, tech):
     ndr = max(tech.rules, key=lambda r: r.width_mult)
 
     extraction = extract(physical.tree, routing)
-    engine = AnalysisEngine(extraction, physical.tree, tech, freq, targets)
+    engine = AnalysisEngine(extraction, physical.tree, tech, freq, targets,
+                            backend=backend)
     engine.analyze()  # prime every cache before the churn
 
     touched = _some_clock_wires(routing, 6)
@@ -185,7 +194,7 @@ def test_engine_incremental_equals_full_analysis(physical, tech):
     _assert_bundles_match(incremental, fresh)
 
 
-def test_engine_trim_path_equals_full_analysis(physical, tech):
+def test_engine_trim_path_equals_full_analysis(physical, tech, backend):
     """refine_skew driving the engine == refine_skew from scratch."""
     freq = physical.design.clock_freq
     targets = _targets(physical, tech)
@@ -193,7 +202,8 @@ def test_engine_trim_path_equals_full_analysis(physical, tech):
     routing = physical.routing
 
     extraction = extract(physical.tree, routing)
-    engine = AnalysisEngine(extraction, physical.tree, tech, freq, targets)
+    engine = AnalysisEngine(extraction, physical.tree, tech, freq, targets,
+                            backend=backend)
     for wire_id in _some_clock_wires(routing, 3):
         routing.assign_rule(wire_id, ndr)
         engine.apply_rule_changes([wire_id])
@@ -209,22 +219,25 @@ def test_engine_trim_path_equals_full_analysis(physical, tech):
 
 
 def test_optimizer_engine_matches_legacy_run(make_small_physical, tech):
-    """use_engine=True and =False make identical decisions end to end."""
-    freq = None
+    """Every engine backend makes the legacy run's decisions end to end."""
     results = {}
-    for use_engine in (False, True):
+    for use_engine in (False, "numpy-dense", "numpy-sparse"):
         phys = make_small_physical()
-        freq = phys.design.clock_freq
         targets = _targets(phys, tech)
         opt = SmartNdrOptimizer(phys.tree, phys.routing, tech, targets,
-                                freq, use_engine=use_engine)
+                                phys.design.clock_freq,
+                                use_engine=use_engine)
         results[use_engine] = opt.run()
-    legacy, fast = results[False], results[True]
-    assert fast.upgraded == legacy.upgraded
-    assert fast.downgraded == legacy.downgraded
-    assert fast.iterations == legacy.iterations
-    assert fast.engine is not None and legacy.engine is None
-    _assert_bundles_match(fast.analyses, legacy.analyses)
+    legacy = results[False]
+    assert legacy.engine is None
+    for name in ("numpy-dense", "numpy-sparse"):
+        fast = results[name]
+        assert fast.upgraded == legacy.upgraded
+        assert fast.downgraded == legacy.downgraded
+        assert fast.iterations == legacy.iterations
+        assert fast.engine is not None
+        assert fast.engine.backend.name == name
+        _assert_bundles_match(fast.analyses, legacy.analyses)
 
 
 # -- sensitivity cache --------------------------------------------------------

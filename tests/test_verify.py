@@ -307,7 +307,9 @@ def test_neighbor_index_sync_fires_on_stale_record(make_tiny_physical):
 
 
 def test_kernel_sync_fires_on_stale_array(engine_ctx):
-    kernel_stage = engine_ctx.engine.kernel.stages[0]
+    # stage_view float arrays alias live kernel storage on every
+    # backend, so this mutation corrupts the real compiled state
+    kernel_stage = engine_ctx.engine.kernel.stage_view(0)
     kernel_stage.cap_fixed[0] += 1.0
     report = run_checks(engine_ctx, rules=["kernel-sync"])
     errs = _errors(report, "kernel-sync")
