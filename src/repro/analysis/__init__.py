@@ -11,7 +11,18 @@ cheaply check:
 * every input a content-addressed stage reads is folded into its
   sha256 artifact key (**C-codes**,
   :mod:`repro.analysis.rules_cachekey`, driven by
-  :data:`repro.io.artifacts.STAGE_KEY_MANIFEST`).
+  :data:`repro.io.artifacts.STAGE_KEY_MANIFEST`);
+* every guarded engine-state mutation is paired with its declared
+  invalidation and read behind the recompile barrier (**I-codes**,
+  :mod:`repro.analysis.rules_invalidation`, driven by
+  :data:`repro.engine.invariants.ENGINE_STATE_INVARIANTS`);
+* process-pool workers neither read un-reset globals nor leave the
+  forwarded-environment seam, and their payloads pickle soundly
+  (**S-codes**, :mod:`repro.analysis.rules_state`);
+* every backend exposes the same kernel surface and no cache key
+  depends on backend selection (**B-codes**,
+  :mod:`repro.analysis.rules_backends`, driven by
+  :data:`repro.engine.invariants.KERNEL_PARITY`).
 
 The machinery: :mod:`repro.analysis.callgraph` builds a module-level
 call graph with import/alias/re-export/self resolution;
@@ -31,21 +42,27 @@ from repro.analysis.effects import (Effect, EffectOrigin, TransitiveOrigin,
                                     direct_effects, param_attr_reads,
                                     reachable_from, transitive_origins)
 from repro.analysis.report import (DEFAULT_DETERMINISM_ROOTS,
-                                   DEFAULT_PROCESS_ROOTS, StaticContext,
-                                   Suppression, analyze_program,
-                                   build_static_context,
+                                   DEFAULT_PROCESS_ROOTS,
+                                   DEFAULT_WORKER_GROUPS, ContextStateSpec,
+                                   StaticContext, Suppression, WorkerGroup,
+                                   analyze_program, build_static_context,
                                    unsuppressed_rationales)
 
-# Importing the rule modules registers every D/C check; keep these
-# after the registry-facing imports (they decorate into it).
-from repro.analysis import rules_determinism as _rules_d  # noqa: E402,F401
-from repro.analysis import rules_cachekey as _rules_c     # noqa: E402,F401
+# Importing the rule modules registers every D/C/I/S/B check; keep
+# these after the registry-facing imports (they decorate into it).
+from repro.analysis import rules_determinism as _rules_d   # noqa: E402,F401
+from repro.analysis import rules_cachekey as _rules_c      # noqa: E402,F401
+from repro.analysis import rules_invalidation as _rules_i  # noqa: E402,F401
+from repro.analysis import rules_state as _rules_s         # noqa: E402,F401
+from repro.analysis import rules_backends as _rules_b      # noqa: E402,F401
 
 __all__ = [
     "CallSite",
     "ClassInfo",
+    "ContextStateSpec",
     "DEFAULT_DETERMINISM_ROOTS",
     "DEFAULT_PROCESS_ROOTS",
+    "DEFAULT_WORKER_GROUPS",
     "Effect",
     "EffectOrigin",
     "FunctionInfo",
@@ -54,6 +71,7 @@ __all__ = [
     "StaticContext",
     "Suppression",
     "TransitiveOrigin",
+    "WorkerGroup",
     "analyze_program",
     "build_program",
     "build_static_context",

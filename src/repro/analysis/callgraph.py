@@ -90,6 +90,11 @@ class ClassInfo:
     #: Dataclass field names in declaration order (AnnAssign at class
     #: body level, minus ClassVar annotations).
     fields: tuple[str, ...] = ()
+    #: field name -> annotation source text (``ast.unparse``d).
+    field_annotations: dict[str, str] = field(default_factory=dict)
+    #: Base-class dotted names exactly as written (``enum.Enum``,
+    #: ``Enum``); resolve through the module's imports to classify.
+    bases: tuple[str, ...] = ()
     #: method name -> method qualname
     methods: dict[str, str] = field(default_factory=dict)
     properties: frozenset[str] = frozenset()
@@ -105,6 +110,9 @@ class ModuleInfo:
     #: local binding -> dotted target ("np" -> "numpy",
     #: "run_checks" -> "repro.verify.run_checks").
     imports: dict[str, str] = field(default_factory=dict)
+    #: Module-level ``Alias = Name`` assignments whose value is a plain
+    #: (dotted) name — type aliases like ``DesignRef = str``.
+    aliases: dict[str, str] = field(default_factory=dict)
     #: Names assigned at module level (candidate mutable globals).
     global_names: frozenset[str] = frozenset()
     functions: list[str] = field(default_factory=list)
@@ -212,8 +220,10 @@ def _param_names(node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
     return tuple(names)
 
 
-def _class_fields(node: ast.ClassDef) -> tuple[str, ...]:
+def _class_fields(node: ast.ClassDef) -> tuple[tuple[str, ...],
+                                               dict[str, str]]:
     fields = []
+    annotations: dict[str, str] = {}
     for stmt in node.body:
         if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
                                                           ast.Name):
@@ -221,7 +231,45 @@ def _class_fields(node: ast.ClassDef) -> tuple[str, ...]:
             if "ClassVar" in annotation:
                 continue
             fields.append(stmt.target.id)
-    return tuple(fields)
+            annotations[stmt.target.id] = annotation
+    return tuple(fields), annotations
+
+
+def _class_bases(node: ast.ClassDef) -> tuple[str, ...]:
+    bases = []
+    for base in node.bases:
+        dotted = _dotted_name(base)
+        if dotted is not None:
+            bases.append(dotted)
+    return tuple(bases)
+
+
+def _import_bindings(stmt: Union[ast.Import, ast.ImportFrom],
+                     module: ModuleInfo) -> dict[str, str]:
+    """local name -> dotted target for one import statement."""
+    out: dict[str, str] = {}
+    if isinstance(stmt, ast.Import):
+        for alias in stmt.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            out[local] = target
+        return out
+    if stmt.level:
+        base_parts = module.name.split(".")
+        # Plain modules drop their own name; packages (__init__)
+        # already are the containing package.
+        if not module.path.name == "__init__.py":
+            base_parts = base_parts[:-1]
+        if stmt.level > 1:
+            base_parts = base_parts[:-(stmt.level - 1)]
+        base = ".".join(base_parts)
+        source = f"{base}.{stmt.module}" if stmt.module else base
+    else:
+        source = stmt.module or ""
+    for alias in stmt.names:
+        if alias.name != "*":
+            out[alias.asname or alias.name] = f"{source}.{alias.name}"
+    return out
 
 
 class _ModuleCollector(ast.NodeVisitor):
@@ -236,29 +284,10 @@ class _ModuleCollector(ast.NodeVisitor):
     # -- imports -------------------------------------------------------------
 
     def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            local = alias.asname or alias.name.split(".")[0]
-            target = alias.name if alias.asname else alias.name.split(".")[0]
-            self.module.imports[local] = target
+        self.module.imports.update(_import_bindings(node, self.module))
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.level:
-            base_parts = self.module.name.split(".")
-            # Plain modules drop their own name; packages (__init__)
-            # already are the containing package.
-            if not self.module.path.name == "__init__.py":
-                base_parts = base_parts[:-1]
-            if node.level > 1:
-                base_parts = base_parts[:-(node.level - 1)]
-            base = ".".join(base_parts)
-            source = f"{base}.{node.module}" if node.module else base
-        else:
-            source = node.module or ""
-        for alias in node.names:
-            if alias.name == "*":
-                continue
-            local = alias.asname or alias.name
-            self.module.imports[local] = f"{source}.{alias.name}"
+        self.module.imports.update(_import_bindings(node, self.module))
 
     # -- definitions ---------------------------------------------------------
 
@@ -270,12 +299,14 @@ class _ModuleCollector(ast.NodeVisitor):
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         qualname = self._qualify(node.name)
         decorators = _decorator_names(node)
+        fields, annotations = _class_fields(node)
         info = ClassInfo(
             qualname=qualname, module=self.module.name, name=node.name,
             lineno=node.lineno,
             is_dataclass=any(d.split(".")[-1] == "dataclass"
                              for d in decorators),
-            fields=_class_fields(node))
+            fields=fields, field_annotations=annotations,
+            bases=_class_bases(node))
         self.program.classes[qualname] = info
         self.module.classes.append(qualname)
         self._class_stack.append(info)
@@ -320,6 +351,12 @@ class _ModuleCollector(ast.NodeVisitor):
                 for name_node in ast.walk(target):
                     if isinstance(name_node, ast.Name):
                         self._globals.add(name_node.id)
+            # Type aliases: module-level ``Alias = <dotted name>``.
+            if len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                dotted = _dotted_name(node.value)
+                if dotted is not None:
+                    self.module.aliases[node.targets[0].id] = dotted
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if not self._class_stack and isinstance(node.target, ast.Name):
@@ -349,13 +386,20 @@ class _CallCollector(ast.NodeVisitor):
         self.locals = _local_store_names(fn.node)
         #: local name -> class qualname, for x = Cls(...) inference.
         self.local_types: dict[str, str] = {}
+        #: Function-local import bindings (``from x import y`` inside
+        #: the body).  Worker entries defer heavy imports to the
+        #: function body; without these the worker closure is blind.
+        self.fn_imports: dict[str, str] = {}
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                self.fn_imports.update(_import_bindings(sub, module))
 
     def resolve_name(self, dotted: str) -> Optional[str]:
         """Expand the first segment through imports/module scope."""
         first, _, rest = dotted.partition(".")
         if first in self.locals:
             return None  # shadowed by a local/param we cannot type
-        binding = self.module.imports.get(first)
+        binding = self.fn_imports.get(first) or self.module.imports.get(first)
         if binding is not None:
             return f"{binding}.{rest}" if rest else binding
         module_qual = f"{self.module.name}.{first}"

@@ -25,10 +25,13 @@ from __future__ import annotations
 import ast
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
-from repro.analysis.callgraph import (CallSite, FunctionInfo, ProgramModel,
-                                      _dotted_name)
+from repro.analysis.callgraph import (CallSite, FunctionInfo, ModuleInfo,
+                                      ProgramModel, _dotted_name)
+
+#: Predicate over statements used by the post-dominance walk.
+SatPredicate = Callable[[ast.stmt], bool]
 
 
 class Effect(enum.Enum):
@@ -124,7 +127,8 @@ class _DirectEffects(ast.NodeVisitor):
     """Collect one function's direct effect origins."""
 
     def __init__(self, program: ProgramModel, fn: FunctionInfo,
-                 resolve, local_names: set[str],
+                 resolve: Callable[[str], Optional[str]],
+                 local_names: set[str],
                  module_globals: frozenset[str],
                  env_name_constants: dict[str, str]) -> None:
         self.program = program
@@ -366,7 +370,7 @@ class _DirectEffects(ast.NodeVisitor):
         self._flag_set_iteration(node.iter, node.lineno)
         self.generic_visit(node)
 
-    def _visit_comprehension(self, node) -> None:
+    def _visit_comprehension(self, node: ast.expr) -> None:
         if id(node) not in self._ordered_sinks:
             for gen in node.generators:
                 self._flag_set_iteration(gen.iter, node.lineno)
@@ -469,7 +473,8 @@ def direct_effects(program: ProgramModel,
     return cache[qualname]
 
 
-def _env_name_constants(program: ProgramModel, module) -> dict[str, str]:
+def _env_name_constants(program: ProgramModel,
+                        module: ModuleInfo) -> dict[str, str]:
     """Module-level ``NAME = "STRING"`` constants (env-var indirection)."""
     cache = program.caches.setdefault("env_constants", {})
     if module.name not in cache:
@@ -529,6 +534,124 @@ def transitive_origins(program: ProgramModel, root: str,
     out.sort(key=lambda t: (t.origin.module, t.origin.lineno,
                             t.origin.effect.value))
     return out
+
+
+# -- structured post-dominance ------------------------------------------------
+
+#: Outcomes of executing a statement region: the region *satisfied* the
+#: predicate on every path through it, *exited* the function (return /
+#: raise / break / continue) without satisfying it, or *fell* through
+#: to whatever follows.
+SAT = "sat"
+EXIT = "exit"
+FALL = "fall"
+
+
+def _seq_outcomes(stmts: list[ast.stmt], is_sat: SatPredicate) -> set[str]:
+    """Outcome set of executing ``stmts`` in order (starting fresh)."""
+    out = {FALL}
+    for stmt in stmts:
+        if FALL not in out:
+            break
+        out.discard(FALL)
+        out |= _stmt_outcomes(stmt, is_sat)
+    return out
+
+
+def _stmt_outcomes(stmt: ast.stmt, is_sat: SatPredicate) -> set[str]:
+    if is_sat(stmt):
+        return {SAT}
+    if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+        return {EXIT}
+    if isinstance(stmt, ast.If):
+        return _seq_outcomes(stmt.body, is_sat) \
+            | _seq_outcomes(stmt.orelse, is_sat)
+    if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+        # The body may run zero times, so the loop always may fall
+        # through; break/continue in the body surface as EXIT, which is
+        # conservative in the safe direction.
+        return {FALL} | (_seq_outcomes(stmt.body, is_sat) - {FALL})
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return _seq_outcomes(stmt.body, is_sat)
+    if isinstance(stmt, ast.Try):
+        out = _seq_outcomes(stmt.body + stmt.orelse, is_sat)
+        for handler in stmt.handlers:
+            out |= _seq_outcomes(handler.body, is_sat)
+        return _through_final(out, stmt.finalbody, is_sat)
+    return {FALL}
+
+
+def _through_final(out: set[str], finalbody: list[ast.stmt],
+                   is_sat: SatPredicate) -> set[str]:
+    """Pipe a try's outcomes through its ``finally`` block."""
+    if not finalbody:
+        return out
+    final = _seq_outcomes(finalbody, is_sat)
+    if final == {SAT}:
+        return {SAT}  # the finally satisfies on every path
+    combined: set[str] = set()
+    for outcome in out:
+        combined |= final if outcome == FALL else {outcome}
+    return combined
+
+
+def _outcomes_after(stmts: list[ast.stmt], target: ast.AST,
+                    is_sat: SatPredicate) -> Optional[set[str]]:
+    """Outcome set from just after ``target`` to the end of ``stmts``.
+
+    ``None`` when ``target`` is not inside this statement list.
+    """
+    for i, stmt in enumerate(stmts):
+        if stmt is target:
+            inner: Optional[set[str]] = {FALL}
+        else:
+            inner = _outcomes_within(stmt, target, is_sat)
+        if inner is None:
+            continue
+        if FALL in inner:
+            inner.discard(FALL)
+            inner |= _seq_outcomes(stmts[i + 1:], is_sat)
+        return inner
+    return None
+
+
+def _outcomes_within(stmt: ast.stmt, target: ast.AST,
+                     is_sat: SatPredicate) -> Optional[set[str]]:
+    """Outcomes from after ``target`` to the end of ``stmt``'s region."""
+    if isinstance(stmt, ast.If):
+        for branch in (stmt.body, stmt.orelse):
+            out = _outcomes_after(branch, target, is_sat)
+            if out is not None:
+                return out
+        return None
+    if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+        # After the write, the current iteration finishes and the loop
+        # may exit immediately — FALL propagates to the loop's suffix.
+        return _outcomes_after(stmt.body, target, is_sat)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return _outcomes_after(stmt.body, target, is_sat)
+    if isinstance(stmt, ast.Try):
+        for region in (stmt.body, stmt.orelse,
+                       *(h.body for h in stmt.handlers), stmt.finalbody):
+            out = _outcomes_after(region, target, is_sat)
+            if out is not None:
+                return _through_final(out, stmt.finalbody, is_sat) \
+                    if region is not stmt.finalbody else out
+        return None
+    return None
+
+
+def statement_postdominated(body: list[ast.stmt], target: ast.AST,
+                            is_sat: SatPredicate) -> bool:
+    """True when every path from just after ``target`` to any function
+    exit passes a statement satisfying ``is_sat`` first.
+
+    ``body`` is the function body containing ``target`` (possibly
+    nested).  Unknown targets are *not* post-dominated — the safe
+    default for a soundness check.
+    """
+    out = _outcomes_after(body, target, is_sat)
+    return out == {SAT}
 
 
 # -- parameter attribute-read fixpoint ----------------------------------------

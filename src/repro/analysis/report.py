@@ -23,11 +23,15 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence, Union
 
 from repro.analysis.callgraph import ProgramModel, build_program
 from repro.verify.diagnostics import Diagnostic, Severity, VerifyReport
 from repro.verify.registry import register, run_checks
+
+if TYPE_CHECKING:  # runtime imports stay lazy: the analyzer is AST-pure
+    from repro.engine.invariants import KernelParitySpec, StateInvariant
+    from repro.io.artifacts import StageKeyEntry
 
 #: ``# static: ok[D001]`` / ``# static: ok[D002,C003] rationale``
 SUPPRESS_RE = re.compile(r"#\s*static:\s*ok\[([A-Z0-9,\s]+)\]\s*(.*)")
@@ -50,6 +54,66 @@ DEFAULT_PROCESS_ROOTS: tuple[str, ...] = (
 )
 
 
+@dataclass(frozen=True)
+class WorkerGroup:
+    """One process-pool seam: a worker entry and its pool initializer.
+
+    The S-codes (:mod:`repro.analysis.rules_state`) analyze each group
+    as a unit: state the entry's closure touches must be reset or
+    installed by the *same group's* initializer.
+    """
+
+    entry: str
+    initializer: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ContextStateSpec:
+    """One context-local state family for S004 (e.g. the obs tracer)."""
+
+    name: str
+    #: Functions that read the context state.
+    accessors: tuple[str, ...]
+    #: Functions that install or reset it (any one reachable from the
+    #: group satisfies the check).
+    installers: tuple[str, ...]
+
+
+#: The two pool seams of this repository: the flow runner's worker
+#: pool and the CLI suite table's row pool.
+DEFAULT_WORKER_GROUPS: tuple[WorkerGroup, ...] = (
+    WorkerGroup(entry="repro.runner.runner._pool_run",
+                initializer="repro.runner.runner._pool_init"),
+    WorkerGroup(entry="repro.cli._suite_row",
+                initializer="repro.cli._suite_pool_init"),
+)
+
+#: The obs tracer is context-local state: worker code may traverse its
+#: accessors only when the group installs (or disables) a tracer.
+DEFAULT_CONTEXT_SPECS: tuple[ContextStateSpec, ...] = (
+    ContextStateSpec(
+        name="obs tracer",
+        accessors=("repro.obs.spans.active", "repro.obs.spans.span",
+                   "repro.obs.spans.current_span_id"),
+        installers=("repro.obs.spans.enable", "repro.obs.spans.disable",
+                    "repro.obs.spans.capture")),
+)
+
+#: Dataclasses pickled into worker processes (S002).
+DEFAULT_PAYLOAD_TYPES: tuple[str, ...] = ("repro.runner.matrix.JobSpec",)
+
+#: The content-addressed key builder; functions calling it anchor the
+#: B002 backend-independence sweep.
+DEFAULT_KEY_BUILDERS: tuple[str, ...] = ("repro.io.artifacts.content_key",)
+
+#: Everything that reveals the backend selection to its caller.
+DEFAULT_BACKEND_SOURCES: tuple[str, ...] = (
+    "repro.engine.backends.default_backend_name",
+    "repro.engine.backends.resolve_backend",
+    "repro.engine.backends.get_backend",
+)
+
+
 @dataclass
 class Suppression:
     """One inline suppression marker found in a module."""
@@ -68,7 +132,17 @@ class StaticContext:
     determinism_roots: tuple[str, ...] = DEFAULT_DETERMINISM_ROOTS
     process_roots: tuple[str, ...] = DEFAULT_PROCESS_ROOTS
     env_whitelist: tuple[str, ...] = ()
-    manifest: tuple = ()
+    manifest: tuple["StageKeyEntry", ...] = ()
+    #: Stateful-soundness config (I/S/B codes).  Default empty so a
+    #: bare fixture context exercises only the D/C families; the real
+    #: package context (:func:`build_static_context`) fills them in.
+    invariants: tuple["StateInvariant", ...] = ()
+    worker_groups: tuple[WorkerGroup, ...] = ()
+    payload_types: tuple[str, ...] = ()
+    context_specs: tuple[ContextStateSpec, ...] = ()
+    kernel_parity: Optional["KernelParitySpec"] = None
+    key_builders: tuple[str, ...] = ()
+    backend_sources: tuple[str, ...] = ()
     _suppressions: Optional[dict[tuple[str, int], Suppression]] = field(
         default=None, repr=False)
 
@@ -96,7 +170,7 @@ class StaticContext:
 
 
 @register("static-config", kind="static")
-def check_static_config(ctx) -> Iterator[Diagnostic]:
+def check_static_config(ctx: Any) -> Iterator[Diagnostic]:
     """Declared roots and manifest entries resolve to real functions."""
     program = getattr(ctx, "program", None)
     if program is None:
@@ -122,6 +196,38 @@ def check_static_config(ctx) -> Iterator[Diagnostic]:
                 hint="keep STAGE_KEY_MANIFEST in sync with the stage "
                      "functions and parameter dataclasses it describes")
 
+    def unknown(kind: str, name: str, table: str) -> Diagnostic:
+        return Diagnostic(
+            rule="static-config", severity=Severity.ERROR,
+            message=f"{kind} names unknown {table} '{name}'",
+            hint="keep the stateful-soundness config (repro.engine."
+                 "invariants, repro.analysis.report defaults) in sync "
+                 "with the code it describes")
+
+    for inv in getattr(ctx, "invariants", ()):
+        if inv.cls not in program.classes:
+            yield unknown("state invariant", inv.cls, "class")
+    for group in getattr(ctx, "worker_groups", ()):
+        if group.entry not in program.functions:
+            yield unknown("worker group", group.entry, "entry function")
+        if group.initializer \
+                and group.initializer not in program.functions:
+            yield unknown("worker group", group.initializer,
+                          "initializer function")
+    for payload in getattr(ctx, "payload_types", ()):
+        if payload not in program.classes:
+            yield unknown("payload type", payload, "class")
+    for spec in getattr(ctx, "context_specs", ()):
+        for name in (*spec.accessors, *spec.installers):
+            if name not in program.functions:
+                yield unknown(f"context spec '{spec.name}'", name,
+                              "function")
+    parity = getattr(ctx, "kernel_parity", None)
+    if parity is not None:
+        for name in parity.classes:
+            if name not in program.classes:
+                yield unknown("kernel parity spec", name, "class")
+
 
 def build_static_context(
         paths: Optional[Sequence[Union[str, Path]]] = None) -> StaticContext:
@@ -132,6 +238,7 @@ def build_static_context(
     is exactly right for linting a checkout of this repository.
     """
     import repro
+    from repro.engine.invariants import ENGINE_STATE_INVARIANTS, KERNEL_PARITY
     from repro.io.artifacts import STAGE_KEY_MANIFEST
     from repro.runner.runner import FORWARDED_ENV_WHITELIST
 
@@ -144,7 +251,14 @@ def build_static_context(
     program = build_program(root, package="repro")
     return StaticContext(program=program,
                          env_whitelist=FORWARDED_ENV_WHITELIST,
-                         manifest=STAGE_KEY_MANIFEST)
+                         manifest=STAGE_KEY_MANIFEST,
+                         invariants=ENGINE_STATE_INVARIANTS,
+                         worker_groups=DEFAULT_WORKER_GROUPS,
+                         payload_types=DEFAULT_PAYLOAD_TYPES,
+                         context_specs=DEFAULT_CONTEXT_SPECS,
+                         kernel_parity=KERNEL_PARITY,
+                         key_builders=DEFAULT_KEY_BUILDERS,
+                         backend_sources=DEFAULT_BACKEND_SOURCES)
 
 
 def analyze_program(ctx: StaticContext) -> VerifyReport:

@@ -1,0 +1,164 @@
+"""B-codes: backend parity of the engine's kernel surface.
+
+The engine promises that every registered backend is a drop-in,
+bit-identical implementation of the same kernel surface
+(``docs/ARCHITECTURE.md``), and the artifact cache promises that a
+cached cell equals a rebuilt one regardless of which backend computed
+it.  Two static properties keep those promises honest:
+
+========  ====================================================================
+B001      every class in the parity manifest
+          (:data:`repro.engine.invariants.KERNEL_PARITY`) defines every
+          surface method, with identical parameter lists, identical
+          defaults and matching property-ness — a drifted signature is
+          a latent per-backend behavior fork
+B002      no function in a cache-key builder's transitive closure may
+          consult the backend selection (``resolve_backend`` /
+          ``default_backend_name`` / a ``backend_name`` attribute) —
+          a backend-conditional key input silently splits the cache
+========  ====================================================================
+
+Suppress a deliberate occurrence with ``# static: ok[CODE] rationale``
+on the reported line.  Both B-codes are ERROR.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator, Optional
+
+from repro.analysis.callgraph import FunctionInfo, ProgramModel
+from repro.analysis.effects import reachable_from
+from repro.verify.diagnostics import Diagnostic, Severity
+from repro.verify.registry import register
+
+#: (params, rendered defaults, rendered kw-only defaults, property-ness).
+_Signature = tuple[tuple[str, ...], tuple[str, ...],
+                   tuple[Optional[str], ...], bool]
+
+
+def _signature_of(fn: FunctionInfo) -> _Signature:
+    """Comparable shape of one method: params, defaults, property-ness."""
+    args = fn.node.args
+    defaults = tuple(ast.unparse(d) for d in args.defaults)
+    kw_defaults = tuple(ast.unparse(d) if d is not None else None
+                        for d in args.kw_defaults)
+    return (fn.params, defaults, kw_defaults, fn.is_property)
+
+
+def _describe(signature: _Signature) -> str:
+    params, defaults, kw_defaults, is_property = signature
+    shown = list(params)
+    for i, default in enumerate(defaults):
+        shown[len(params) - len(defaults) + i] += f"={default}"
+    rendered = ", ".join(shown)
+    return f"property ({rendered})" if is_property else f"({rendered})"
+
+
+@register("B001", kind="static")
+def check_backend_surface(ctx: Any) -> Iterator[Diagnostic]:
+    """Every parity class exposes the same surface with equal signatures."""
+    program = getattr(ctx, "program", None)
+    spec = getattr(ctx, "kernel_parity", None)
+    if program is None or spec is None:
+        return
+    classes = [(name, program.classes.get(name)) for name in spec.classes]
+    present = [(name, cls) for name, cls in classes if cls is not None]
+    if len(present) < 2:  # unknown classes -> static-config
+        return
+    for method_name in spec.surface:
+        reference: Optional[tuple[str, _Signature, FunctionInfo]] = None
+        for qualname, cls in present:
+            if method_name not in cls.methods:
+                if ctx.suppressed("B001", cls.module, cls.lineno):
+                    continue
+                yield Diagnostic(
+                    rule="B001", severity=Severity.ERROR,
+                    message=f"backend class {cls.name} does not define "
+                            f"surface method '{method_name}'",
+                    obj=f"{cls.module}:{cls.lineno}",
+                    hint="every backend must be a drop-in for the shared "
+                         "kernel surface (repro.engine.invariants."
+                         "KERNEL_PARITY); add the method or prune the "
+                         "surface list")
+                continue
+            fn = program.functions.get(cls.methods[method_name])
+            if fn is None:
+                continue
+            signature = _signature_of(fn)
+            if reference is None:
+                reference = (cls.name, signature, fn)
+                continue
+            ref_name, ref_signature, _ = reference
+            if signature != ref_signature:
+                if ctx.suppressed("B001", fn.module, fn.lineno):
+                    continue
+                yield Diagnostic(
+                    rule="B001", severity=Severity.ERROR,
+                    message=f"{cls.name}.{method_name}"
+                            f"{_describe(signature)} drifts from "
+                            f"{ref_name}.{method_name}"
+                            f"{_describe(ref_signature)}",
+                    obj=f"{fn.module}:{fn.lineno}",
+                    hint="matching parameter names and defaults keep "
+                         "keyword call sites and default behavior "
+                         "identical across backends — align the "
+                         "signatures")
+
+
+def _key_builder_callers(program: ProgramModel,
+                         builders: tuple[str, ...]) -> list[str]:
+    """Functions that call a cache-key builder directly."""
+    targets = set(builders)
+    callers = []
+    for qualname, fn in program.functions.items():
+        for site in fn.calls:
+            if site.target in targets or site.external in targets:
+                callers.append(qualname)
+                break
+    return sorted(callers)
+
+
+@register("B002", kind="static")
+def check_backend_in_keys(ctx: Any) -> Iterator[Diagnostic]:
+    """No backend-conditional value may feed a cache-key input."""
+    program = getattr(ctx, "program", None)
+    builders = tuple(getattr(ctx, "key_builders", ()))
+    sources = set(getattr(ctx, "backend_sources", ()))
+    if program is None or not builders or not sources:
+        return
+    seen: set[tuple[str, int]] = set()
+    for key_fn in _key_builder_callers(program, builders):
+        for qualname, path in sorted(reachable_from(program, key_fn).items()):
+            fn = program.functions.get(qualname)
+            if fn is None:
+                continue
+            hits: list[tuple[int, str]] = []
+            for site in fn.calls:
+                resolved = site.target or site.external
+                if resolved in sources:
+                    hits.append((site.lineno,
+                                 f"calls {resolved.rsplit('.', 1)[-1]}()"))
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Attribute) \
+                        and isinstance(node.ctx, ast.Load) \
+                        and node.attr == "backend_name":
+                    hits.append((node.lineno, "reads .backend_name"))
+            for lineno, what in sorted(hits):
+                key = (fn.module, lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if ctx.suppressed("B002", fn.module, lineno):
+                    continue
+                yield Diagnostic(
+                    rule="B002", severity=Severity.ERROR,
+                    message=f"cache-key builder '{key_fn}' reaches code "
+                            f"that {what} "
+                            f"[via {' -> '.join(path[:4])}]",
+                    obj=f"{fn.module}:{lineno}",
+                    hint="backends are bit-identical by contract, so "
+                         "the key must not depend on which one runs — "
+                         "strip backend fields before keying "
+                         "(PolicyParams.normalized) or suppress with "
+                         "the contract as rationale")

@@ -26,7 +26,7 @@ as reading ``design``, ``policy`` and ``slack``), using the
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Any, Iterator, Optional
 
 from repro.analysis.callgraph import ProgramModel
 from repro.analysis.effects import (Effect, param_attr_reads,
@@ -75,7 +75,7 @@ def stage_field_reads(program: ProgramModel, stage: str, params_param: str,
     return expanded
 
 
-def _manifest_entries(ctx):
+def _manifest_entries(ctx: Any) -> Iterator[tuple[ProgramModel, Any]]:
     program = getattr(ctx, "program", None)
     if program is None:
         return
@@ -84,7 +84,7 @@ def _manifest_entries(ctx):
 
 
 @register("C001", kind="static")
-def check_unhashed_reads(ctx) -> Iterator[Diagnostic]:
+def check_unhashed_reads(ctx: Any) -> Iterator[Diagnostic]:
     """Stage reads a parameter field the content key does not hash."""
     for program, entry in _manifest_entries(ctx):
         read = stage_field_reads(program, entry.stage, entry.params_param,
@@ -108,7 +108,7 @@ def check_unhashed_reads(ctx) -> Iterator[Diagnostic]:
 
 
 @register("C002", kind="static")
-def check_dead_hash_fields(ctx) -> Iterator[Diagnostic]:
+def check_dead_hash_fields(ctx: Any) -> Iterator[Diagnostic]:
     """Content key hashes a parameter field the stage never reads."""
     for program, entry in _manifest_entries(ctx):
         read = stage_field_reads(program, entry.stage, entry.params_param,
@@ -133,7 +133,7 @@ def check_dead_hash_fields(ctx) -> Iterator[Diagnostic]:
 
 
 @register("C003", kind="static")
-def check_ambient_inputs(ctx) -> Iterator[Diagnostic]:
+def check_ambient_inputs(ctx: Any) -> Iterator[Diagnostic]:
     """Stage closure reads ambient state no content key can hash."""
     seen: set[tuple[str, int, str]] = set()
     for program, entry in _manifest_entries(ctx):

@@ -29,9 +29,10 @@ a legitimate flow never needs an unsuppressed occurrence.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Optional
 
-from repro.analysis.effects import Effect, TransitiveOrigin, transitive_origins
+from repro.analysis.effects import (Effect, EffectOrigin,
+                                    transitive_origins)
 from repro.verify.diagnostics import Diagnostic, Severity
 from repro.verify.registry import register
 
@@ -42,9 +43,11 @@ def _render_path(path: tuple[str, ...]) -> str:
     return " -> ".join((*path[:2], "...", *path[-2:]))
 
 
-def _effect_diagnostics(ctx, code: str, effects: Iterable[Effect],
-                        roots: Iterable[str], hint: str,
-                        origin_filter=None) -> Iterator[Diagnostic]:
+def _effect_diagnostics(
+        ctx: Any, code: str, effects: Iterable[Effect],
+        roots: Iterable[str], hint: str,
+        origin_filter: Optional[Callable[[EffectOrigin], bool]] = None,
+) -> Iterator[Diagnostic]:
     """Shared D-code engine: reachable origins -> deduped diagnostics."""
     program = getattr(ctx, "program", None)
     if program is None:
@@ -71,17 +74,17 @@ def _effect_diagnostics(ctx, code: str, effects: Iterable[Effect],
                 hint=hint)
 
 
-def _all_roots(ctx) -> tuple[str, ...]:
+def _all_roots(ctx: Any) -> tuple[str, ...]:
     return tuple(ctx.determinism_roots) + tuple(ctx.process_roots)
 
 
-def _is_static(ctx) -> bool:
+def _is_static(ctx: Any) -> bool:
     """True for a StaticContext; flow VerifyContexts skip these checks."""
     return getattr(ctx, "program", None) is not None
 
 
 @register("D001", kind="static")
-def check_unseeded_rng(ctx) -> Iterator[Diagnostic]:
+def check_unseeded_rng(ctx: Any) -> Iterator[Diagnostic]:
     """Unseeded RNG state reachable from a stage or worker root."""
     if not _is_static(ctx):
         return
@@ -93,7 +96,7 @@ def check_unseeded_rng(ctx) -> Iterator[Diagnostic]:
 
 
 @register("D002", kind="static")
-def check_wall_clock(ctx) -> Iterator[Diagnostic]:
+def check_wall_clock(ctx: Any) -> Iterator[Diagnostic]:
     """Wall-clock reads reachable from a stage or worker root."""
     if not _is_static(ctx):
         return
@@ -105,13 +108,13 @@ def check_wall_clock(ctx) -> Iterator[Diagnostic]:
 
 
 @register("D003", kind="static")
-def check_env_reads(ctx) -> Iterator[Diagnostic]:
+def check_env_reads(ctx: Any) -> Iterator[Diagnostic]:
     """Environment reads outside the runner's forwarded whitelist."""
     if not _is_static(ctx):
         return
     whitelist = set(ctx.env_whitelist)
 
-    def outside_whitelist(origin) -> bool:
+    def outside_whitelist(origin: EffectOrigin) -> bool:
         return origin.env_var is None or origin.env_var not in whitelist
 
     yield from _effect_diagnostics(
@@ -123,13 +126,13 @@ def check_env_reads(ctx) -> Iterator[Diagnostic]:
 
 
 @register("D004", kind="static")
-def check_shared_state(ctx) -> Iterator[Diagnostic]:
+def check_shared_state(ctx: Any) -> Iterator[Diagnostic]:
     """Module/closure state mutation reachable from a stage or worker root."""
     if not _is_static(ctx):
         return
     whitelist = set(ctx.env_whitelist)
 
-    def relevant(origin) -> bool:
+    def relevant(origin: EffectOrigin) -> bool:
         if origin.effect != Effect.ENV_WRITE:
             return True
         return origin.env_var is None or origin.env_var not in whitelist
@@ -144,7 +147,7 @@ def check_shared_state(ctx) -> Iterator[Diagnostic]:
 
 
 @register("D005", kind="static")
-def check_set_order(ctx) -> Iterator[Diagnostic]:
+def check_set_order(ctx: Any) -> Iterator[Diagnostic]:
     """Set iteration order escaping into results."""
     if not _is_static(ctx):
         return
@@ -155,7 +158,7 @@ def check_set_order(ctx) -> Iterator[Diagnostic]:
 
 
 @register("D006", kind="static")
-def check_object_identity(ctx) -> Iterator[Diagnostic]:
+def check_object_identity(ctx: Any) -> Iterator[Diagnostic]:
     """id()/hash() feeding results reachable from a root."""
     if not _is_static(ctx):
         return

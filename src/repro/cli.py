@@ -100,6 +100,18 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def _suite_pool_init() -> None:
+    """Per-worker initializer for the suite row pool.
+
+    A forked worker inherits the parent's installed obs tracer; drop
+    it so suite rows never write spans into the fork's copy of the
+    parent's buffers (same contract as the flow runner's pool).
+    """
+    from repro import obs
+
+    obs.disable()
+
+
 def _suite_row(name: str, store_root) -> tuple:
     """One suite table row (runs in a worker when ``--jobs`` > 1)."""
     from repro.core.flow import build_physical_design
@@ -123,7 +135,8 @@ def _suite_rows(specs, args) -> list[tuple]:
         return [_suite_row(spec.name, store_root) for spec in specs]
     from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=min(args.jobs, len(specs))) as pool:
+    with ProcessPoolExecutor(max_workers=min(args.jobs, len(specs)),
+                             initializer=_suite_pool_init) as pool:
         return list(pool.map(_suite_row, [s.name for s in specs],
                              [store_root] * len(specs)))
 

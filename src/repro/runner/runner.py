@@ -36,6 +36,7 @@ from typing import Any, Callable, Iterable, Optional, Union
 
 from repro import obs
 from repro.core.flow import FlowResult, run_flow
+from repro.engine.backends import default_backend_name
 from repro.core.policies import Policy
 from repro.core.targets import RobustnessTargets
 from repro.io.artifacts import ArtifactStore, content_key
@@ -50,10 +51,11 @@ RefMetrics = tuple[float, float]
 #: Environment variables the runner deliberately forwards into (or
 #: honors inside) worker processes.  The static determinism analyzer
 #: (``repro lint --static``) allows env access to exactly these names
-#: from worker-reachable code; reading anything else is a D003 finding
-#: because a worker would silently diverge from the parent.
+#: from worker-reachable code; reading anything else is a D003/S003
+#: finding because a worker would silently diverge from the parent.
 FORWARDED_ENV_WHITELIST: tuple[str, ...] = ("REPRO_VERIFY_FLOWS",
-                                            "REPRO_CACHE_DIR")
+                                            "REPRO_CACHE_DIR",
+                                            "REPRO_ENGINE_BACKEND")
 
 
 @dataclass
@@ -189,12 +191,16 @@ def _execute_job(job: JobSpec, metrics: Optional[RefMetrics],  # static: ok[C001
                     flow, cached = replace(reference, targets=targets), True
                     store.save(key, flow)
             if flow is None:
+                # The forwarded-variable seam: REPRO_ENGINE_BACKEND is
+                # read exactly here (whitelisted), once per job, never
+                # again further down the flow.
                 flow = run_flow(design, ctx.tech, policy=job.policy,
                                 targets=targets,
                                 random_fraction=job.random_fraction,
                                 random_seed=job.random_seed,
                                 lambda_track=job.lambda_track,
-                                engine_backend=job.engine_backend,
+                                engine_backend=(job.engine_backend
+                                                or default_backend_name()),
                                 guide=ctx.guide, store=ctx.store)
                 if key is not None and store is not None:
                     store.save(key, flow)
@@ -228,12 +234,15 @@ _WORKER_CTX: Optional[_ExecContext] = None
 
 
 def _pool_init(tech: Technology, store_root: Optional[str], verify: bool,
-               guide: object, return_flows: bool) -> None:
+               guide: object, return_flows: bool,
+               engine_backend: str) -> None:
     """Per-worker initializer: rebuild the execution context.
 
-    ``REPRO_VERIFY_FLOWS`` is forwarded explicitly so the in-flow
-    verification hook fires in workers exactly as it would in the
-    parent, regardless of how the pool was spawned.
+    ``REPRO_VERIFY_FLOWS`` and ``REPRO_ENGINE_BACKEND`` are forwarded
+    explicitly — captured once in the parent, replayed here — so the
+    in-flow verification hook and the backend selection behave in
+    workers exactly as they would in the parent, regardless of how the
+    pool was spawned.
     """
     global _WORKER_CTX
     # A forked worker inherits the parent's installed tracer; drop it so
@@ -244,6 +253,7 @@ def _pool_init(tech: Technology, store_root: Optional[str], verify: bool,
         os.environ["REPRO_VERIFY_FLOWS"] = "1"
     else:
         os.environ.pop("REPRO_VERIFY_FLOWS", None)
+    os.environ["REPRO_ENGINE_BACKEND"] = engine_backend
     store = ArtifactStore(store_root) if store_root is not None else None
     _WORKER_CTX = _ExecContext(tech=tech, store=store, verify=verify,  # static: ok[D004] per-worker context slot, written once by the pool initializer before any job runs
                                guide=guide, return_flows=return_flows)
@@ -413,7 +423,8 @@ class FlowRunner:
                 initializer=_pool_init,
                 initargs=(self.tech,
                           str(self.store.root) if self.store else None,
-                          self.verify, self.guide, return_flows)) as pool:
+                          self.verify, self.guide, return_flows,
+                          default_backend_name())) as pool:
             # Phase 1: deduplicated upstream references.
             for result in pool.map(_pool_run, ref_jobs,
                                    [None] * len(ref_jobs)):

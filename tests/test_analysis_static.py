@@ -13,14 +13,18 @@ import textwrap
 
 import pytest
 
-from repro.analysis import (StaticContext, analyze_program, build_program,
+from repro.analysis import (ContextStateSpec, StaticContext, WorkerGroup,
+                            analyze_program, build_program,
                             build_static_context, unsuppressed_rationales)
+from repro.engine.invariants import KernelParitySpec, StateInvariant
 from repro.io.artifacts import STAGE_KEY_MANIFEST, StageKeyEntry
 from repro.verify import Severity, registered_checks
 
 
 def _context(tmp_path, source, *, det_roots=("pkg.mod.stage",),
-             proc_roots=(), whitelist=(), manifest=()):
+             proc_roots=(), whitelist=(), manifest=(), invariants=(),
+             worker_groups=(), payload_types=(), context_specs=(),
+             kernel_parity=None, key_builders=(), backend_sources=()):
     """Write ``source`` as ``pkg/mod.py`` and build a StaticContext."""
     pkg = tmp_path / "pkg"
     pkg.mkdir()
@@ -29,7 +33,13 @@ def _context(tmp_path, source, *, det_roots=("pkg.mod.stage",),
     program = build_program(pkg, package="pkg")
     return StaticContext(program=program, determinism_roots=det_roots,
                          process_roots=proc_roots, env_whitelist=whitelist,
-                         manifest=manifest)
+                         manifest=manifest, invariants=invariants,
+                         worker_groups=worker_groups,
+                         payload_types=payload_types,
+                         context_specs=context_specs,
+                         kernel_parity=kernel_parity,
+                         key_builders=key_builders,
+                         backend_sources=backend_sources)
 
 
 def _rules(report):
@@ -381,6 +391,587 @@ def test_c003_clean_for_immutable_module_constant(tmp_path):
     assert not analyze_program(ctx).diagnostics
 
 
+# -- I001: mutation -> invalidation pairing ------------------------------------
+
+_KERNEL_INVARIANT = StateInvariant(
+    cls="pkg.mod.Kernel", guarded_fields=("r",),
+    invalidators=("_invalidate",), cache_attrs=("_down",),
+    exempt=("__init__",))
+
+
+def test_i001_flags_unpaired_guarded_write(tmp_path):
+    ctx = _context(tmp_path, """\
+        class Kernel:
+            def __init__(self):
+                self.r = [0.0]
+                self._down = None
+
+            def _invalidate(self):
+                self._down = None
+
+            def patch(self, value):
+                self.r[0] = value
+                return value
+        """, det_roots=(), invariants=(_KERNEL_INVARIANT,))
+    (diag,) = analyze_program(ctx).by_rule("I001")
+    assert diag.severity == Severity.ERROR
+    assert "patch" in diag.message and "'r'" in diag.message
+
+
+def test_i001_flags_write_on_early_return_path(tmp_path):
+    ctx = _context(tmp_path, """\
+        class Kernel:
+            def __init__(self):
+                self.r = [0.0]
+                self._down = None
+
+            def _invalidate(self):
+                self._down = None
+
+            def patch(self, value, dry):
+                self.r[0] = value
+                if dry:
+                    return False
+                self._invalidate()
+                return True
+        """, det_roots=(), invariants=(_KERNEL_INVARIANT,))
+    assert "I001" in _rules(analyze_program(ctx))
+
+
+def test_i001_clean_when_write_postdominated(tmp_path):
+    ctx = _context(tmp_path, """\
+        class Kernel:
+            def __init__(self):
+                self.r = [0.0]
+                self._down = None
+
+            def _invalidate(self):
+                self._down = None
+
+            def patch(self, value):
+                self.r[0] = value
+                self._invalidate()
+                return value
+        """, det_roots=(), invariants=(_KERNEL_INVARIANT,))
+    assert not analyze_program(ctx).diagnostics
+
+
+def test_i001_flags_unpaired_private_writer_call_site(tmp_path):
+    # The write inside _load is fine as long as every in-class call of
+    # _load is itself post-dominated by the invalidation; patch() is not.
+    ctx = _context(tmp_path, """\
+        class Kernel:
+            def __init__(self):
+                self.r = 0.0
+                self._down = None
+
+            def _invalidate(self):
+                self._down = None
+
+            def _load(self, value):
+                self.r = value
+
+            def patch(self, value):
+                self._load(value)
+                return value
+        """, det_roots=(), invariants=(_KERNEL_INVARIANT,))
+    (diag,) = analyze_program(ctx).by_rule("I001")
+    assert "calls guarded writer _load()" in diag.message
+
+
+def test_i001_clean_when_private_writer_sites_paired(tmp_path):
+    ctx = _context(tmp_path, """\
+        class Kernel:
+            def __init__(self):
+                self.r = 0.0
+                self._down = None
+
+            def _invalidate(self):
+                self._down = None
+
+            def _load(self, value):
+                self.r = value
+
+            def patch(self, value):
+                self._load(value)
+                self._invalidate()
+                return value
+        """, det_roots=(), invariants=(_KERNEL_INVARIANT,))
+    assert not analyze_program(ctx).diagnostics
+
+
+def test_i001_counts_stale_mark_as_invalidation(tmp_path):
+    ctx = _context(tmp_path, """\
+        class Kernel:
+            def __init__(self):
+                self.r = 0.0
+                self._stale = False
+
+            def _ensure(self):
+                self._stale = False
+
+            def patch(self, value):
+                self.r = value
+                self._stale = True
+        """, det_roots=(),
+        invariants=(StateInvariant(
+            cls="pkg.mod.Kernel", guarded_fields=("r",),
+            stale_flag="_stale", barrier="_ensure",
+            exempt=("__init__",)),))
+    assert "I001" not in _rules(analyze_program(ctx))
+
+
+# -- I002: manifest drift ------------------------------------------------------
+
+
+def test_i002_flags_undefined_invalidator(tmp_path):
+    ctx = _context(tmp_path, """\
+        class Kernel:
+            def __init__(self):
+                self.r = 0.0
+        """, det_roots=(),
+        invariants=(StateInvariant(
+            cls="pkg.mod.Kernel", guarded_fields=("r",),
+            invalidators=("_flush",), exempt=("__init__",)),))
+    (diag,) = analyze_program(ctx).by_rule("I002")
+    assert "'_flush'" in diag.message
+
+
+def test_i002_flags_dead_guarded_field(tmp_path):
+    ctx = _context(tmp_path, """\
+        class Kernel:
+            def __init__(self):
+                self.r = 0.0
+                self._down = None
+
+            def _invalidate(self):
+                self._down = None
+        """, det_roots=(),
+        invariants=(StateInvariant(
+            cls="pkg.mod.Kernel", guarded_fields=("r", "w"),
+            invalidators=("_invalidate",), exempt=("__init__",)),))
+    (diag,) = analyze_program(ctx).by_rule("I002")
+    assert "dead guard" in diag.message and "'w'" in diag.message
+
+
+def test_i002_clean_when_manifest_matches_class(tmp_path):
+    ctx = _context(tmp_path, """\
+        class Kernel:
+            def __init__(self):
+                self.r = 0.0
+                self._down = None
+
+            def _invalidate(self):
+                self._down = None
+        """, det_roots=(), invariants=(_KERNEL_INVARIANT,))
+    assert not analyze_program(ctx).diagnostics
+
+
+# -- I003: guarded reads without the recompile barrier -------------------------
+
+_BARRIER_INVARIANT = StateInvariant(
+    cls="pkg.mod.Kernel", guarded_fields=("r",), cache_attrs=("_down",),
+    stale_flag="_stale", barrier="_ensure", exempt=("__init__",))
+
+_BARRIER_CLASS_HEAD = """\
+    class Kernel:
+        def __init__(self):
+            self.r = 1.0
+            self._down = None
+            self._stale = True
+
+        def _ensure(self):
+            if self._stale:
+                self._down = [self.r]
+                self._stale = False
+
+        def mutate(self, value):
+            self.r = value
+            self._stale = True
+
+"""
+
+
+def test_i003_flags_public_read_without_barrier(tmp_path):
+    ctx = _context(tmp_path, _BARRIER_CLASS_HEAD + """\
+        def timing(self):
+            return self._down
+    """, det_roots=(), invariants=(_BARRIER_INVARIANT,))
+    (diag,) = analyze_program(ctx).by_rule("I003")
+    assert diag.severity == Severity.ERROR
+    assert "timing" in diag.message and "_ensure" in diag.message
+
+
+def test_i003_traces_reads_through_self_call_closure(tmp_path):
+    ctx = _context(tmp_path, _BARRIER_CLASS_HEAD + """\
+        def _raw(self):
+            return self._down
+
+        def timing(self):
+            return self._raw()
+    """, det_roots=(), invariants=(_BARRIER_INVARIANT,))
+    diags = analyze_program(ctx).by_rule("I003")
+    assert [d for d in diags if "timing" in d.message]
+
+
+def test_i003_clean_when_barrier_called(tmp_path):
+    ctx = _context(tmp_path, _BARRIER_CLASS_HEAD + """\
+        def timing(self):
+            self._ensure()
+            return self._down
+    """, det_roots=(), invariants=(_BARRIER_INVARIANT,))
+    assert not analyze_program(ctx).diagnostics
+
+
+# -- S001: worker-read globals the initializer never resets --------------------
+
+_GROUP = WorkerGroup(entry="pkg.mod.worker", initializer="pkg.mod.init")
+
+
+def test_s001_flags_unreset_worker_global(tmp_path):
+    ctx = _context(tmp_path, """\
+        _CACHE = {}
+
+        def remember(key, value):
+            _CACHE[key] = value
+
+        def worker(job):
+            remember(job.key, job.value)
+            return _CACHE[job.key]
+
+        def init():
+            pass
+        """, det_roots=(), worker_groups=(_GROUP,))
+    report = analyze_program(ctx)
+    assert "S001" in _rules(report)
+    diag = report.by_rule("S001")[0]
+    assert "_CACHE" in diag.message and "pkg.mod.init" in diag.message
+
+
+def test_s001_clean_when_initializer_resets(tmp_path):
+    ctx = _context(tmp_path, """\
+        _CACHE = {}
+
+        def remember(key, value):
+            _CACHE[key] = value
+
+        def worker(job):
+            remember(job.key, job.value)
+            return _CACHE[job.key]
+
+        def init():
+            global _CACHE
+            _CACHE = {}
+        """, det_roots=(), worker_groups=(_GROUP,))
+    assert "S001" not in _rules(analyze_program(ctx))
+
+
+def test_s001_clean_for_import_time_constants(tmp_path):
+    # A global nothing reachable ever mutates is configuration, not
+    # drifting state — reading it in a worker is fine.
+    ctx = _context(tmp_path, """\
+        _SCALE = 10
+
+        def worker(job):
+            return job.alpha * _SCALE
+
+        def init():
+            pass
+        """, det_roots=(), worker_groups=(_GROUP,))
+    assert not analyze_program(ctx).diagnostics
+
+
+# -- S002: payload picklability ------------------------------------------------
+
+
+def test_s002_flags_callable_payload_field(tmp_path):
+    ctx = _context(tmp_path, """\
+        from dataclasses import dataclass
+        from typing import Callable
+
+
+        @dataclass(frozen=True)
+        class Job:
+            key: str
+            hook: Callable
+        """, det_roots=(), payload_types=("pkg.mod.Job",))
+    (diag,) = analyze_program(ctx).by_rule("S002")
+    assert diag.severity == Severity.ERROR
+    assert "hook" in diag.message
+
+
+def test_s002_flags_non_dataclass_program_class_field(tmp_path):
+    ctx = _context(tmp_path, """\
+        from dataclasses import dataclass
+
+
+        class Live:
+            def __init__(self):
+                self.handle = open("/dev/null")
+
+
+        @dataclass(frozen=True)
+        class Job:
+            key: str
+            live: Live
+        """, det_roots=(), payload_types=("pkg.mod.Job",))
+    (diag,) = analyze_program(ctx).by_rule("S002")
+    assert "Live" in diag.message
+
+
+def test_s002_clean_for_plain_data_payload(tmp_path):
+    ctx = _context(tmp_path, """\
+        from dataclasses import dataclass
+        from enum import Enum
+
+
+        class Mode(Enum):
+            FAST = "fast"
+            SLOW = "slow"
+
+
+        @dataclass(frozen=True)
+        class Sub:
+            gamma: float
+
+
+        @dataclass(frozen=True)
+        class Job:
+            key: str
+            alpha: int
+            mode: Mode
+            sub: Sub
+            tags: "tuple[str, ...]"
+            extra: "str | None" = None
+        """, det_roots=(), payload_types=("pkg.mod.Job",))
+    assert not analyze_program(ctx).diagnostics
+
+
+# -- S003: env access outside the forwarded seam -------------------------------
+
+
+def test_s003_flags_worker_env_read_outside_whitelist(tmp_path):
+    ctx = _context(tmp_path, """\
+        import os
+
+        def worker(job):
+            return os.environ.get("PKG_SECRET")
+
+        def init():
+            pass
+        """, det_roots=(), worker_groups=(_GROUP,))
+    (diag,) = analyze_program(ctx).by_rule("S003")
+    assert "PKG_SECRET" in diag.message
+
+
+def test_s003_flags_worker_env_write_even_when_whitelisted(tmp_path):
+    ctx = _context(tmp_path, """\
+        import os
+
+        def worker(job):
+            os.environ["PKG_MODE"] = job.mode
+            return job.alpha
+
+        def init():
+            pass
+        """, det_roots=(), whitelist=("PKG_MODE",),
+        worker_groups=(_GROUP,))
+    (diag,) = analyze_program(ctx).by_rule("S003")
+    assert "must not write" in diag.message
+
+
+def test_s003_clean_for_seam_replay(tmp_path):
+    # The canonical seam: the initializer replays a forwarded variable,
+    # the worker reads it — both on the whitelist, both fine.
+    ctx = _context(tmp_path, """\
+        import os
+
+        def worker(job):
+            return os.environ.get("PKG_MODE")
+
+        def init():
+            os.environ["PKG_MODE"] = "fast"
+        """, det_roots=(), whitelist=("PKG_MODE",),
+        worker_groups=(_GROUP,))
+    assert not analyze_program(ctx).diagnostics
+
+
+# -- S004: context-local state without an installer ----------------------------
+
+_TRACER_SPEC = ContextStateSpec(
+    name="tracer", accessors=("pkg.mod.span_active",),
+    installers=("pkg.mod.enable", "pkg.mod.disable"))
+
+
+def test_s004_flags_accessor_without_installer(tmp_path):
+    ctx = _context(tmp_path, """\
+        def span_active():
+            return True
+
+        def enable():
+            pass
+
+        def disable():
+            pass
+
+        def worker(job):
+            if span_active():
+                return 1
+            return 0
+
+        def init():
+            pass
+        """, det_roots=(), worker_groups=(_GROUP,),
+        context_specs=(_TRACER_SPEC,))
+    (diag,) = analyze_program(ctx).by_rule("S004")
+    assert "span_active" in diag.message
+    assert "pkg.mod.worker" in diag.message
+
+
+def test_s004_clean_when_initializer_installs(tmp_path):
+    ctx = _context(tmp_path, """\
+        def span_active():
+            return True
+
+        def enable():
+            pass
+
+        def disable():
+            pass
+
+        def worker(job):
+            if span_active():
+                return 1
+            return 0
+
+        def init():
+            disable()
+        """, det_roots=(), worker_groups=(_GROUP,),
+        context_specs=(_TRACER_SPEC,))
+    assert not analyze_program(ctx).diagnostics
+
+
+# -- B001: backend kernel-surface parity ---------------------------------------
+
+
+def test_b001_flags_signature_drift(tmp_path):
+    ctx = _context(tmp_path, """\
+        class DenseKernel:
+            def static_timing(self, slew=0.1):
+                return slew
+
+
+        class SparseKernel:
+            def static_timing(self, slew=0.2):
+                return slew
+        """, det_roots=(),
+        kernel_parity=KernelParitySpec(
+            classes=("pkg.mod.DenseKernel", "pkg.mod.SparseKernel"),
+            surface=("static_timing",)))
+    (diag,) = analyze_program(ctx).by_rule("B001")
+    assert diag.severity == Severity.ERROR
+    assert "drifts" in diag.message
+
+
+def test_b001_flags_missing_surface_method(tmp_path):
+    ctx = _context(tmp_path, """\
+        class DenseKernel:
+            def static_timing(self):
+                return 0.0
+
+            def crosstalk(self):
+                return 0.0
+
+
+        class SparseKernel:
+            def static_timing(self):
+                return 0.0
+        """, det_roots=(),
+        kernel_parity=KernelParitySpec(
+            classes=("pkg.mod.DenseKernel", "pkg.mod.SparseKernel"),
+            surface=("static_timing", "crosstalk")))
+    (diag,) = analyze_program(ctx).by_rule("B001")
+    assert "SparseKernel" in diag.message and "crosstalk" in diag.message
+
+
+def test_b001_clean_for_matching_surfaces(tmp_path):
+    ctx = _context(tmp_path, """\
+        class DenseKernel:
+            def static_timing(self, slew=0.1):
+                return slew
+
+            def crosstalk(self):
+                return 0.0
+
+
+        class SparseKernel:
+            def static_timing(self, slew=0.1):
+                return 2 * slew
+
+            def crosstalk(self):
+                return 1.0
+        """, det_roots=(),
+        kernel_parity=KernelParitySpec(
+            classes=("pkg.mod.DenseKernel", "pkg.mod.SparseKernel"),
+            surface=("static_timing", "crosstalk")))
+    assert not analyze_program(ctx).diagnostics
+
+
+# -- B002: backend selection must not feed cache keys --------------------------
+
+_B002_KWARGS = dict(det_roots=(),
+                    key_builders=("pkg.mod.content_key",),
+                    backend_sources=("pkg.mod.backend_name",))
+
+
+def test_b002_flags_backend_call_in_key_closure(tmp_path):
+    ctx = _context(tmp_path, """\
+        def backend_name():
+            return "dense"
+
+        def content_key(payload):
+            return hash(payload)
+
+        def cell_key(params):
+            return content_key((params.alpha, backend_name()))
+        """, **_B002_KWARGS)
+    (diag,) = analyze_program(ctx).by_rule("B002")
+    assert diag.severity == Severity.ERROR
+    assert "backend_name()" in diag.message
+
+
+def test_b002_flags_backend_name_attribute_read(tmp_path):
+    ctx = _context(tmp_path, """\
+        def backend_name():
+            return "dense"
+
+        def content_key(payload):
+            return hash(payload)
+
+        def cell_key(params, kernel):
+            return content_key((params.alpha, kernel.backend_name))
+        """, **_B002_KWARGS)
+    (diag,) = analyze_program(ctx).by_rule("B002")
+    assert "reads .backend_name" in diag.message
+
+
+def test_b002_clean_when_key_is_backend_blind(tmp_path):
+    ctx = _context(tmp_path, """\
+        def backend_name():
+            return "dense"
+
+        def content_key(payload):
+            return hash(payload)
+
+        def cell_key(params):
+            return content_key((params.alpha, params.beta))
+
+        def report(params):
+            return backend_name()
+        """, **_B002_KWARGS)
+    assert not analyze_program(ctx).diagnostics
+
+
 # -- static-config -------------------------------------------------------------
 
 
@@ -404,6 +995,28 @@ def test_static_config_flags_unknown_manifest_entry(tmp_path):
                                 params_param="p", hashed_fields=()),))
     report = analyze_program(ctx)
     assert len(report.by_rule("static-config")) == 2
+
+
+def test_static_config_flags_unknown_stateful_config(tmp_path):
+    ctx = _context(tmp_path, """\
+        def stage(params):
+            return params.alpha
+        """,
+        invariants=(StateInvariant(cls="pkg.mod.Gone",
+                                   guarded_fields=("r",)),),
+        worker_groups=(WorkerGroup(entry="pkg.mod.nope",
+                                   initializer="pkg.mod.nada"),),
+        payload_types=("pkg.mod.Missing",),
+        context_specs=(ContextStateSpec(name="tracer",
+                                        accessors=("pkg.mod.absent",),
+                                        installers=()),),
+        kernel_parity=KernelParitySpec(classes=("pkg.mod.NoKernel",),
+                                       surface=("static_timing",)))
+    messages = [d.message for d in analyze_program(ctx).by_rule("static-config")]
+    assert len(messages) == 6
+    for name in ("pkg.mod.Gone", "pkg.mod.nope", "pkg.mod.nada",
+                 "pkg.mod.Missing", "pkg.mod.absent", "pkg.mod.NoKernel"):
+        assert any(name in m for m in messages)
 
 
 # -- suppressions --------------------------------------------------------------
@@ -508,7 +1121,10 @@ def test_list_checks_includes_static_catalogue(capsys):
     assert main(["lint", "--list-checks"]) == 0
     out = capsys.readouterr().out
     for code in ("D001", "D002", "D003", "D004", "D005", "D006",
-                 "C001", "C002", "C003", "static-config"):
+                 "C001", "C002", "C003",
+                 "I001", "I002", "I003",
+                 "S001", "S002", "S003", "S004",
+                 "B001", "B002", "static-config"):
         assert code in out
 
 
@@ -517,5 +1133,8 @@ def test_static_checks_registered_under_static_kind():
     static = registered_checks(kinds=["static"])
     assert {c.rule for c in static} >= {
         "D001", "D002", "D003", "D004", "D005", "D006",
-        "C001", "C002", "C003", "static-config"}
+        "C001", "C002", "C003",
+        "I001", "I002", "I003",
+        "S001", "S002", "S003", "S004",
+        "B001", "B002", "static-config"}
     assert all(c.doc for c in static)

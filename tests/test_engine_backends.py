@@ -138,16 +138,34 @@ def test_numba_backend_is_import_gated():
             get_backend("numba")
 
 
-def test_resolve_backend_spec_and_env(monkeypatch):
+def test_resolve_backend_is_env_blind(monkeypatch):
+    """``resolve_backend`` never consults the environment.
+
+    The ``REPRO_ENGINE_BACKEND`` variable flows through the runner's
+    forwarded-variable seam (``default_backend_name`` called once per
+    job by ``_execute_job``), so the resolver itself must stay
+    deterministic in its arguments — the static analyzer (D003/S003)
+    enforces this for everything reachable from flow code.
+    """
     monkeypatch.delenv("REPRO_ENGINE_BACKEND", raising=False)
     assert resolve_backend(None).name == "numpy-sparse"
     assert resolve_backend(True).name == "numpy-sparse"
     assert resolve_backend("numpy-dense").name == "numpy-dense"
     monkeypatch.setenv("REPRO_ENGINE_BACKEND", "numpy-dense")
-    assert resolve_backend(None).name == "numpy-dense"
-    assert resolve_backend(True).name == "numpy-dense"
-    # An explicit name still beats the environment.
+    assert resolve_backend(None).name == "numpy-sparse"
+    assert resolve_backend(True).name == "numpy-sparse"
     assert resolve_backend("numpy-sparse").name == "numpy-sparse"
+
+
+def test_default_backend_name_is_the_env_seam(monkeypatch):
+    from repro.engine.backends import default_backend_name
+
+    monkeypatch.delenv("REPRO_ENGINE_BACKEND", raising=False)
+    assert default_backend_name() == "numpy-sparse"
+    monkeypatch.setenv("REPRO_ENGINE_BACKEND", "numpy-dense")
+    assert default_backend_name() == "numpy-dense"
+    monkeypatch.setenv("REPRO_ENGINE_BACKEND", "")
+    assert default_backend_name() == "numpy-sparse"
 
 
 def test_engine_default_backend_is_sparse(tiny_physical, tech):
@@ -225,6 +243,34 @@ def _assert_bundles_bit_identical(a, b):
     assert np.array_equal(a.mc.arrivals, b.mc.arrivals)
 
 
+def _assert_invalidated(engine, stage_idx=None):
+    """Runtime twin of the static I001/I003 checks.
+
+    After any mutation — before any analysis read — the engine-level
+    derived caches must be dropped, and the kernel must be either
+    marked stale (sparse arena) or have dropped the mutated stage's
+    caches (dense per-stage kernels).
+    """
+    assert engine._timing is None and engine._xtalk is None
+    assert engine._power is None and engine._mc is None
+    kernel = engine.kernel
+    if kernel.backend_name == "numpy-sparse":
+        assert kernel._stale \
+            or (kernel._down is None and kernel._xtalk is None)
+    elif stage_idx is not None:
+        sk = kernel.stages[stage_idx]
+        assert sk._down is None and sk._timing is None \
+            and sk._xtalk is None
+
+
+def _assert_recomputed(engine):
+    """After ``analyze()`` the caches are live again (the barrier ran)."""
+    assert engine._timing is not None and engine._xtalk is not None
+    kernel = engine.kernel
+    if kernel.backend_name == "numpy-sparse":
+        assert not kernel._stale
+
+
 @settings(max_examples=8, deadline=None)
 @given(data=st.data())
 def test_random_churn_keeps_backends_bit_identical(data):
@@ -252,6 +298,10 @@ def test_random_churn_keeps_backends_bit_identical(data):
     wire_ids = sorted(
         w.wire_id for w in physicals["numpy-dense"].routing.clock_wires)
 
+    # Any tree node that owns a stage works for the no-op retrim probe.
+    trim_node = min(
+        engines["numpy-dense"].extraction.network.stage_of_tree_node)
+
     n_ops = data.draw(st.integers(min_value=1, max_value=5))
     for _ in range(n_ops):
         op = data.draw(st.sampled_from(["rule", "shield", "trim"]))
@@ -259,20 +309,32 @@ def test_random_churn_keeps_backends_bit_identical(data):
             for name, engine in engines.items():
                 phys = physicals[name]
                 refine_skew(phys.tree, phys.routing, tech, engine=engine)
-            continue
-        wid = wire_ids[data.draw(
-            st.integers(min_value=0, max_value=len(wire_ids) - 1))]
-        rule = rules[data.draw(
-            st.integers(min_value=0, max_value=len(rules) - 1))]
-        for name, engine in engines.items():
-            routing = physicals[name].routing
-            if op == "rule":
-                routing.assign_rule(wid, rule)
-            else:
-                routing.assign_shield(wid, True)
-            engine.apply_rule_changes([wid])
+                # refine_skew re-reads timing internally, so the
+                # invalidation oracle needs its own mutation: a no-op
+                # retrim of one stage (current trim values) must still
+                # mark the arena stale before any analysis read.
+                engine.rebuild_stages([trim_node])
+                stage_idx = \
+                    engine.extraction.network.stage_of_tree_node[trim_node]
+                _assert_invalidated(engine, stage_idx)
+        else:
+            wid = wire_ids[data.draw(
+                st.integers(min_value=0, max_value=len(wire_ids) - 1))]
+            rule = rules[data.draw(
+                st.integers(min_value=0, max_value=len(rules) - 1))]
+            for name, engine in engines.items():
+                routing = physicals[name].routing
+                if op == "rule":
+                    routing.assign_rule(wid, rule)
+                else:
+                    routing.assign_shield(wid, True)
+                engine.apply_rule_changes([wid])
+                stage_idx = engine.extraction.network.wire_stage(wid)
+                _assert_invalidated(engine, stage_idx)
         bundles = {name: engine.analyze()
                    for name, engine in engines.items()}
+        for engine in engines.values():
+            _assert_recomputed(engine)
         _assert_bundles_bit_identical(bundles["numpy-dense"],
                                       bundles["numpy-sparse"])
 
