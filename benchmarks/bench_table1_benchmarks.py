@@ -7,19 +7,19 @@ stages), routed clock wirelength and nominal timing at default rules.
 
 from __future__ import annotations
 
-from conftest import emit, suite_specs
-from repro.bench import generate_design
+from conftest import corpus_specs, emit, suite_specs
+from repro.designs import generate_design
 from repro.core.flow import build_physical_design
 from repro.reporting import Table
 from repro.timing import analyze_clock_timing
 
 
-def _build_table(tech) -> Table:
+def _build_table(tech, specs, title) -> Table:
     table = Table(
-        "Table 1: benchmark statistics (default-rule routing)",
+        title,
         ["design", "sinks", "die (um)", "aggr nets", "tree depth",
          "buffers", "stages", "clk WL (um)", "latency (ps)", "skew (ps)"])
-    for spec in suite_specs():
+    for spec in specs:
         design = generate_design(spec)
         phys = build_physical_design(design, tech)
         timing = analyze_clock_timing(phys.extraction.network, tech)
@@ -41,7 +41,21 @@ def _build_table(tech) -> Table:
 
 
 def test_table1_benchmark_statistics(benchmark, capsys, tech):
-    table = benchmark.pedantic(_build_table, args=(tech,),
-                               rounds=1, iterations=1)
+    table = benchmark.pedantic(
+        _build_table,
+        args=(tech, suite_specs(),
+              "Table 1: benchmark statistics (default-rule routing)"),
+        rounds=1, iterations=1)
     emit(capsys, table.render())
     assert len(table.rows) == len(suite_specs())
+
+
+def test_table1_corpus_extension(benchmark, capsys, tech):
+    """The same statistics over the hierarchical/gated/imported slice."""
+    table = benchmark.pedantic(
+        _build_table,
+        args=(tech, corpus_specs(),
+              "Table 1 (ext): corpus families (default-rule routing)"),
+        rounds=1, iterations=1)
+    emit(capsys, table.render())
+    assert len(table.rows) == len(corpus_specs())

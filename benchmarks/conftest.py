@@ -22,12 +22,16 @@ from typing import Optional, Sequence
 import pytest
 
 from repro import obs
-from repro.bench import benchmark_suite, generate_design, spec_by_name
+from repro.designs import benchmark_suite, generate_design, spec_by_name
 from repro.core import FlowResult, NdrClassifierGuide, Policy, RobustnessTargets
 from repro.runner import FlowRunner, JobSpec
 
 #: Designs used by the full-suite tables (largest capped for CI runtime).
 TABLE_DESIGNS = ("ckt64", "ckt128", "ckt256", "ckt512", "ckt1024", "ckt2048")
+#: The corpus slice beyond the synthetic suite: one hierarchical SoC,
+#: one gated multi-domain SoC, one imported floorplan (smallest of each
+#: family, capped for CI runtime).
+CORPUS_DESIGNS = ("soc_h64", "soc_g128", "imp_uart")
 TABLE_POLICIES = (Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART,
                   Policy.SMART_ML)
 ML_TRAIN_DESIGNS = ("ckt64", "ckt128", "ckt256")
@@ -170,3 +174,8 @@ def emit(capsys, text: str) -> None:
 
 def suite_specs():
     return [spec for spec in benchmark_suite() if spec.name in TABLE_DESIGNS]
+
+
+def corpus_specs():
+    """The hierarchical/gated/imported slice of the corpus."""
+    return [spec_by_name(name) for name in CORPUS_DESIGNS]

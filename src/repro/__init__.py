@@ -21,7 +21,9 @@ Quickstart (the supported surface is :mod:`repro.api`)::
 
 from repro import api
 from repro.api import CompareReport, SweepReport, compare, sweep, trace_report
-from repro.bench import DesignSpec, benchmark_suite, generate_design, spec_by_name
+from repro.designs import (DesignFamily, DesignSpec, benchmark_suite,
+                           families, generate_design, resolve_selectors,
+                           spec_by_name, spec_fingerprint)
 from repro.core import (FlowResult, NdrClassifierGuide, OptimizeResult,
                         Policy, RobustnessTargets, SmartNdrOptimizer,
                         build_physical_design, run_flow)
@@ -39,10 +41,14 @@ __all__ = [
     "compare",
     "sweep",
     "trace_report",
+    "DesignFamily",
     "DesignSpec",
     "benchmark_suite",
+    "families",
     "generate_design",
+    "resolve_selectors",
     "spec_by_name",
+    "spec_fingerprint",
     "FlowResult",
     "NdrClassifierGuide",
     "OptimizeResult",

@@ -130,11 +130,17 @@ def _cell_report(result: JobResult) -> CellReport:
 def fit_guide(seed: int = 0,
               designs: Sequence[str] = ("ckt64", "ckt128"),
               tech: Optional[Technology] = None) -> NdrClassifierGuide:
-    """Train the NDR classifier guide on built-in benchmarks."""
-    from repro.bench import generate_design, spec_by_name
+    """Train the NDR classifier guide on corpus designs.
+
+    ``designs`` accepts anything the corpus resolves: exact names,
+    globs (``"ckt*"``), families (``"family:hierarchical"``), or design
+    JSON paths.
+    """
+    from repro.runner import expand_design_refs, resolve_design
 
     guide = NdrClassifierGuide(seed=seed)
-    guide.fit_designs([generate_design(spec_by_name(n)) for n in designs],
+    refs = expand_design_refs(tuple(designs))
+    guide.fit_designs([resolve_design(ref) for ref in refs],
                       tech if tech is not None else default_technology())
     return guide
 

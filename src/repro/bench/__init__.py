@@ -1,14 +1,14 @@
-"""Synthetic benchmark designs.
+"""Back-compat shim over :mod:`repro.designs`.
 
-Substrate S13 in DESIGN.md.  These stand in for the paper's proprietary
-industrial testcases: seeded generators produce placed designs with
-clustered sink flops and locality-bounded aggressor nets whose geometry
-statistics (sink pitch, aggressor density, activity) are the knobs the
-experiments sweep.
+The synthetic benchmark generators grew into the design-corpus
+subsystem (declarative specs, families, the H-tree SoC generator, the
+DEF-lite importer).  This package re-exports the historical surface so
+``from repro.bench import generate_design`` keeps working; new code
+should import from :mod:`repro.designs` directly.
 """
 
-from repro.bench.designs import DesignSpec, generate_design, benchmark_suite, spec_by_name
-from repro.bench.aggressors import generate_aggressors
+from repro.designs import (DesignSpec, benchmark_suite, generate_aggressors,
+                           generate_design, spec_by_name)
 
 __all__ = [
     "DesignSpec",

@@ -2,17 +2,25 @@
 
 Subcommands::
 
-    python -m repro suite [--jobs N] [--json]   # benchmark statistics
+    python -m repro suite [--designs SEL,..] [--jobs N] [--json]
     python -m repro run --design ckt256 --policy smart [--json]
     python -m repro compare --design ckt256 [--with-ml] [--jobs N] [--json]
     python -m repro sweep --design ckt128 --slacks 0.6,0.3,0.15 [--jobs N]
+    python -m repro designs list [--family F] [--json]  # the corpus registry
+    python -m repro designs show ckt256 [--json]
+    python -m repro designs gen soc_h256 [--out d.json] [--deflite d.dl.json]
+    python -m repro designs import floorplan.json [--out d.json]
+    python -m repro designs validate ckt64 family:gated floorplan.json
     python -m repro lint --design ckt256 --policy smart [--json]
     python -m repro lint --static [src/repro]          # whole-program D/C codes
     python -m repro trace trace.jsonl [--top N]        # render a trace file
 
-``--design`` accepts a built-in benchmark name or a path to a design
-JSON file (see :mod:`repro.io`).  Robustness budgets default to the
-all-NDR-reference peg; ``--slack`` controls its tightness.
+``--design`` accepts a corpus design name or a path to a design JSON
+file (see :mod:`repro.io`); ``suite --designs`` additionally accepts
+corpus selectors — globs (``'ckt*'``) and families
+(``family:hierarchical``, ``family:*``) from :mod:`repro.designs`.
+Robustness budgets default to the all-NDR-reference peg; ``--slack``
+controls its tightness.
 
 Every command schedules its flows through the
 :class:`~repro.runner.FlowRunner`: the all-NDR reference is a cached
@@ -40,7 +48,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.api import CellReport, compare, fit_guide, sweep
-from repro.bench import benchmark_suite, generate_design, spec_by_name
+from repro.designs import benchmark_suite, generate_design, spec_by_name
 from repro.core import Policy
 from repro.io import save_rule_assignment, write_wire_report
 from repro.runner import FlowRunner, JobSpec
@@ -84,9 +92,15 @@ def _policy_table(title: str) -> Table:
 
 
 def cmd_suite(args) -> int:
-    """Print default-rule statistics for the whole benchmark suite."""
-    specs = list(benchmark_suite())
-    rows = _suite_rows(specs, args)
+    """Print default-rule statistics for the suite (or ``--designs``)."""
+    if getattr(args, "designs", ""):
+        from repro.runner import expand_design_refs
+
+        names = expand_design_refs(tuple(
+            s.strip() for s in args.designs.split(",") if s.strip()))
+    else:
+        names = tuple(spec.name for spec in benchmark_suite())
+    rows = _suite_rows(names, args)
     columns = ["design", "sinks", "die um", "aggr", "clk WL um",
                "latency ps", "skew ps"]
     if args.json:
@@ -127,18 +141,18 @@ def _suite_row(name: str, store_root) -> tuple:
             phys.routing.clock_wirelength(), timing.latency, timing.skew)
 
 
-def _suite_rows(specs, args) -> list[tuple]:
+def _suite_rows(names, args) -> list[tuple]:
     from repro.io import default_cache_dir
 
     store_root = None if args.no_cache else str(default_cache_dir())
     if args.jobs <= 1:
-        return [_suite_row(spec.name, store_root) for spec in specs]
+        return [_suite_row(name, store_root) for name in names]
     from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=min(args.jobs, len(specs)),
+    with ProcessPoolExecutor(max_workers=min(args.jobs, len(names)),
                              initializer=_suite_pool_init) as pool:
-        return list(pool.map(_suite_row, [s.name for s in specs],
-                             [store_root] * len(specs)))
+        return list(pool.map(_suite_row, names,
+                             [store_root] * len(names)))
 
 
 def cmd_run(args) -> int:
@@ -227,6 +241,146 @@ def cmd_sweep(args) -> int:
                       "yes" if point.feasible else "NO")
     print(table.render())
     return 0
+
+
+def _designs_list(args) -> int:
+    """List the corpus registry: every family and its designs."""
+    from repro.designs import families, family, spec_fingerprint
+
+    fams = (family(args.family),) if args.family else families()
+    rows = [(spec.name, fam.name, spec.generator, spec.n_sinks,
+             spec.die_edge, spec_fingerprint(spec)[:12])
+            for fam in fams for spec in fam.specs]
+    columns = ["design", "family", "generator", "sinks", "die um",
+               "content key"]
+    if args.json:
+        print(json.dumps([dict(zip(columns, row)) for row in rows],
+                         indent=2, sort_keys=True))
+        return 0
+    for fam in fams:
+        print(f"{fam.name}: {fam.description}")
+    print()
+    table = Table("Design corpus", columns)
+    for row in rows:
+        table.add_row(*row)
+    print(table.render())
+    return 0
+
+
+def _designs_show(args) -> int:
+    """Show one registered spec: fields, family, content fingerprint."""
+    from repro.designs import family_of, spec_by_name, spec_fingerprint, \
+        spec_to_dict
+
+    spec = spec_by_name(args.name)
+    payload = {"spec": spec_to_dict(spec),
+               "family": family_of(spec.name),
+               "fingerprint": spec_fingerprint(spec)}
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{spec.name}  (family {payload['family']})")
+    print(f"  fingerprint: {payload['fingerprint']}")
+    for key, value in sorted(payload["spec"].items()):
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _designs_gen(args) -> int:
+    """Generate a corpus design; optionally persist it."""
+    from repro.designs import save_deflite
+    from repro.io import design_fingerprint, save_design
+
+    design = generate_design(spec_by_name(args.name))
+    info = {"design": design.name,
+            "sinks": len(design.clock_sinks),
+            "aggressors": len(design.signal_nets),
+            "blockages": len(design.blockages),
+            "fingerprint": design_fingerprint(design)}
+    if args.out:
+        save_design(design, args.out)
+        info["out"] = args.out
+    if args.deflite:
+        save_deflite(design, args.deflite)
+        info["deflite"] = args.deflite
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+    else:
+        print(f"{design.name}: {info['sinks']} sinks, "
+              f"{info['aggressors']} aggressors, "
+              f"{info['blockages']} blockages")
+        print(f"  fingerprint: {info['fingerprint']}")
+        for key in ("out", "deflite"):
+            if key in info:
+                print(f"  wrote {key}: {info[key]}")
+    return 0
+
+
+def _designs_import(args) -> int:
+    """Validate and build a DEF-lite file; report, optionally persist."""
+    from repro.designs import load_deflite, deflite_to_design, \
+        validate_deflite
+    from repro.io import save_design
+
+    data = load_deflite(args.file)
+    report = validate_deflite(data, path=Path(args.file))
+    if report.has_errors or args.verbose:
+        print(report.render() if not args.json else report.to_json())
+    if report.has_errors:
+        return 1
+    design = deflite_to_design(data, name=args.name or None)
+    info = {"design": design.name,
+            "sinks": len(design.clock_sinks),
+            "aggressors": len(design.signal_nets),
+            "blockages": len(design.blockages)}
+    if args.out:
+        save_design(design, args.out)
+        info["out"] = args.out
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+    else:
+        print(f"imported {design.name}: {info['sinks']} sinks, "
+              f"{info['aggressors']} aggressors, "
+              f"{info['blockages']} blockages"
+              + (f" -> {args.out}" if args.out else ""))
+    return 0
+
+
+def _designs_validate(args) -> int:
+    """Validate corpus refs: DEF-lite checks for files, build for names."""
+    from repro.designs import validate_deflite
+    from repro.runner import expand_design_refs
+
+    failures = 0
+    for ref in expand_design_refs(tuple(args.refs)):
+        if ref.endswith(".json"):
+            report = validate_deflite(ref)
+            status = "ERROR" if report.has_errors else "ok"
+            if report.has_errors or args.verbose:
+                print(report.render())
+            print(f"{ref}: {status}")
+            failures += int(report.has_errors)
+            continue
+        try:
+            design = generate_design(spec_by_name(ref))
+        except Exception as exc:  # noqa: BLE001 - reported per ref
+            print(f"{ref}: ERROR {type(exc).__name__}: {exc}")
+            failures += 1
+        else:
+            print(f"{ref}: ok ({len(design.clock_sinks)} sinks)")
+    return 1 if failures else 0
+
+
+def cmd_designs(args) -> int:
+    """Dispatch the ``repro designs`` corpus subcommands."""
+    handler = {
+        "list": _designs_list,
+        "show": _designs_show,
+        "gen": _designs_gen,
+        "import": _designs_import,
+        "validate": _designs_validate,
+    }[args.designs_command]
+    return handler(args)
 
 
 def cmd_lint(args) -> int:
@@ -325,7 +479,45 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_suite = sub.add_parser("suite", help="print benchmark suite statistics")
+    p_suite.add_argument("--designs", default="",
+                         help="comma-separated corpus selectors (names, "
+                              "globs, family:NAME); default: the Table-1 "
+                              "suite")
     add_common_opts(p_suite)
+
+    p_designs = sub.add_parser(
+        "designs", help="inspect and build the design corpus")
+    dsub = p_designs.add_subparsers(dest="designs_command", required=True)
+    d_list = dsub.add_parser("list", help="list registered families/designs")
+    d_list.add_argument("--family", default="",
+                        help="restrict to one family")
+    add_common_opts(d_list)
+    d_show = dsub.add_parser("show", help="show one registered spec")
+    d_show.add_argument("name", help="registered design name")
+    add_common_opts(d_show)
+    d_gen = dsub.add_parser("gen", help="generate a corpus design")
+    d_gen.add_argument("name", help="registered design name")
+    d_gen.add_argument("--out", default="",
+                       help="write the design JSON to this path")
+    d_gen.add_argument("--deflite", default="",
+                       help="write a DEF-lite export to this path")
+    add_common_opts(d_gen)
+    d_imp = dsub.add_parser("import", help="validate + build a DEF-lite file")
+    d_imp.add_argument("file", help="DEF-lite JSON path")
+    d_imp.add_argument("--name", default="",
+                       help="override the imported design name")
+    d_imp.add_argument("--out", default="",
+                       help="write the built design JSON to this path")
+    d_imp.add_argument("--verbose", action="store_true",
+                       help="print the validation report even when clean")
+    add_common_opts(d_imp)
+    d_val = dsub.add_parser(
+        "validate", help="validate corpus refs (names, selectors, DEF-lite)")
+    d_val.add_argument("refs", nargs="+",
+                       help="design names, selectors, or DEF-lite paths")
+    d_val.add_argument("--verbose", action="store_true",
+                       help="print clean validation reports too")
+    add_common_opts(d_val)
 
     p_run = sub.add_parser("run", help="run one policy on one design")
     p_run.add_argument("--design", required=True,
@@ -415,6 +607,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
+        "designs": cmd_designs,
         "lint": cmd_lint,
         "trace": cmd_trace,
     }[args.command]

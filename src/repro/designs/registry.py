@@ -1,0 +1,157 @@
+"""The corpus registry: named design families and corpus selectors.
+
+A *family* is a named, documented tuple of
+:class:`~repro.designs.spec.DesignSpec` — the unit the suite, the ML
+corpus and the CLI select over.  Families register once at import time
+(:mod:`repro.designs` registers the built-ins); downstream packages may
+add their own with :func:`register_design_family`.
+
+Selectors accepted by :func:`resolve_selectors`:
+
+* an exact design name — ``"ckt256"``;
+* a glob over design names — ``"ckt*"``, ``"soc_h?"``;
+* a family — ``"family:hierarchical"``, or ``"family:*"`` for the
+  whole corpus;
+* a design-JSON path (anything ending in ``.json``), passed through
+  untouched for :func:`repro.runner.matrix.resolve_design`.
+"""
+
+from __future__ import annotations
+
+import difflib
+import fnmatch
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.designs.spec import DesignSpec
+
+
+@dataclass(frozen=True)
+class DesignFamily:
+    """One named, documented group of corpus designs."""
+
+    name: str
+    description: str
+    specs: tuple[DesignSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError(f"family {self.name!r} has no specs")
+
+
+_FAMILIES: dict[str, DesignFamily] = {}
+_SPECS: dict[str, DesignSpec] = {}
+
+
+def register_design_family(name: str, description: str,
+                           specs: Iterable[DesignSpec]) -> DesignFamily:
+    """Register a family; design names must be corpus-unique."""
+    if name in _FAMILIES:
+        raise ValueError(f"design family {name!r} registered twice")
+    family = DesignFamily(name=name, description=description,
+                          specs=tuple(specs))
+    clashes = [s.name for s in family.specs if s.name in _SPECS]
+    if clashes:
+        raise ValueError(f"design name(s) {clashes} already registered "
+                         f"(family {name!r})")
+    _FAMILIES[name] = family
+    for spec in family.specs:
+        _SPECS[spec.name] = spec
+    return family
+
+
+def families() -> tuple[DesignFamily, ...]:
+    """Every registered family, registration-ordered."""
+    return tuple(_FAMILIES.values())  # static: ok[C003] populated at import time
+
+
+def family(name: str) -> DesignFamily:
+    """Look up one family by name."""
+    try:
+        return _FAMILIES[name]  # static: ok[C003] populated at import time
+    except KeyError:
+        raise KeyError(f"no design family named {name!r}; available: "
+                       f"{sorted(_FAMILIES)}") from None
+
+
+def iter_specs() -> Iterator[DesignSpec]:
+    """Every registered spec, family-registration-ordered."""
+    for fam in families():
+        yield from fam.specs
+
+
+def spec_names() -> tuple[str, ...]:
+    """Every registered design name, family-registration-ordered."""
+    return tuple(_SPECS)  # static: ok[C003] populated at import time
+
+
+def family_of(design_name: str) -> str:
+    """The family a registered design belongs to."""
+    for fam in families():
+        if any(s.name == design_name for s in fam.specs):
+            return fam.name
+    raise KeyError(f"design {design_name!r} is not registered")
+
+
+def spec_by_name(name: str) -> DesignSpec:
+    """Look up a registered spec by design name.
+
+    An unknown name raises a KeyError that lists close matches and the
+    available families, so a typo'd ``ckt258`` points at ``ckt256``
+    instead of a bare miss.
+    """
+    spec = _SPECS.get(name)  # static: ok[C003] populated at import time
+    if spec is not None:
+        return spec
+    close = difflib.get_close_matches(name, list(_SPECS), n=3, cutoff=0.5)  # static: ok[C003] populated at import time
+    lines = [f"no design named {name!r}"]
+    if close:
+        lines.append(f"did you mean: {', '.join(close)}?")
+    lines.append("families: " + "; ".join(
+        f"{fam.name} ({', '.join(s.name for s in fam.specs)})"
+        for fam in families()))
+    raise KeyError(". ".join(lines))
+
+
+def resolve_selectors(selectors: Iterable[str]) -> tuple[str, ...]:
+    """Expand corpus selectors into concrete design names.
+
+    Order follows the selector list, then registry order within each
+    selector; duplicates are dropped (first win).  A selector matching
+    nothing is an error — silent empties hide typos.
+    """
+    out: list[str] = []
+    seen: set[str] = set()
+
+    def add(name: str) -> None:
+        if name not in seen:
+            seen.add(name)
+            out.append(name)
+
+    for selector in selectors:
+        if selector.endswith(".json"):
+            add(selector)
+            continue
+        if selector.startswith("family:"):
+            pattern = selector[len("family:"):]
+            matched = [f for f in families()
+                       if fnmatch.fnmatchcase(f.name, pattern)]
+            if not matched:
+                raise KeyError(f"selector {selector!r} matches no family; "
+                               f"available: {sorted(_FAMILIES)}")
+            for fam in matched:
+                for spec in fam.specs:
+                    add(spec.name)
+            continue
+        if any(ch in selector for ch in "*?["):
+            matched_names = [n for n in _SPECS  # static: ok[C003] populated at import time
+                             if fnmatch.fnmatchcase(n, selector)]
+            if not matched_names:
+                raise KeyError(f"selector {selector!r} matches no "
+                               f"registered design")
+            for n in matched_names:
+                add(n)
+            continue
+        # An exact name: let spec_by_name produce the helpful error.
+        add(spec_by_name(selector).name)
+    return tuple(out)

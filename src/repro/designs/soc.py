@@ -1,0 +1,183 @@
+"""The hierarchical SoC generator.
+
+Real SoC clock networks are not uniform sink clouds: a top-level H-tree
+distributes the clock from the die center into block-local subtrees,
+blocks belong to clock domains (some of them gated), hard macros punch
+holes in the floorplan, and switching traffic concentrates where the
+logic is.  This generator reproduces that structure declaratively from
+a :class:`~repro.designs.spec.DesignSpec`:
+
+* ``htree_levels`` — recursive-center splits of the die (alternating
+  axis, the classic H-tree construction); sinks cluster around the
+  2**levels leaf-region centers, so CTS naturally synthesises an
+  H-tree top feeding local subtrees.
+* ``n_domains`` — leaf regions are assigned region-major to domains;
+  downstream consumers recover the domain structure with
+  :func:`repro.core.multiclock.split_domains` (the generated design
+  stays single-clock so it runs through the standard flow unchanged).
+* ``gate_enable`` — domains beyond the first are treated as gated:
+  their local aggressor activity scales by the enable probability (a
+  gated block's logic is quiet in gated-off cycles).
+* ``traffic`` — per-region aggressor density/activity weighting:
+  "hotspot" (one hot leaf), "edge" (boundary-heavy), or "uniform".
+* ``n_blockages`` — the same disjoint-macro placement as the synthetic
+  family, for blockage-heavy floorplans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.designs.aggressors import generate_aggressors
+from repro.designs.spec import DesignSpec
+from repro.designs.synthetic import place_blockages
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.netlist.design import Design
+
+
+def htree_leaf_regions(die: Rect, levels: int) -> list[Rect]:
+    """The 2**levels leaf regions of a recursive-center H-tree split.
+
+    Each level halves every region, alternating the split axis
+    (vertical first), which is exactly the region structure a
+    center-driven H-tree serves.  Order is deterministic:
+    depth-first, low half before high half.
+    """
+    regions = [die]
+    for level in range(levels):
+        vertical = level % 2 == 0
+        split: list[Rect] = []
+        for r in regions:
+            if vertical:
+                mid = 0.5 * (r.xlo + r.xhi)
+                split.append(Rect(r.xlo, r.ylo, mid, r.yhi))
+                split.append(Rect(mid, r.ylo, r.xhi, r.yhi))
+            else:
+                mid = 0.5 * (r.ylo + r.yhi)
+                split.append(Rect(r.xlo, r.ylo, r.xhi, mid))
+                split.append(Rect(r.xlo, mid, r.xhi, r.yhi))
+        regions = split
+    return regions
+
+
+def domain_of_region(region_index: int, n_regions: int,
+                     n_domains: int) -> int:
+    """Region-major domain assignment: contiguous region runs per domain."""
+    if n_domains <= 1:
+        return 0
+    per_domain = n_regions / n_domains
+    return min(n_domains - 1, int(region_index / per_domain))
+
+
+def _region_weights(spec: DesignSpec, regions: list[Rect], die: Rect,
+                    hot_index: int) -> list[float]:
+    """Relative aggressor-traffic weight per leaf region."""
+    if spec.traffic == "hotspot":
+        return [3.0 if i == hot_index else 1.0
+                for i in range(len(regions))]
+    if spec.traffic == "edge":
+        eps = 1e-9
+        weights = []
+        for r in regions:
+            on_edge = (r.xlo <= die.xlo + eps or r.xhi >= die.xhi - eps
+                       or r.ylo <= die.ylo + eps or r.yhi >= die.yhi - eps)
+            weights.append(2.0 if on_edge else 0.5)
+        return weights
+    return [1.0] * len(regions)
+
+
+def _place_region_sinks(rng: np.random.Generator, spec: DesignSpec,
+                        design: Design, region: Rect, count: int,
+                        taken: set[tuple[int, int]],
+                        points: list[Point]) -> None:
+    """Cluster ``count`` sinks around the region center (grid-deduped)."""
+    margin = spec.die_edge * 0.03
+    lo, hi = margin, spec.die_edge - margin
+    cx = 0.5 * (region.xlo + region.xhi)
+    cy = 0.5 * (region.ylo + region.yhi)
+    sigma = 0.18 * min(region.xhi - region.xlo, region.yhi - region.ylo)
+    placed = 0
+    attempts = 0
+    # Local Gaussian cluster first; degrade to region-uniform, then
+    # die-uniform, so saturated regions can never hang the generator.
+    while placed < count and attempts < count * 60:
+        attempts += 1
+        if attempts <= count * 20:
+            x = float(rng.normal(cx, sigma))
+            y = float(rng.normal(cy, sigma))
+        elif attempts <= count * 40:
+            x = float(rng.uniform(region.xlo, region.xhi))
+            y = float(rng.uniform(region.ylo, region.yhi))
+        else:
+            x = float(rng.uniform(lo, hi))
+            y = float(rng.uniform(lo, hi))
+        x = float(np.clip(x, lo, hi))
+        y = float(np.clip(y, lo, hi))
+        p = Point(round(x, 3), round(y, 3))
+        if any(b.contains(p) for b in design.blockages):
+            continue
+        key = (int(x / 2.0), int(y / 2.0))  # 2 um exclusion grid
+        if key in taken:
+            continue
+        taken.add(key)
+        points.append(p)
+        placed += 1
+    if placed < count:
+        raise ValueError(f"region {region} cannot hold {count} sinks "
+                         f"(die too dense for spec {spec.name!r})")
+
+
+def generate_htree(spec: DesignSpec, rng: np.random.Generator,
+                   design: Design) -> None:
+    """Hierarchical H-tree SoC: center-driven, domain- and traffic-aware."""
+    if spec.htree_levels < 1:
+        raise ValueError(f"spec {spec.name!r}: htree generator needs "
+                         f"htree_levels >= 1")
+    die = design.die
+    design.add_clock_source(Point(0.5 * (die.xlo + die.xhi),
+                                  0.5 * (die.ylo + die.yhi)))
+    place_blockages(rng, spec, design)
+
+    regions = htree_leaf_regions(die, spec.htree_levels)
+    n_regions = len(regions)
+    hot_index = int(rng.integers(0, n_regions))
+
+    # Sinks: evenly split across leaf regions, remainder to the first.
+    base, extra = divmod(spec.n_sinks, n_regions)
+    taken: set[tuple[int, int]] = set()
+    points: list[Point] = []
+    region_of_sink: list[int] = []
+    for i, region in enumerate(regions):
+        count = base + (1 if i < extra else 0)
+        _place_region_sinks(rng, spec, design, region, count, taken, points)
+        region_of_sink.extend([i] * count)
+    for i, loc in enumerate(points):
+        design.add_flop(f"ff_{i}", loc, clock_pin_cap=spec.flop_cin)
+
+    # Aggressors: per-region batches weighted by the traffic profile,
+    # activity shaped by hotspot/gating.
+    weights = _region_weights(spec, regions, die, hot_index)
+    total_weight = sum(weights)
+    locality = max(40.0, spec.die_edge * 0.08 / (2 ** (spec.htree_levels // 2)))
+    offset = 0
+    for i, region in enumerate(regions):
+        count = int(round(spec.n_aggressors * weights[i] / total_weight))
+        if count <= 0:
+            continue
+        activity_scale = 1.0
+        if spec.traffic == "hotspot" and i == hot_index:
+            activity_scale *= 2.0
+        if domain_of_region(i, n_regions, spec.n_domains) > 0:
+            activity_scale *= spec.gate_enable
+        generate_aggressors(
+            design, rng,
+            count=count,
+            locality=locality,
+            mean_activity=spec.mean_activity,
+            with_windows=spec.aggressor_windows,
+            region=region,
+            name_offset=offset,
+            activity_scale=activity_scale,
+        )
+        offset += count

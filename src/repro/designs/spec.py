@@ -1,0 +1,211 @@
+"""The versioned, declarative design specification.
+
+A :class:`DesignSpec` is everything needed to reproduce one corpus
+design: the generator to run, its geometric and statistical knobs, and
+the seed.  Specs are frozen dataclasses, JSON-round-trippable
+(:func:`spec_to_dict` / :func:`spec_from_dict`), and content-hashable
+(:func:`spec_fingerprint`).
+
+Two seams that used to be implicit are explicit here:
+
+* **Name vs identity.**  The design *name* is a display label and a
+  registry key; it is excluded from :func:`spec_fingerprint`, so
+  renaming a design neither changes its generated geometry nor its
+  artifact cache keys.  The generator's RNG is salted by
+  :attr:`DesignSpec.seed_salt` instead — a field that defaults to the
+  name for back-compat with pre-corpus specs (where the name *was* the
+  salt), but is pinned explicitly on every registered spec.
+* **Spec vs file.**  Imported specs (``generator="imported"``) carry a
+  ``source`` path; their fingerprint folds in the digest of the file
+  bytes, so editing the file invalidates dependent artifacts exactly
+  like editing a spec field would.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.units import NS
+
+#: Bump when the spec schema changes incompatibly (field renames,
+#: semantic changes).  Folded into every spec fingerprint, so a schema
+#: bump is also a cache migration.
+SPEC_SCHEMA = 1
+
+#: Aggressor traffic profiles a generator may honor.
+TRAFFIC_PROFILES = ("uniform", "hotspot", "edge")
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Everything needed to reproduce one corpus design.
+
+    Attributes
+    ----------
+    name:
+        Display name and registry key.  *Not* part of the content
+        fingerprint; see :attr:`seed_salt`.
+    n_sinks:
+        Number of clock sink flops.
+    die_edge:
+        Die edge length, um (square die).
+    aggressors_per_sink:
+        Signal net count as a multiple of the sink count.
+    mean_activity:
+        Mean aggressor toggle probability per cycle.
+    clock_period:
+        ps.
+    n_clusters:
+        Sink placement clusters (0 = uniform); clustered generator only.
+    seed:
+        Generator seed.
+    flop_cin:
+        Clock pin capacitance of each sink flop, fF.
+    n_blockages:
+        Hard macros (placement + routing keep-outs) dropped on the die.
+    blockage_fraction:
+        Macro edge length as a fraction of the die edge.
+    aggressor_windows:
+        Give aggressor nets switching windows (for window-pruned SI).
+    seed_salt:
+        Extra RNG salt mixed with ``seed``.  Empty string means "use
+        the name" (the legacy coupling); registered specs always pin it
+        so renames are geometry-neutral.
+    generator:
+        Which registered generator builds the design ("clustered",
+        "htree", "imported", ...); see :mod:`repro.designs.generate`.
+    source:
+        For ``generator="imported"``: the DEF-lite JSON source, either
+        a path relative to ``repro/designs/data`` or an absolute path.
+    htree_levels:
+        H-tree recursion depth for the hierarchical generator (each
+        level splits the region in half, alternating axis; sinks
+        cluster in the 2**levels leaf regions).
+    n_domains:
+        Clock domains the sinks are organised into (region-major).
+        The generated design still has one physical clock source — the
+        flow is single-clock — but domain structure shapes placement
+        and is recoverable downstream via
+        :func:`repro.core.multiclock.split_domains`.
+    gate_enable:
+        Enable probability of gated subtrees (1.0 = ungated).  Gated
+        domains beyond the first get their local aggressor activity
+        scaled by this factor (a gated block's logic is quiet in
+        gated-off cycles); it is also the enable a downstream
+        :class:`~repro.power.gating.GatingPlan` should use.
+    traffic:
+        Aggressor traffic profile: "uniform" (flat density and
+        activity), "hotspot" (one leaf region gets 3x density and
+        doubled activity), "edge" (traffic concentrated near the die
+        boundary).
+    """
+
+    name: str
+    n_sinks: int
+    die_edge: float
+    aggressors_per_sink: float = 2.0
+    mean_activity: float = 0.15
+    clock_period: float = NS
+    n_clusters: int = 4
+    seed: int = 7
+    flop_cin: float = 1.8
+    n_blockages: int = 0
+    blockage_fraction: float = 0.18
+    aggressor_windows: bool = False
+    seed_salt: str = ""
+    generator: str = "clustered"
+    source: str = ""
+    htree_levels: int = 0
+    n_domains: int = 1
+    gate_enable: float = 1.0
+    traffic: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.traffic not in TRAFFIC_PROFILES:
+            raise ValueError(f"unknown traffic profile {self.traffic!r}; "
+                             f"expected one of {TRAFFIC_PROFILES}")
+        if not 0.0 <= self.gate_enable <= 1.0:
+            raise ValueError(f"gate_enable must be in [0, 1], "
+                             f"got {self.gate_enable}")
+        if self.n_domains < 1:
+            raise ValueError("n_domains must be >= 1")
+
+    @property
+    def n_aggressors(self) -> int:
+        return int(round(self.n_sinks * self.aggressors_per_sink))
+
+    @property
+    def effective_seed_salt(self) -> str:
+        """The RNG salt actually used: ``seed_salt``, or the name."""
+        return self.seed_salt or self.name
+
+
+def seeded_rng(spec: DesignSpec) -> np.random.Generator:
+    """The spec's deterministic generator RNG.
+
+    zlib.crc32 is stable across interpreter runs (unlike ``hash()``),
+    and the salt comes from :attr:`DesignSpec.effective_seed_salt` —
+    never from the display name of a registered spec.
+    """
+    salt = zlib.crc32(spec.effective_seed_salt.encode()) % (2 ** 16)
+    return np.random.default_rng(spec.seed + salt)
+
+
+def spec_to_dict(spec: DesignSpec) -> dict[str, Any]:
+    """Serialise a spec to a JSON-ready dict (schema-tagged)."""
+    out: dict[str, Any] = {"schema": SPEC_SCHEMA}
+    out.update(dataclasses.asdict(spec))
+    return out
+
+
+def spec_from_dict(data: dict[str, Any]) -> DesignSpec:
+    """Rebuild a spec from :func:`spec_to_dict` output."""
+    schema = data.get("schema")
+    if schema != SPEC_SCHEMA:
+        raise ValueError(f"unsupported design-spec schema {schema!r} "
+                         f"(expected {SPEC_SCHEMA})")
+    fields = {f.name for f in dataclasses.fields(DesignSpec)}
+    unknown = set(data) - fields - {"schema"}
+    if unknown:
+        raise ValueError(f"unknown design-spec fields {sorted(unknown)}")
+    kwargs = {k: v for k, v in data.items() if k in fields}
+    return DesignSpec(**kwargs)
+
+
+def resolve_source(spec: DesignSpec) -> Path:
+    """Absolute path of an imported spec's DEF-lite source file."""
+    if not spec.source:
+        raise ValueError(f"spec {spec.name!r} has no source file")
+    path = Path(spec.source)
+    if not path.is_absolute():
+        path = Path(__file__).parent / "data" / path
+    return path
+
+
+def spec_fingerprint(spec: DesignSpec) -> str:
+    """Content hash of what the spec will generate.
+
+    Hashes every field *except* ``name`` (with ``seed_salt`` resolved
+    to its effective value), plus the spec schema version — so a
+    renamed spec keeps its artifact cache keys, while any
+    geometry-determining change invalidates them.  Imported specs also
+    fold in the source file's byte digest: editing the file is a
+    content change.
+    """
+    from repro.io.artifacts import fingerprint
+
+    fields = {f.name: getattr(spec, f.name)
+              for f in dataclasses.fields(spec) if f.name != "name"}
+    fields["seed_salt"] = spec.effective_seed_salt
+    parts: dict[str, Any] = {"schema": SPEC_SCHEMA, "fields": fields}
+    if spec.generator == "imported":
+        digest = hashlib.sha256(resolve_source(spec).read_bytes()).hexdigest()
+        parts["source_digest"] = digest
+    return fingerprint(parts)

@@ -1,0 +1,90 @@
+"""The clustered synthetic generator (the legacy ``ckt*`` family).
+
+Seeded generators produce placed designs with clustered sink flops and
+locality-bounded aggressor nets whose geometry statistics (sink pitch,
+aggressor density, activity) are the knobs the experiments sweep.  The
+draw sequence here is frozen: the registered ``ckt*`` designs must
+regenerate bit-identically across refactors (the golden-hash tests pin
+every registered design's content fingerprint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.designs.aggressors import generate_aggressors
+from repro.designs.spec import DesignSpec
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.netlist.design import Design
+
+
+def generate_clustered(spec: DesignSpec, rng: np.random.Generator,
+                       design: Design) -> None:
+    """Clustered-plus-uniform sinks, flat aggressor traffic (legacy)."""
+    design.add_clock_source(Point(spec.die_edge / 2.0, 0.0))
+    place_blockages(rng, spec, design)
+    locations = sink_locations(rng, spec, design)
+    for i, loc in enumerate(locations):
+        design.add_flop(f"ff_{i}", loc, clock_pin_cap=spec.flop_cin)
+
+    generate_aggressors(
+        design, rng,
+        count=spec.n_aggressors,
+        locality=max(40.0, spec.die_edge * 0.08),
+        mean_activity=spec.mean_activity,
+        with_windows=spec.aggressor_windows,
+    )
+
+
+def place_blockages(rng: np.random.Generator, spec: DesignSpec,
+                    design: Design) -> None:
+    """Drop disjoint hard macros on the die (keep-out margin between them)."""
+    if spec.n_blockages <= 0:
+        return
+    edge = spec.die_edge * spec.blockage_fraction
+    margin = spec.die_edge * 0.08
+    placed: list[Rect] = []
+    attempts = 0
+    while len(placed) < spec.n_blockages and attempts < 200:
+        attempts += 1
+        x = float(rng.uniform(margin, spec.die_edge - margin - edge))
+        y = float(rng.uniform(margin, spec.die_edge - margin - edge))
+        rect = Rect(x, y, x + edge, y + edge)
+        if any(rect.expanded(4.0).intersects(other) for other in placed):
+            continue
+        placed.append(rect)
+        design.add_blockage(rect)
+
+
+def sink_locations(rng: np.random.Generator, spec: DesignSpec,
+                   design: Design) -> list[Point]:
+    """Clustered-plus-uniform sink placement, deduplicated on a fine grid."""
+    margin = spec.die_edge * 0.03
+    lo, hi = margin, spec.die_edge - margin
+    points: list[Point] = []
+    taken: set[tuple[int, int]] = set()
+
+    def try_add(x: float, y: float) -> None:
+        x = float(np.clip(x, lo, hi))
+        y = float(np.clip(y, lo, hi))
+        p = Point(round(x, 3), round(y, 3))
+        if any(b.contains(p) for b in design.blockages):
+            return
+        key = (int(x / 2.0), int(y / 2.0))  # 2 um exclusion grid
+        if key in taken:
+            return
+        taken.add(key)
+        points.append(p)
+
+    if spec.n_clusters > 0:
+        centers = [(float(rng.uniform(lo, hi)), float(rng.uniform(lo, hi)))
+                   for _ in range(spec.n_clusters)]
+        sigma = spec.die_edge * 0.10
+        clustered_target = int(spec.n_sinks * 0.7)
+        while len(points) < clustered_target:
+            cx, cy = centers[int(rng.integers(0, spec.n_clusters))]
+            try_add(float(rng.normal(cx, sigma)), float(rng.normal(cy, sigma)))
+    while len(points) < spec.n_sinks:
+        try_add(float(rng.uniform(lo, hi)), float(rng.uniform(lo, hi)))
+    return points[:spec.n_sinks]

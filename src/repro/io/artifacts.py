@@ -34,7 +34,9 @@ from typing import Any, Callable, Optional, Union
 from repro import obs
 
 #: Bump to invalidate every previously stored artifact (schema change).
-ARTIFACT_SCHEMA = 1
+#: 2: design identity moved to spec-content hashes (repro.designs) —
+#: keys derived under the old name-salted hashing must not be reused.
+ARTIFACT_SCHEMA = 2
 
 #: Environment variable overriding the default on-disk cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -155,9 +157,17 @@ def content_key(kind: str, **parts: Any) -> str:
 
 
 def design_fingerprint(design: Any) -> str:
-    """Content hash of a :class:`~repro.netlist.design.Design`."""
+    """Content hash of a :class:`~repro.netlist.design.Design`.
+
+    The display name is excluded: it identifies nothing the flow
+    computes from, so two designs differing only in name share every
+    cached artifact (the same decoupling
+    :func:`repro.designs.spec_fingerprint` applies at the spec level).
+    """
     from repro.io.design_json import design_to_dict
-    return fingerprint(design_to_dict(design))
+    payload = design_to_dict(design)
+    payload.pop("name", None)
+    return fingerprint(payload)
 
 
 def technology_fingerprint(tech: Any) -> str:

@@ -37,6 +37,25 @@ def _teacher_job(design, tech, targets, store_root: Optional[str]):
     return collect_teacher_samples(design, tech, targets, store=store)
 
 
+def _materialize_designs(designs: Sequence) -> list:
+    """Live design objects pass through; strings resolve as corpus refs.
+
+    A string entry may be an exact corpus name, a glob, a
+    ``family:NAME`` selector, or a design JSON path — the same grammar
+    :class:`~repro.runner.RunMatrix` accepts.
+    """
+    from repro.runner import expand_design_refs, resolve_design
+
+    out = []
+    for item in designs:
+        if isinstance(item, str):
+            out.extend(resolve_design(ref)
+                       for ref in expand_design_refs((item,)))
+        else:
+            out.append(item)
+    return out
+
+
 def teacher_dataset(designs: Sequence, tech=None, targets=None,
                     jobs: int = 1,
                     store=None) -> tuple[np.ndarray, np.ndarray]:
@@ -44,6 +63,10 @@ def teacher_dataset(designs: Sequence, tech=None, targets=None,
 
     Parameters
     ----------
+    designs:
+        Placed :class:`~repro.netlist.design.Design` objects, corpus
+        refs (names, globs, ``family:NAME`` selectors, JSON paths), or
+        a mix; refs materialise through the corpus registry.
     targets:
         Fixed budgets for every design; ``None`` pegs each design to
         its own all-NDR reference.
@@ -57,6 +80,7 @@ def teacher_dataset(designs: Sequence, tech=None, targets=None,
     """
     if not designs:
         raise ValueError("need at least one training design")
+    designs = _materialize_designs(designs)
     if tech is None:
         from repro.tech import default_technology
         tech = default_technology()

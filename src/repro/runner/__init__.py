@@ -15,8 +15,8 @@ runs.  This package turns that matrix into a schedulable workload:
 """
 
 from repro.runner.matrix import (DesignRef, JobSpec, RunMatrix,
-                                 design_ref_fingerprint, matrix_of,
-                                 resolve_design)
+                                 design_ref_fingerprint, expand_design_refs,
+                                 matrix_of, resolve_design)
 from repro.runner.runner import FlowRunner, JobResult
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "JobSpec",
     "RunMatrix",
     "design_ref_fingerprint",
+    "expand_design_refs",
     "matrix_of",
     "resolve_design",
 ]

@@ -25,7 +25,7 @@ DesignRef = str
 
 def resolve_design(ref: DesignRef) -> Design:
     """Materialise a design reference into a placed design."""
-    from repro.bench import generate_design, spec_by_name
+    from repro.designs import generate_design, spec_by_name
     from repro.io import load_design
 
     if Path(ref).suffix == ".json":
@@ -36,17 +36,19 @@ def resolve_design(ref: DesignRef) -> Design:
 def design_ref_fingerprint(ref: DesignRef) -> str:
     """Content hash of what ``ref`` will build.
 
-    Benchmark names hash their :class:`~repro.bench.DesignSpec` (the
-    generator is deterministic in the spec); JSON paths hash the file
-    bytes, so editing the file invalidates dependent artifacts.
+    Corpus names hash their spec's *content*
+    (:func:`~repro.designs.spec_fingerprint`: every generator knob, the
+    resolved seed salt, never the display name — renaming a registered
+    design keeps its artifacts warm); JSON paths hash the file bytes,
+    so editing the file invalidates dependent artifacts.
     """
     from repro.io.artifacts import fingerprint
 
     if Path(ref).suffix == ".json":
         digest = hashlib.sha256(Path(ref).read_bytes()).hexdigest()
         return fingerprint({"design_json": digest})
-    from repro.bench import spec_by_name
-    return fingerprint(spec_by_name(ref))
+    from repro.designs import spec_by_name, spec_fingerprint
+    return spec_fingerprint(spec_by_name(ref))
 
 
 @dataclass(frozen=True)
@@ -89,13 +91,43 @@ class JobSpec:
         return replace(self, policy=Policy.ALL_NDR, slack=None)
 
 
+def expand_design_refs(designs: Sequence[DesignRef]) -> tuple[DesignRef, ...]:
+    """Expand corpus selectors among ``designs`` into concrete refs.
+
+    Entries with selector syntax — a ``family:`` prefix or glob
+    characters — expand through the corpus registry
+    (:func:`repro.designs.resolve_selectors`); everything else (exact
+    names, JSON paths) passes through verbatim, so matrices over
+    unregistered ad-hoc refs keep working.  Expansion dedups across the
+    whole list (first win).
+    """
+    out: list[DesignRef] = []
+    seen: set[str] = set()
+    for ref in designs:
+        if ref.startswith("family:") or any(ch in ref for ch in "*?["):
+            from repro.designs import resolve_selectors
+
+            expanded = resolve_selectors([ref])
+        else:
+            expanded = (ref,)
+        for name in expanded:
+            if name not in seen:
+                seen.add(name)
+                out.append(name)
+    return tuple(out)
+
+
 @dataclass(frozen=True)
 class RunMatrix:
     """A declarative (designs x policies x slacks) job matrix.
 
     The cross product is ordered design-major, then policy, then slack
     — the order the serial CLI produces — plus any explicit
-    ``extra_cells`` appended verbatim.
+    ``extra_cells`` appended verbatim.  ``designs`` accepts corpus
+    selectors (``"ckt*"``, ``"family:hierarchical"``, ``"family:*"``)
+    alongside exact names and JSON paths; selectors expand at
+    construction time, so ``len(matrix)`` and ``describe()`` report the
+    concrete cell count.
     """
 
     designs: tuple[DesignRef, ...]
@@ -108,6 +140,9 @@ class RunMatrix:
     extra_cells: tuple[JobSpec, ...] = field(default=())
 
     def __post_init__(self) -> None:
+        expanded = expand_design_refs(self.designs)
+        if expanded != self.designs:
+            object.__setattr__(self, "designs", expanded)
         if not self.designs and not self.extra_cells:
             raise ValueError("empty run matrix: no designs and no cells")
         if self.designs and not self.policies:

@@ -13,6 +13,10 @@ themselves under a stable rule id and a *kind*:
   over the source itself (:mod:`repro.analysis`); they receive a
   :class:`~repro.analysis.report.StaticContext` instead of a
   :class:`VerifyContext` and skip silently when handed anything else.
+* ``"import"`` — DEF-lite document schema/geometry validation
+  (:mod:`repro.designs.importer`); they receive an
+  :class:`~repro.designs.importer.ImportContext` and likewise skip
+  silently on any other context type.
 
 ``run_checks`` executes a selection and collects one
 :class:`~repro.verify.diagnostics.VerifyReport`.  A check that raises
@@ -51,7 +55,7 @@ def register(rule: str, kind: str) -> Callable[[CheckFn], CheckFn]:
     The function's first docstring line becomes the check's one-line
     description in ``registered_checks`` listings.
     """
-    if kind not in ("drc", "oracle", "static"):
+    if kind not in ("drc", "oracle", "static", "import"):
         raise ValueError(f"unknown check kind {kind!r}")
 
     def decorate(fn: CheckFn) -> CheckFn:

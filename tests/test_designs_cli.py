@@ -1,0 +1,87 @@
+"""The ``repro designs`` CLI group and corpus selectors in ``suite``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_designs_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["designs", "list", "--family", "gated"])
+    assert args.command == "designs" and args.designs_command == "list"
+    args = parser.parse_args(["designs", "validate", "ckt64", "family:*"])
+    assert args.refs == ["ckt64", "family:*"]
+
+
+def test_designs_list_renders_families(capsys):
+    assert main(["designs", "list"]) == 0
+    out = capsys.readouterr().out
+    for token in ("synthetic", "hierarchical", "gated", "imported",
+                  "ckt64", "soc_h256", "imp_uart"):
+        assert token in out
+
+
+def test_designs_list_json_one_family(capsys):
+    assert main(["designs", "list", "--family", "imported", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert [row["design"] for row in rows] == ["imp_uart", "imp_noc"]
+    assert all(row["family"] == "imported" for row in rows)
+
+
+def test_designs_show_json(capsys):
+    assert main(["designs", "show", "soc_g128", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["family"] == "gated"
+    assert payload["spec"]["n_domains"] == 2
+    assert len(payload["fingerprint"]) == 64
+
+
+def test_designs_show_unknown_suggests(capsys):
+    with pytest.raises(KeyError, match="ckt256"):
+        main(["designs", "show", "ckt258"])
+
+
+def test_designs_gen_writes_outputs(tmp_path, capsys):
+    out = tmp_path / "d.json"
+    deflite = tmp_path / "d.dl.json"
+    assert main(["designs", "gen", "soc_h64",
+                 "--out", str(out), "--deflite", str(deflite)]) == 0
+    assert out.exists() and deflite.exists()
+    assert json.loads(deflite.read_text())["deflite"] == 1
+    assert "64 sinks" in capsys.readouterr().out
+
+
+def test_designs_import_and_validate(tmp_path, capsys):
+    deflite = tmp_path / "d.dl.json"
+    assert main(["designs", "gen", "imp_uart", "--deflite",
+                 str(deflite)]) == 0
+    built = tmp_path / "built.json"
+    assert main(["designs", "import", str(deflite),
+                 "--name", "uart_copy", "--out", str(built)]) == 0
+    out = capsys.readouterr().out
+    assert "uart_copy" in out and built.exists()
+    assert main(["designs", "validate", str(deflite), "ckt64",
+                 "family:imported"]) == 0
+    out = capsys.readouterr().out
+    assert "ckt64: ok" in out and "imp_noc: ok" in out
+
+
+def test_designs_import_rejects_corrupt(tmp_path, capsys):
+    doc = {"deflite": 1, "name": "bad", "die": [0, 0, 10, 10],
+           "clock": {"period_ps": 1000.0, "source_xy": [5.0, 0.0]},
+           "pins": [{"name": "ff_0", "xy": [50.0, 5.0]}]}
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(doc))
+    assert main(["designs", "import", str(path)]) == 1
+    assert "import-geometry" in capsys.readouterr().out
+    assert main(["designs", "validate", str(path)]) == 1
+
+
+def test_suite_accepts_selectors(capsys):
+    assert main(["suite", "--designs", "imp_uart", "--json",
+                 "--no-cache"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert [row["design"] for row in rows] == ["imp_uart"]
+    assert rows[0]["sinks"] == 48

@@ -1,0 +1,125 @@
+"""Hierarchical SoC generator: regions, domains, gating, traffic."""
+
+import numpy as np
+import pytest
+
+from repro.designs import DesignSpec, generate_design, spec_by_name
+from repro.designs.soc import domain_of_region, htree_leaf_regions
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.io import design_fingerprint
+
+
+def test_leaf_regions_tile_the_die():
+    die = Rect(0.0, 0.0, 100.0, 80.0)
+    for levels in (1, 2, 3, 4):
+        regions = htree_leaf_regions(die, levels)
+        assert len(regions) == 2 ** levels
+        area = sum((r.xhi - r.xlo) * (r.yhi - r.ylo) for r in regions)
+        assert area == pytest.approx((die.xhi - die.xlo)
+                                     * (die.yhi - die.ylo))
+        for r in regions:
+            assert die.xlo <= r.xlo < r.xhi <= die.xhi
+            assert die.ylo <= r.ylo < r.yhi <= die.yhi
+
+
+def test_leaf_regions_alternate_split_axis():
+    die = Rect(0.0, 0.0, 100.0, 100.0)
+    level1 = htree_leaf_regions(die, 1)   # vertical: two 50x100 halves
+    assert level1[0].xhi - level1[0].xlo == pytest.approx(50.0)
+    assert level1[0].yhi - level1[0].ylo == pytest.approx(100.0)
+    level2 = htree_leaf_regions(die, 2)   # then horizontal: 50x50 quads
+    assert level2[0].xhi - level2[0].xlo == pytest.approx(50.0)
+    assert level2[0].yhi - level2[0].ylo == pytest.approx(50.0)
+
+
+def test_domain_assignment_is_region_major_and_total():
+    assert [domain_of_region(i, 8, 1) for i in range(8)] == [0] * 8
+    assert [domain_of_region(i, 8, 2) for i in range(8)] == \
+        [0, 0, 0, 0, 1, 1, 1, 1]
+    assert [domain_of_region(i, 8, 4) for i in range(8)] == \
+        [0, 0, 1, 1, 2, 2, 3, 3]
+    # Uneven splits still cover every domain without overflow.
+    domains = [domain_of_region(i, 8, 3) for i in range(8)]
+    assert set(domains) == {0, 1, 2}
+    assert domains == sorted(domains)
+
+
+def test_htree_needs_at_least_one_level():
+    spec = DesignSpec("flat_htree", n_sinks=8, die_edge=100.0,
+                      generator="htree", htree_levels=0)
+    with pytest.raises(ValueError, match="htree_levels"):
+        generate_design(spec)
+
+
+def test_htree_design_shape():
+    spec = spec_by_name("soc_h64")
+    design = generate_design(spec)
+    assert len(design.clock_sinks) == spec.n_sinks
+    assert len(design.signal_nets) > 0
+    # Clock source sits at the die center (the H-tree root).
+    assert design.clock_root is not None
+    assert design.clock_root.location == Point(spec.die_edge / 2.0,
+                                               spec.die_edge / 2.0)
+    margin = spec.die_edge * 0.03
+    for pin in design.clock_sinks:
+        assert margin <= pin.location.x <= spec.die_edge - margin
+        assert margin <= pin.location.y <= spec.die_edge - margin
+
+
+def test_htree_sinks_cluster_in_leaf_regions():
+    spec = spec_by_name("soc_h256")
+    design = generate_design(spec)
+    regions = htree_leaf_regions(design.die, spec.htree_levels)
+    base = spec.n_sinks // len(regions)
+    for region in regions:
+        inside = sum(1 for pin in design.clock_sinks
+                     if region.contains(pin.location))
+        # The Gaussian cluster keeps the bulk of each region's share
+        # local (tails may spill into neighbours or onto margins).
+        assert inside >= base // 2
+
+
+def test_generation_is_deterministic():
+    spec = spec_by_name("soc_g128")
+    assert design_fingerprint(generate_design(spec)) == \
+        design_fingerprint(generate_design(spec))
+
+
+def test_gated_domains_are_quieter():
+    gated = spec_by_name("soc_g256")
+    baseline = generate_design(spec_by_name("soc_h256"))
+    design = generate_design(gated)
+    mean_gated = np.mean([net.activity for net in design.signal_nets])
+    mean_flat = np.mean([net.activity for net in baseline.signal_nets])
+    assert mean_gated < 0.6 * mean_flat
+
+
+def test_blockages_punch_holes():
+    spec = spec_by_name("soc_h256m")
+    design = generate_design(spec)
+    assert len(design.blockages) == spec.n_blockages
+    for pin in design.clock_sinks:
+        assert not any(b.contains(pin.location) for b in design.blockages)
+
+
+def test_hotspot_traffic_concentrates_activity():
+    spec = DesignSpec("hotspot_probe", n_sinks=64, die_edge=400.0, seed=5,
+                      generator="htree", htree_levels=2, traffic="hotspot")
+    design = generate_design(spec)
+    regions = htree_leaf_regions(design.die, spec.htree_levels)
+    per_region = [[] for _ in regions]
+    for net in design.signal_nets:
+        loc = net.driver.location
+        for i, region in enumerate(regions):
+            if region.contains(loc):
+                per_region[i].append(net.activity)
+                break
+    counts = [len(acts) for acts in per_region]
+    hot = counts.index(max(counts))
+    # The hot region draws ~3x the per-region traffic weight and its
+    # activity is doubled.
+    assert counts[hot] > 1.5 * np.mean(
+        [c for i, c in enumerate(counts) if i != hot])
+    assert np.mean(per_region[hot]) > np.mean(
+        [a for i, acts in enumerate(per_region) if i != hot for a in acts])

@@ -1,0 +1,100 @@
+"""DesignSpec: validation, serialization, content fingerprints."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs import (DesignSpec, spec_by_name, spec_fingerprint,
+                           spec_from_dict, spec_to_dict)
+from repro.designs.spec import SPEC_SCHEMA, TRAFFIC_PROFILES, seeded_rng
+
+
+def test_defaults_match_legacy_generator_knobs():
+    spec = DesignSpec("d", n_sinks=10, die_edge=100.0)
+    assert spec.aggressors_per_sink == 2.0
+    assert spec.mean_activity == 0.15
+    assert spec.generator == "clustered"
+    assert spec.n_domains == 1 and spec.gate_enable == 1.0
+    assert spec.traffic == "uniform"
+    assert spec.n_aggressors == 20
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"traffic": "bursty"},
+    {"gate_enable": -0.1},
+    {"gate_enable": 1.5},
+    {"n_domains": 0},
+])
+def test_invalid_knobs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        DesignSpec("d", n_sinks=10, die_edge=100.0, **kwargs)
+
+
+def test_effective_seed_salt_defaults_to_name():
+    anon = DesignSpec("d", n_sinks=10, die_edge=100.0)
+    pinned = DesignSpec("d", n_sinks=10, die_edge=100.0, seed_salt="other")
+    assert anon.effective_seed_salt == "d"
+    assert pinned.effective_seed_salt == "other"
+
+
+def test_rename_keeps_rng_stream():
+    spec = DesignSpec("a", n_sinks=10, die_edge=100.0, seed_salt="a")
+    renamed = dataclasses.replace(spec, name="b")
+    assert (seeded_rng(spec).integers(0, 10**9)
+            == seeded_rng(renamed).integers(0, 10**9))
+
+
+def test_fingerprint_excludes_name_but_not_content():
+    spec = spec_by_name("ckt64")
+    renamed = dataclasses.replace(spec, name="renamed_ckt64")
+    assert spec_fingerprint(spec) == spec_fingerprint(renamed)
+    reseeded = dataclasses.replace(spec, seed=spec.seed + 1)
+    assert spec_fingerprint(spec) != spec_fingerprint(reseeded)
+
+
+def test_fingerprint_resolves_default_salt():
+    # An unpinned salt hashes as its effective value, so pinning the
+    # salt a spec already uses implicitly does not shift its identity.
+    anon = DesignSpec("d", n_sinks=10, die_edge=100.0)
+    pinned = DesignSpec("d", n_sinks=10, die_edge=100.0, seed_salt="d")
+    assert spec_fingerprint(anon) == spec_fingerprint(pinned)
+
+
+def test_spec_dict_round_trip_and_schema_tag():
+    spec = spec_by_name("soc_g256")
+    payload = spec_to_dict(spec)
+    assert payload["schema"] == SPEC_SCHEMA
+    assert spec_from_dict(payload) == spec
+
+
+def test_spec_from_dict_rejects_unknown_fields():
+    payload = spec_to_dict(spec_by_name("ckt64"))
+    payload["wires"] = 3
+    with pytest.raises(ValueError, match="wires"):
+        spec_from_dict(payload)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_sinks=st.integers(min_value=1, max_value=5000),
+    die_edge=st.floats(min_value=10.0, max_value=1e4, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    seed_salt=st.text(max_size=12),
+    generator=st.sampled_from(["clustered", "htree"]),
+    htree_levels=st.integers(min_value=0, max_value=6),
+    n_domains=st.integers(min_value=1, max_value=8),
+    gate_enable=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    traffic=st.sampled_from(TRAFFIC_PROFILES),
+)
+def test_spec_serialization_round_trips(n_sinks, die_edge, seed, seed_salt,
+                                        generator, htree_levels, n_domains,
+                                        gate_enable, traffic):
+    spec = DesignSpec("prop", n_sinks=n_sinks, die_edge=die_edge, seed=seed,
+                      seed_salt=seed_salt, generator=generator,
+                      htree_levels=htree_levels, n_domains=n_domains,
+                      gate_enable=gate_enable, traffic=traffic)
+    back = spec_from_dict(spec_to_dict(spec))
+    assert back == spec
+    assert spec_fingerprint(back) == spec_fingerprint(spec)
