@@ -61,5 +61,5 @@ def test_fig5_density_sweep(benchmark, capsys, tech):
     assert savings[0] > 5.0
     assert savings[-1] < savings[0]
     assert upgraded[-1] > upgraded[0]
-    assert all(f == 1.0  # lint-units: ok exact 0/1 feasibility flag
+    assert all(f == 1.0  # static: ok[U001] exact 0/1 feasibility flag
                for f in record.series["smart_feasible"].ys)

@@ -49,9 +49,9 @@ def test_fig6_runtime_scaling(benchmark, capsys, matrix):
     # Smart pays an iteration overhead over the uniform flow but stays
     # within a small constant factor at every size.
     for (_, t_all), (_, t_smart) in zip(all_ndr.as_rows(), smart.as_rows()):
-        assert t_smart < 40.0 * max(t_all, 1e-3)  # lint-units: ok 1ms runtime floor, not a conversion
+        assert t_smart < 40.0 * max(t_all, 1e-3)  # static: ok[U002] 1ms runtime floor, not a conversion
     # Near-linear scaling: 16x sinks should cost far less than 100x time.
-    assert smart.ys[-1] < 120.0 * max(smart.ys[0], 1e-3)  # lint-units: ok 1ms runtime floor, not a conversion
+    assert smart.ys[-1] < 120.0 * max(smart.ys[0], 1e-3)  # static: ok[U002] 1ms runtime floor, not a conversion
 
 
 def test_fig6_optimizer_inner_loop_speedup(capsys, matrix):

@@ -22,7 +22,14 @@ cheaply check:
 * every backend exposes the same kernel surface and no cache key
   depends on backend selection (**B-codes**,
   :mod:`repro.analysis.rules_backends`, driven by
-  :data:`repro.engine.invariants.KERNEL_PARITY`).
+  :data:`repro.engine.invariants.KERNEL_PARITY`);
+* every physical quantity flows under its declared dimension — an
+  interprocedural abstract interpretation over the
+  :class:`repro.units.Dim` lattice, seeded from ``Annotated`` signature
+  annotations and the :data:`repro.units.DIMENSIONS` manifest
+  (**Q-codes** plus the lexical **U-codes**,
+  :mod:`repro.analysis.rules_units`, inference in
+  :mod:`repro.analysis.dimensions`).
 
 The machinery: :mod:`repro.analysis.callgraph` builds a module-level
 call graph with import/alias/re-export/self resolution;
@@ -38,36 +45,47 @@ Entry points: ``repro lint --static [pkgroot]`` (CLI) and
 
 from repro.analysis.callgraph import (CallSite, ClassInfo, FunctionInfo,
                                       ModuleInfo, ProgramModel, build_program)
+from repro.analysis.dimensions import (AbsVal, DimConfig, DimensionAnalysis,
+                                       DimFinding, SignatureGap)
 from repro.analysis.effects import (Effect, EffectOrigin, TransitiveOrigin,
                                     direct_effects, param_attr_reads,
                                     reachable_from, transitive_origins)
 from repro.analysis.report import (DEFAULT_DETERMINISM_ROOTS,
+                                   DEFAULT_DIM_SIGNATURE_ROOTS,
                                    DEFAULT_PROCESS_ROOTS,
                                    DEFAULT_WORKER_GROUPS, ContextStateSpec,
                                    StaticContext, Suppression, WorkerGroup,
                                    analyze_program, build_static_context,
+                                   expand_code_patterns,
                                    unsuppressed_rationales)
 
-# Importing the rule modules registers every D/C/I/S/B check; keep
+# Importing the rule modules registers every D/C/I/S/B/Q/U check; keep
 # these after the registry-facing imports (they decorate into it).
 from repro.analysis import rules_determinism as _rules_d   # noqa: E402,F401
 from repro.analysis import rules_cachekey as _rules_c      # noqa: E402,F401
 from repro.analysis import rules_invalidation as _rules_i  # noqa: E402,F401
 from repro.analysis import rules_state as _rules_s         # noqa: E402,F401
 from repro.analysis import rules_backends as _rules_b      # noqa: E402,F401
+from repro.analysis import rules_units as _rules_q         # noqa: E402,F401
 
 __all__ = [
+    "AbsVal",
     "CallSite",
     "ClassInfo",
     "ContextStateSpec",
     "DEFAULT_DETERMINISM_ROOTS",
+    "DEFAULT_DIM_SIGNATURE_ROOTS",
     "DEFAULT_PROCESS_ROOTS",
     "DEFAULT_WORKER_GROUPS",
+    "DimConfig",
+    "DimFinding",
+    "DimensionAnalysis",
     "Effect",
     "EffectOrigin",
     "FunctionInfo",
     "ModuleInfo",
     "ProgramModel",
+    "SignatureGap",
     "StaticContext",
     "Suppression",
     "TransitiveOrigin",
@@ -76,6 +94,7 @@ __all__ = [
     "build_program",
     "build_static_context",
     "direct_effects",
+    "expand_code_patterns",
     "param_attr_reads",
     "reachable_from",
     "transitive_origins",

@@ -1,0 +1,863 @@
+"""Flow-sensitive, interprocedural physical-dimension inference.
+
+Every quantity in this library is a plain ``float`` in the coherent
+unit system of :mod:`repro.units`; nothing at runtime stops a frequency
+from flowing into a period slot or a pF value from being added to an
+fF total.  This module types the physics statically: an abstract
+interpreter over the :class:`~repro.analysis.callgraph.ProgramModel`
+assigns every expression a point of the :class:`repro.units.Dim`
+lattice and propagates it
+
+* through arithmetic with product/quotient exponent algebra
+  (``R * C -> time``, ``C * V**2 -> energy``, ``energy * f -> power``,
+  ``1 / time -> frequency``),
+* through numpy elementwise ops and reductions (the batched engine's
+  CSR arenas carry the dimension of their elements),
+* across calls, to a fixpoint: a function's return dimension is the
+  join of its return expressions under the current summaries, and
+  annotated parameters type-check every call site.
+
+Dimensions are *seeded* from three declarative sources, in priority
+order:
+
+1. ``Annotated[float, Dim.X]`` signature annotations (and dataclass
+   field annotations) on public boundaries;
+2. the :data:`repro.units.DIMENSIONS` manifest — field/parameter/key
+   names with a declared dimension (``vdd`` is a voltage wherever it
+   appears as an attribute, mapping key or parameter name);
+3. the :data:`repro.units.UNIT_DIMENSIONS` table — multiplying by a
+   named unit constant (``3.0 * NS``) tags the product.
+
+Numeric literals are dimension *chameleons*: ``total = 0.0`` then
+``total += cap`` infers capacitance without a false mismatch, but two
+non-literal operands of different concrete dimensions are reported.
+``Dim.TOP`` (unknown) absorbs every operation — an unknown can never
+launder into a concrete dimension, so every finding rests on a chain
+of declared facts.  The Q-rules in
+:mod:`repro.analysis.rules_units` turn the collected
+:class:`DimFinding` records into registry diagnostics.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.callgraph import (FunctionInfo, ModuleInfo, ProgramModel,
+                                      _CallCollector, _dotted_name)
+from repro.units import DIM_NAMES, Dim
+
+#: Fixpoint pass cap: dimension summaries converge in 2-3 passes on
+#: this codebase; the cap only guards against a pathological cycle.
+MAX_FIXPOINT_PASSES = 8
+
+#: Literals that smell like milli/kilo conversions (matches the U002
+#: rule); multiplying a *dimensioned* value by one is a Q002 finding.
+CONVERSION_LITERAL_VALUES: Tuple[float, ...] = (
+    1000.0, 0.001)  # static: ok[U002] the rule's own definition
+
+#: The reciprocal / rate confusion pairs Q003 calls out by name.
+_CONFUSION_PAIRS: Tuple[Tuple[Dim, Dim, str], ...] = (
+    (Dim.TIME, Dim.FREQUENCY, "frequency/period confusion"),
+    (Dim.ENERGY, Dim.POWER, "energy/power confusion"),
+)
+
+
+@dataclass(frozen=True)
+class DimConfig:
+    """Everything one dimension-inference run is seeded with."""
+
+    #: field / parameter / mapping-key name -> declared dimension.
+    manifest: Mapping[str, Dim] = field(default_factory=dict)
+    #: fully-qualified constant name -> dimension
+    #: (``"repro.units.NS" -> Dim.TIME``).
+    unit_constants: Mapping[str, Dim] = field(default_factory=dict)
+    #: module-name prefixes whose public signatures the Q004 coverage
+    #: ratchet applies to.
+    signature_roots: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """Abstract value: a lattice point plus literal provenance.
+
+    ``literal`` marks values derived purely from numeric literals
+    (``0.0``, ``[0.0] * n``, ``np.zeros(...)``); they unify with any
+    dimension instead of raising a mismatch, so accumulator seeds and
+    tolerance guards stay silent.
+    """
+
+    dim: Dim
+    literal: bool = False
+
+
+_TOP = AbsVal(Dim.TOP)
+_LIT = AbsVal(Dim.DIMENSIONLESS, literal=True)
+
+
+@dataclass(frozen=True)
+class DimFinding:
+    """One raw inference finding, before registry filtering."""
+
+    code: str
+    module: str
+    lineno: int
+    function: str
+    message: str
+    hint: str = ""
+
+
+@dataclass(frozen=True)
+class SignatureGap:
+    """One public unit-bearing signature slot lacking an annotation."""
+
+    function: str
+    module: str
+    lineno: int
+    slot: str       # parameter name, or "return"
+    dim: Dim        # the dimension the manifest declares for the name
+
+
+def annotation_dim(node: Optional[ast.expr]) -> Optional[Dim]:
+    """The ``Dim.X`` member named inside an annotation expression.
+
+    Recognises ``Annotated[float, Dim.TIME]`` (and any other position
+    of a ``Dim.X`` attribute inside the annotation), including the
+    string form dataclass collectors keep.  Returns ``None`` when the
+    annotation carries no dimension marker.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in DIM_NAMES:
+            base = _dotted_name(sub.value)
+            if base is not None and base.split(".")[-1] == "Dim":
+                return DIM_NAMES[sub.attr]
+    return None
+
+
+def annotation_dim_source(source: str) -> Optional[Dim]:
+    """:func:`annotation_dim` over an annotation's source text."""
+    try:
+        return annotation_dim(ast.parse(source, mode="eval").body)
+    except SyntaxError:
+        return None
+
+
+def _literal_float(node: ast.expr) -> Optional[float]:
+    """Value of a (possibly sign-prefixed) numeric literal, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub,
+                                                              ast.UAdd)):
+        inner = _literal_float(node.operand)
+        if inner is not None:
+            return -inner if isinstance(node.op, ast.USub) else inner
+    return None
+
+
+#: External calls that return their first argument's dimension
+#: (reductions and casts over containers are elementwise: a vector of
+#: delays reduces to a delay).
+_PRESERVE_FIRST = frozenset({
+    "builtins.abs", "builtins.sum", "builtins.sorted", "builtins.float",
+    "builtins.round", "math.fsum", "math.fabs", "numpy.sum", "numpy.abs",
+    "numpy.absolute", "numpy.asarray", "numpy.array", "numpy.sort",
+    "numpy.cumsum", "numpy.mean", "numpy.median", "numpy.std",
+    "numpy.ravel", "numpy.copy", "numpy.ascontiguousarray",
+    "numpy.atleast_1d", "numpy.percentile", "numpy.quantile",
+    "numpy.repeat", "numpy.tile", "numpy.diff", "numpy.flip",
+    "numpy.ptp", "numpy.take", "numpy.broadcast_to",
+})
+
+#: External calls whose result joins every argument's dimension.
+_JOIN_ARGS = frozenset({
+    "builtins.min", "builtins.max", "numpy.maximum", "numpy.minimum",
+    "numpy.max", "numpy.min", "numpy.amax", "numpy.amin", "numpy.hypot",
+    "numpy.concatenate", "numpy.append", "numpy.clip", "numpy.fmax",
+    "numpy.fmin",
+})
+
+_SQRT = frozenset({"math.sqrt", "numpy.sqrt"})
+_MUL_ARGS = frozenset({"numpy.multiply", "numpy.dot", "numpy.outer",
+                       "numpy.matmul", "math.prod"})
+_DIV_ARGS = frozenset({"numpy.divide", "numpy.true_divide"})
+_ADD_ARGS = frozenset({"numpy.add", "numpy.subtract"})
+
+#: External calls producing dimension-chameleon (literal) scalars or
+#: arrays: sizes, counts, fresh zero-filled accumulators.
+_LITERAL_RESULTS = frozenset({
+    "builtins.len", "builtins.int", "builtins.bool", "numpy.zeros",
+    "numpy.ones", "numpy.empty", "numpy.arange", "numpy.argsort",
+    "numpy.argmax", "numpy.argmin", "numpy.count_nonzero",
+    "numpy.searchsorted", "numpy.sign", "numpy.eye",
+})
+
+
+class DimensionAnalysis:
+    """One whole-program dimension-inference run.
+
+    Construction runs the fixpoint and the reporting pass; the results
+    are the :attr:`findings` list (Q001/Q002/Q003/Q005 raw findings)
+    and the Q004 :attr:`gaps` / :attr:`covered` signature-coverage
+    tallies.
+    """
+
+    def __init__(self, program: ProgramModel, config: DimConfig) -> None:
+        self.program = program
+        self.config = config
+        #: function qualname -> parameter name -> seeded dimension.
+        self.param_dims: Dict[str, Dict[str, Dim]] = {}
+        #: function qualname -> declared (annotated) return dimension.
+        self.return_declared: Dict[str, Optional[Dim]] = {}
+        #: function qualname -> inferred return dimension (fixpoint).
+        self.return_inferred: Dict[str, Dim] = {}
+        #: class qualname -> field name -> dimension (Annotated fields).
+        self.field_dims: Dict[str, Dict[str, Dim]] = {}
+        self.findings: List[DimFinding] = []
+        self.gaps: List[SignatureGap] = []
+        self.covered: int = 0
+        self._resolvers: Dict[str, _CallCollector] = {}
+        self._module_consts: Dict[str, Dict[str, AbsVal]] = {}
+        self._seed()
+        self._fixpoint()
+        self._report()
+        self._coverage()
+
+    # -- seeding -------------------------------------------------------------
+
+    def _seed(self) -> None:
+        manifest = self.config.manifest
+        for qualname, fn in self.program.functions.items():
+            dims: Dict[str, Dim] = {}
+            for arg in self._all_args(fn):
+                dim = annotation_dim(arg.annotation)
+                if dim is None:
+                    dim = manifest.get(arg.arg, Dim.TOP)
+                dims[arg.arg] = dim
+            if fn.params[:1] in (("self",), ("cls",)):
+                dims[fn.params[0]] = Dim.TOP
+            self.param_dims[qualname] = dims
+            self.return_declared[qualname] = annotation_dim(fn.node.returns)
+            self.return_inferred[qualname] = Dim.BOTTOM
+        for qualname, cls in self.program.classes.items():
+            dims = {}
+            for name, source in cls.field_annotations.items():
+                dim = annotation_dim_source(source)
+                if dim is not None:
+                    dims[name] = dim
+            if dims:
+                self.field_dims[qualname] = dims
+
+    @staticmethod
+    def _all_args(fn: FunctionInfo) -> List[ast.arg]:
+        args = fn.node.args
+        return [*args.posonlyargs, *args.args, *args.kwonlyargs]
+
+    def _resolver(self, fn: FunctionInfo) -> _CallCollector:
+        cached = self._resolvers.get(fn.qualname)
+        if cached is None:
+            module = self.program.modules[fn.module]
+            cached = _CallCollector(self.program, module, fn)
+            self._resolvers[fn.qualname] = cached
+        return cached
+
+    def _module_constants(self, module: ModuleInfo) -> Dict[str, AbsVal]:
+        """Module-level ``NAME = <numeric literal>`` bindings."""
+        cached = self._module_consts.get(module.name)
+        if cached is None:
+            cached = {}
+            try:
+                tree = ast.parse("\n".join(module.source_lines))
+            except SyntaxError:  # pragma: no cover - parsed once already
+                tree = ast.Module(body=[], type_ignores=[])
+            for stmt in tree.body:
+                target: Optional[ast.expr] = None
+                value: Optional[ast.expr] = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    target, value = stmt.target, stmt.value
+                if isinstance(target, ast.Name) and value is not None \
+                        and _literal_float(value) is not None:
+                    cached[target.id] = _LIT
+            self._module_consts[module.name] = cached
+        return cached
+
+    # -- fixpoint + reporting ------------------------------------------------
+
+    def return_summary(self, qualname: str, *, final: bool) -> Dim:
+        """A callee's return dimension under the current summaries."""
+        declared = self.return_declared.get(qualname)
+        if declared is not None:
+            return declared
+        inferred = self.return_inferred.get(qualname, Dim.BOTTOM)
+        if final and inferred == Dim.BOTTOM:
+            return Dim.TOP
+        return inferred
+
+    def _fixpoint(self) -> None:
+        for _ in range(MAX_FIXPOINT_PASSES):
+            changed = False
+            for qualname, fn in self.program.functions.items():
+                result = _BodyEval(self, fn, report=False).run()
+                if result != self.return_inferred[qualname]:
+                    self.return_inferred[qualname] = result
+                    changed = True
+            if not changed:
+                break
+
+    def _report(self) -> None:
+        seen: set[Tuple[str, str, int, str]] = set()
+        for fn in self.program.functions.values():
+            evaluator = _BodyEval(self, fn, report=True)
+            evaluator.run()
+            for finding in evaluator.findings:
+                key = (finding.code, finding.module, finding.lineno,
+                       finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    self.findings.append(finding)
+        self.findings.sort(key=lambda f: (f.module, f.lineno, f.code))
+
+    # -- Q004 signature coverage ---------------------------------------------
+
+    def _public(self, fn: FunctionInfo) -> bool:
+        if fn.name.startswith("_"):
+            return False
+        if fn.class_qualname is not None:
+            cls = self.program.classes[fn.class_qualname]
+            if cls.name.startswith("_"):
+                return False
+        return True
+
+    def _in_signature_roots(self, module: str) -> bool:
+        return any(module == root or module.startswith(root + ".")
+                   for root in self.config.signature_roots)
+
+    def _coverage(self) -> None:
+        """Tally annotated vs. manifest-named-but-bare ``float`` slots."""
+        manifest = self.config.manifest
+
+        def bearing(name: str) -> Optional[Dim]:
+            dim = manifest.get(name)
+            if dim is not None and dim.is_concrete \
+                    and not dim.is_dimensionless:
+                return dim
+            return None
+
+        for fn in self.program.functions.values():
+            if not self._in_signature_roots(fn.module) \
+                    or not self._public(fn):
+                continue
+            for arg in self._all_args(fn):
+                if arg.arg in ("self", "cls"):
+                    continue
+                if annotation_dim(arg.annotation) is not None:
+                    self.covered += 1
+                    continue
+                if isinstance(arg.annotation, ast.Name) \
+                        and arg.annotation.id == "float":
+                    dim = bearing(arg.arg)
+                    if dim is not None:
+                        self.gaps.append(SignatureGap(
+                            function=fn.qualname, module=fn.module,
+                            lineno=fn.lineno, slot=arg.arg, dim=dim))
+            returns = fn.node.returns
+            if annotation_dim(returns) is not None:
+                self.covered += 1
+            elif isinstance(returns, ast.Name) and returns.id == "float":
+                dim = bearing(fn.name)
+                if dim is not None:
+                    self.gaps.append(SignatureGap(
+                        function=fn.qualname, module=fn.module,
+                        lineno=fn.lineno, slot="return", dim=dim))
+
+
+class _BodyEval:
+    """Abstract interpretation of one function body.
+
+    Statements execute in source order over a mutable environment
+    (flow-sensitive in the straight-line sense: an assignment's
+    dimension is visible to everything after it); compound statements
+    share the environment, which over-approximates merges toward
+    ``join`` at re-assignments.
+    """
+
+    def __init__(self, analysis: DimensionAnalysis, fn: FunctionInfo,
+                 report: bool) -> None:
+        self.a = analysis
+        self.fn = fn
+        self.report = report
+        self.module = analysis.program.modules[fn.module]
+        self.resolver = analysis._resolver(fn)
+        self.env: Dict[str, AbsVal] = {
+            name: AbsVal(dim)
+            for name, dim in analysis.param_dims[fn.qualname].items()}
+        self.return_dim = Dim.BOTTOM
+        self.findings: List[DimFinding] = []
+
+    def run(self) -> Dim:
+        self._exec_block(self.fn.node.body)
+        return self.return_dim
+
+    # -- findings ------------------------------------------------------------
+
+    def _emit(self, code: str, lineno: int, message: str,
+              hint: str = "") -> None:
+        if self.report:
+            self.findings.append(DimFinding(
+                code=code, module=self.fn.module, lineno=lineno,
+                function=self.fn.qualname, message=message, hint=hint))
+
+    # -- abstract arithmetic -------------------------------------------------
+
+    def _add(self, left: AbsVal, right: AbsVal, lineno: int,
+             what: str) -> AbsVal:
+        da, db = left.dim, right.dim
+        if da.special == "bottom" or db.special == "bottom":
+            return AbsVal(da.join(db), left.literal and right.literal)
+        if da.special == "top" or db.special == "top":
+            return _TOP
+        if da == db:
+            return AbsVal(da, left.literal and right.literal)
+        # Literal operands are chameleons: 0.0 + cap is a seeded
+        # accumulator, not a mismatch.
+        if left.literal:
+            return AbsVal(db)
+        if right.literal:
+            return AbsVal(da)
+        self._emit(
+            "Q001", lineno,
+            f"{what} mixes '{da.label()}' with '{db.label()}' in "
+            f"{self.fn.qualname}",
+            hint="operands of +/-/comparison must share a dimension; "
+                 "convert explicitly with the repro.units constants or "
+                 "fix the upstream quantity")
+        return _TOP
+
+    def _mul_like(self, left: AbsVal, right: AbsVal, *, divide: bool,
+                  left_node: ast.expr, right_node: ast.expr,
+                  lineno: int) -> AbsVal:
+        self._check_conversion(left, right_node, lineno)
+        self._check_conversion(right, left_node, lineno)
+        dim = left.dim.div(right.dim) if divide else left.dim.mul(right.dim)
+        return AbsVal(dim, left.literal and right.literal)
+
+    def _check_conversion(self, value: AbsVal, other_node: ast.expr,
+                          lineno: int) -> None:
+        """Q002: a dimensioned value scaled by a magic 1e3/1e-3 literal."""
+        literal = _literal_float(other_node)
+        if literal is None or abs(literal) not in CONVERSION_LITERAL_VALUES:
+            return
+        if value.dim.is_concrete and not value.dim.is_dimensionless \
+                and not value.literal:
+            self._emit(
+                "Q002", lineno,
+                f"'{value.dim.label()}' value scaled by the unnamed "
+                f"conversion constant {literal!r} in {self.fn.qualname} — "
+                f"the dimension survives but the unit silently changes "
+                f"scale",
+                hint="spell the conversion with a named repro.units "
+                     "constant (NS, PF, OHM, ...) so it stays greppable "
+                     "and checkable")
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec_block(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, value, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            declared = annotation_dim(stmt.annotation)
+            value = self._eval(stmt.value) if stmt.value is not None else _TOP
+            if declared is not None:
+                value = AbsVal(declared)
+            self._bind(stmt.target, value, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id, _TOP)
+                if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                    result = self._add(current, value, stmt.lineno,
+                                       "augmented assignment")
+                elif isinstance(stmt.op, ast.Mult):
+                    result = self._mul_like(
+                        current, value, divide=False,
+                        left_node=stmt.target, right_node=stmt.value,
+                        lineno=stmt.lineno)
+                elif isinstance(stmt.op, (ast.Div, ast.FloorDiv)):
+                    result = self._mul_like(
+                        current, value, divide=True,
+                        left_node=stmt.target, right_node=stmt.value,
+                        lineno=stmt.lineno)
+                else:
+                    result = _TOP
+                self.env[stmt.target.id] = result
+            else:
+                self._store_join(stmt.target, value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._eval(stmt.value)
+                self.return_dim = self.return_dim.join(value.dim)
+                declared = self.a.return_declared.get(self.fn.qualname)
+                if declared is not None and declared.is_concrete \
+                        and value.dim.is_concrete and not value.literal \
+                        and value.dim != declared:
+                    self._emit(
+                        "Q001", stmt.lineno,
+                        f"{self.fn.qualname} returns '{value.dim.label()}' "
+                        f"where its signature declares "
+                        f"'{declared.label()}'",
+                        hint="fix the computation or the Annotated "
+                             "return dimension")
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = self._eval(stmt.iter)
+            self._bind(stmt.target, iterable, None)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc)
+        # Imports, pass, global/nonlocal, nested defs: no dimensions.
+
+    def _bind(self, target: ast.expr, value: AbsVal,
+              value_node: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value_node, (ast.Tuple, ast.List)) \
+                    and len(value_node.elts) == len(target.elts):
+                for sub_target, sub_value in zip(target.elts,
+                                                 value_node.elts):
+                    self._bind(sub_target, self._eval(sub_value), sub_value)
+            else:
+                for sub_target in target.elts:
+                    self._bind(sub_target, _TOP, None)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, _TOP, None)
+        else:
+            self._store_join(target, value)
+
+    def _store_join(self, target: ast.expr, value: AbsVal) -> None:
+        """``arr[i] = v``: the container absorbs the element dimension."""
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if isinstance(base, ast.Name) and base.id in self.env:
+            current = self.env[base.id]
+            if current.literal:
+                # A fresh zero-filled accumulator commits to the first
+                # stored dimension.
+                self.env[base.id] = AbsVal(value.dim, value.literal)
+            else:
+                self.env[base.id] = AbsVal(current.dim.join(value.dim))
+
+    # -- expressions ---------------------------------------------------------
+
+    def _eval(self, node: ast.expr) -> AbsVal:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) \
+                    or isinstance(node.value, (int, float, complex)):
+                return _LIT
+            return _TOP
+        if isinstance(node, ast.Name):
+            return self._eval_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, (ast.USub, ast.UAdd)):
+                return self._eval(node.operand)
+            self._eval(node.operand)
+            return _LIT if isinstance(node.op, ast.Not) else _TOP
+        if isinstance(node, ast.BoolOp):
+            out = AbsVal(Dim.BOTTOM, True)
+            for value_node in node.values:
+                out = self._join_vals(out, self._eval(value_node))
+            return out
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            body, orelse = self._eval(node.body), self._eval(node.orelse)
+            return self._join_vals(body, orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = AbsVal(Dim.BOTTOM, True)
+            for elt in node.elts:
+                out = self._join_vals(out, self._eval(elt))
+            return out if node.elts else _LIT
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                self._bind(gen.target, self._eval(gen.iter), None)
+                for cond in gen.ifs:
+                    self._eval(cond)
+            return self._eval(node.elt)
+        if isinstance(node, ast.DictComp):
+            for gen in node.generators:
+                self._bind(gen.target, self._eval(gen.iter), None)
+            self._eval(node.key)
+            self._eval(node.value)
+            return _TOP
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value)
+            self._bind(node.target, value, node.value)
+            return value
+        if isinstance(node, ast.Await):
+            return self._eval(node.value)
+        return _TOP
+
+    @staticmethod
+    def _join_vals(left: AbsVal, right: AbsVal) -> AbsVal:
+        if left.literal != right.literal:
+            # max(0.0, delay) merges the literal chameleon into the
+            # dimensioned branch instead of widening to TOP.
+            lit, other = (left, right) if left.literal else (right, left)
+            if other.dim.special == "bottom":
+                return lit
+            return AbsVal(other.dim)
+        return AbsVal(left.dim.join(right.dim),
+                      left.literal and right.literal)
+
+    def _eval_name(self, name: str) -> AbsVal:
+        if name in self.env:
+            return self.env[name]
+        resolved = self.resolver.resolve_name(name)
+        if resolved is not None and resolved in self.a.config.unit_constants:
+            return AbsVal(self.a.config.unit_constants[resolved])
+        if name in self._consts():
+            return self._consts()[name]
+        return _TOP
+
+    def _consts(self) -> Dict[str, AbsVal]:
+        return self.a._module_constants(self.module)
+
+    def _eval_attribute(self, node: ast.Attribute) -> AbsVal:
+        dotted = _dotted_name(node)
+        if dotted is not None:
+            resolved = self.resolver.resolve_name(dotted)
+            if resolved is not None \
+                    and resolved in self.a.config.unit_constants:
+                return AbsVal(self.a.config.unit_constants[resolved])
+        # self.field with a declared (Annotated) dataclass field dim.
+        if isinstance(node.value, ast.Name) and node.value.id == "self" \
+                and self.fn.class_qualname is not None:
+            fields = self.a.field_dims.get(self.fn.class_qualname, {})
+            if node.attr in fields:
+                return AbsVal(fields[node.attr])
+        manifest_dim = self.a.config.manifest.get(node.attr)
+        if manifest_dim is not None:
+            return AbsVal(manifest_dim)
+        return _TOP
+
+    def _eval_subscript(self, node: ast.Subscript) -> AbsVal:
+        base = self._eval(node.value)
+        if isinstance(node.slice, ast.Constant) \
+                and isinstance(node.slice.value, str):
+            manifest_dim = self.a.config.manifest.get(node.slice.value)
+            if manifest_dim is not None:
+                return AbsVal(manifest_dim)
+            return _TOP
+        if isinstance(node.slice, ast.Tuple):
+            for elt in node.slice.elts:
+                self._eval(elt)
+        else:
+            self._eval(node.slice)
+        # Containers are elementwise: a vector of delays indexes (or
+        # slices) to a delay.
+        return AbsVal(base.dim, base.literal)
+
+    def _eval_binop(self, node: ast.BinOp) -> AbsVal:
+        left = self._eval(node.left)
+        right = self._eval(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            return self._add(left, right, node.lineno, "arithmetic")
+        if isinstance(node.op, (ast.Mult, ast.MatMult)):
+            return self._mul_like(left, right, divide=False,
+                                  left_node=node.left,
+                                  right_node=node.right,
+                                  lineno=node.lineno)
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            return self._mul_like(left, right, divide=True,
+                                  left_node=node.left,
+                                  right_node=node.right,
+                                  lineno=node.lineno)
+        if isinstance(node.op, ast.Mod):
+            return self._add(left, right, node.lineno, "modulo")
+        if isinstance(node.op, ast.Pow):
+            exponent = _literal_float(node.right)
+            if exponent is not None:
+                return AbsVal(left.dim.pow(Fraction(exponent)),
+                              left.literal)
+            if left.dim.is_dimensionless:
+                return AbsVal(Dim.DIMENSIONLESS, left.literal)
+            return _TOP
+        return _TOP
+
+    def _eval_compare(self, node: ast.Compare) -> AbsVal:
+        operands = [self._eval(operand)
+                    for operand in (node.left, *node.comparators)]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq, ast.Lt, ast.LtE,
+                               ast.Gt, ast.GtE)):
+                self._add(left, right, node.lineno, "comparison")
+        return _LIT
+
+    # -- calls ---------------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call) -> AbsVal:
+        pos_vals = [self._eval(arg) for arg in node.args
+                    if not isinstance(arg, ast.Starred)]
+        kw_vals = {kw.arg: self._eval(kw.value)
+                   for kw in node.keywords if kw.arg is not None}
+        site = self.resolver._classify(node.func)
+        if site.target is not None:
+            return self._in_program_call(node, site.target, pos_vals,
+                                         kw_vals)
+        if site.external is not None:
+            return self._external_call(site.external, node, pos_vals)
+        return _TOP
+
+    def _in_program_call(self, node: ast.Call, target: str,
+                         pos_vals: List[AbsVal],
+                         kw_vals: Dict[str, AbsVal]) -> AbsVal:
+        callee = self.a.program.functions[target]
+        params = list(callee.params)
+        offset = 1 if params[:1] in (["self"], ["cls"]) else 0
+        pos_nodes = [arg for arg in node.args
+                     if not isinstance(arg, ast.Starred)]
+        for index, (arg_node, value) in enumerate(zip(pos_nodes, pos_vals)):
+            slot = index + offset
+            if slot < len(params):
+                self._check_arg(node, arg_node, value, target,
+                                params[slot])
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in params:
+                self._check_arg(node, kw.value, kw_vals[kw.arg], target,
+                                kw.arg)
+        if callee.name == "__init__":
+            return _TOP  # constructing an object, not a number
+        return AbsVal(self.a.return_summary(target, final=self.report))
+
+    def _manifest_source(self, node: ast.expr) -> Optional[str]:
+        """Name of the declared manifest field ``node`` directly reads."""
+        inner = node
+        while isinstance(inner, ast.Call) and not isinstance(
+                inner.func, ast.Attribute):
+            # unwrap float(...) style casts
+            if inner.args:
+                inner = inner.args[0]
+            else:
+                break
+        if isinstance(inner, ast.Attribute) \
+                and inner.attr in self.a.config.manifest:
+            return inner.attr
+        if isinstance(inner, ast.Subscript) \
+                and isinstance(inner.slice, ast.Constant) \
+                and isinstance(inner.slice.value, str) \
+                and inner.slice.value in self.a.config.manifest:
+            return inner.slice.value
+        return None
+
+    def _check_arg(self, call: ast.Call, arg_node: ast.expr, value: AbsVal,
+                   target: str, param: str) -> None:
+        declared = self.a.param_dims[target].get(param, Dim.TOP)
+        if not declared.is_concrete or not value.dim.is_concrete \
+                or value.literal or value.dim == declared:
+            return
+        confusion = ""
+        for dim_a, dim_b, label in _CONFUSION_PAIRS:
+            if {value.dim, declared} == {dim_a, dim_b}:
+                confusion = f" ({label})"
+        source = self._manifest_source(arg_node)
+        if source is not None:
+            self._emit(
+                "Q005", call.lineno,
+                f"field '{source}' is declared "
+                f"'{self.a.config.manifest[source].label()}' in the "
+                f"DIMENSIONS manifest but {target} consumes it as "
+                f"'{declared.label()}' (parameter '{param}')"
+                f"{confusion}",
+                hint="convert the field before the call or fix the "
+                     "DIMENSIONS entry if the declaration is wrong")
+        else:
+            self._emit(
+                "Q003", call.lineno,
+                f"argument '{param}' of {target} expects "
+                f"'{declared.label()}' but receives "
+                f"'{value.dim.label()}'{confusion}",
+                hint="invert/convert the value at the call site "
+                     "(1/period is a frequency; energy*frequency is a "
+                     "power) or fix the callee's annotation")
+
+    def _external_call(self, external: str, node: ast.Call,
+                       pos_vals: List[AbsVal]) -> AbsVal:
+        if external in _PRESERVE_FIRST:
+            return pos_vals[0] if pos_vals else _TOP
+        if external in _JOIN_ARGS:
+            out = AbsVal(Dim.BOTTOM, True)
+            for value in pos_vals:
+                out = self._join_vals(out, value)
+            return out if pos_vals else _TOP
+        if external in _SQRT:
+            return AbsVal(pos_vals[0].dim.pow(Fraction(1, 2)),
+                          pos_vals[0].literal) if pos_vals else _TOP
+        if external == "numpy.square":
+            return AbsVal(pos_vals[0].dim.pow(2),
+                          pos_vals[0].literal) if pos_vals else _TOP
+        if external in _MUL_ARGS and len(pos_vals) >= 2:
+            return AbsVal(pos_vals[0].dim.mul(pos_vals[1].dim),
+                          pos_vals[0].literal and pos_vals[1].literal)
+        if external in _DIV_ARGS and len(pos_vals) >= 2:
+            return AbsVal(pos_vals[0].dim.div(pos_vals[1].dim),
+                          pos_vals[0].literal and pos_vals[1].literal)
+        if external in _ADD_ARGS and len(pos_vals) >= 2:
+            return self._add(pos_vals[0], pos_vals[1], node.lineno,
+                             "elementwise arithmetic")
+        if external == "numpy.where" and len(pos_vals) == 3:
+            return self._join_vals(pos_vals[1], pos_vals[2])
+        if external in _LITERAL_RESULTS:
+            return _LIT
+        return _TOP

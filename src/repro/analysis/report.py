@@ -27,11 +27,12 @@ from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence, Union
 
 from repro.analysis.callgraph import ProgramModel, build_program
 from repro.verify.diagnostics import Diagnostic, Severity, VerifyReport
-from repro.verify.registry import register, run_checks
+from repro.verify.registry import register, registered_checks, run_checks
 
 if TYPE_CHECKING:  # runtime imports stay lazy: the analyzer is AST-pure
     from repro.engine.invariants import KernelParitySpec, StateInvariant
     from repro.io.artifacts import StageKeyEntry
+    from repro.units import Dim
 
 #: ``# static: ok[D001]`` / ``# static: ok[D002,C003] rationale``
 SUPPRESS_RE = re.compile(r"#\s*static:\s*ok\[([A-Z0-9,\s]+)\]\s*(.*)")
@@ -113,6 +114,13 @@ DEFAULT_BACKEND_SOURCES: tuple[str, ...] = (
     "repro.engine.backends.get_backend",
 )
 
+#: Module prefixes whose public unit-bearing signatures the Q004
+#: annotation-coverage ratchet applies to.
+DEFAULT_DIM_SIGNATURE_ROOTS: tuple[str, ...] = (
+    "repro.timing", "repro.power", "repro.extract", "repro.reliability",
+    "repro.engine",
+)
+
 
 @dataclass
 class Suppression:
@@ -143,6 +151,12 @@ class StaticContext:
     kernel_parity: Optional["KernelParitySpec"] = None
     key_builders: tuple[str, ...] = ()
     backend_sources: tuple[str, ...] = ()
+    #: Dimension-inference config (Q codes): the DIMENSIONS manifest,
+    #: the fully-qualified unit-constant table and the Q004 signature
+    #: roots.  Empty by default for the same fixture-isolation reason.
+    dimensions_manifest: dict[str, "Dim"] = field(default_factory=dict)
+    unit_constants: dict[str, "Dim"] = field(default_factory=dict)
+    dim_signature_roots: tuple[str, ...] = ()
     _suppressions: Optional[dict[tuple[str, int], Suppression]] = field(
         default=None, repr=False)
 
@@ -241,6 +255,7 @@ def build_static_context(
     from repro.engine.invariants import ENGINE_STATE_INVARIANTS, KERNEL_PARITY
     from repro.io.artifacts import STAGE_KEY_MANIFEST
     from repro.runner.runner import FORWARDED_ENV_WHITELIST
+    from repro.units import DIMENSIONS, UNIT_DIMENSIONS
 
     if paths:
         if len(paths) > 1:
@@ -258,12 +273,45 @@ def build_static_context(
                          context_specs=DEFAULT_CONTEXT_SPECS,
                          kernel_parity=KERNEL_PARITY,
                          key_builders=DEFAULT_KEY_BUILDERS,
-                         backend_sources=DEFAULT_BACKEND_SOURCES)
+                         backend_sources=DEFAULT_BACKEND_SOURCES,
+                         dimensions_manifest=dict(DIMENSIONS),
+                         unit_constants={
+                             f"repro.units.{name}": dim
+                             for name, dim in UNIT_DIMENSIONS.items()},
+                         dim_signature_roots=DEFAULT_DIM_SIGNATURE_ROOTS)
 
 
-def analyze_program(ctx: StaticContext) -> VerifyReport:
-    """Run every registered static check over ``ctx``."""
-    return run_checks(ctx, kinds=["static"])  # type: ignore[arg-type]
+def expand_code_patterns(codes: Sequence[str]) -> list[str]:
+    """Expand ``fnmatch`` patterns (``Q*``, ``U00?``) to static rule ids.
+
+    Raises :class:`KeyError` for a pattern that matches no registered
+    static check — a silent no-match would make ``--codes Q*`` look
+    clean when the Q family simply failed to register.
+    """
+    import fnmatch
+
+    available = [check.rule for check in registered_checks(["static"])]
+    selected: list[str] = []
+    for pattern in codes:
+        matched = fnmatch.filter(available, pattern)
+        if not matched:
+            raise KeyError(
+                f"code pattern {pattern!r} matches no registered static "
+                f"check (known: {', '.join(sorted(available))})")
+        selected.extend(rule for rule in matched if rule not in selected)
+    return selected
+
+
+def analyze_program(ctx: StaticContext,
+                    codes: Optional[Sequence[str]] = None) -> VerifyReport:
+    """Run registered static checks over ``ctx``.
+
+    ``codes`` restricts the run to rule ids matching the given
+    ``fnmatch`` patterns (e.g. ``["Q*"]`` for the dimension family).
+    """
+    rules = expand_code_patterns(codes) if codes else None
+    return run_checks(ctx, rules=rules,
+                      kinds=["static"])  # type: ignore[arg-type]
 
 
 def unsuppressed_rationales(ctx: StaticContext) -> list[Suppression]:

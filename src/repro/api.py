@@ -210,12 +210,15 @@ def lint(design: Optional[str] = None,
          kinds: Optional[Sequence[str]] = None,
          static: bool = False,
          paths: Optional[Sequence[str]] = None,
+         codes: Optional[Sequence[str]] = None,
          tech: Optional[Technology] = None) -> Any:
     """Run the verifier: a flow's DRC/ERC + oracle checks, or ``--static``.
 
     With ``static=True`` the whole-program determinism /
     cache-soundness analyzer runs over ``paths`` (default: the
-    installed package) and the flow arguments are ignored.  Returns
+    installed package) and the flow arguments are ignored; ``codes``
+    restricts the run to rule families by ``fnmatch`` pattern
+    (``codes=["Q*"]`` runs only the dimension checks).  Returns
     the report object (:class:`~repro.verify.VerifyReport` or the
     static analyzer's report) — both expose ``has_errors``,
     ``render()`` and ``to_json()``.
@@ -225,7 +228,9 @@ def lint(design: Optional[str] = None,
     if static:
         ctx = repro.analysis.build_static_context(list(paths) if paths
                                                   else None)
-        return repro.analysis.analyze_program(ctx)
+        return repro.analysis.analyze_program(ctx, codes=codes)
+    if codes:
+        raise ValueError("codes= filtering is only for static=True")
     if not design:
         raise ValueError("lint needs a design (or static=True)")
     from repro.core.targets import RobustnessTargets

@@ -12,7 +12,8 @@ Subcommands::
     python -m repro designs import floorplan.json [--out d.json]
     python -m repro designs validate ckt64 family:gated floorplan.json
     python -m repro lint --design ckt256 --policy smart [--json]
-    python -m repro lint --static [src/repro]          # whole-program D/C codes
+    python -m repro lint --static [src/repro]          # whole-program static codes
+    python -m repro lint --static --codes 'Q*' --json  # one rule family only
     python -m repro trace trace.jsonl [--top N]        # render a trace file
 
 ``--design`` accepts a corpus design name or a path to a design JSON
@@ -406,8 +407,18 @@ def cmd_lint(args) -> int:
             print(f"{check.rule:22s} [{check.kind:6s}] {check.doc}")
         return 0
     if args.static:
-        report = lint(static=True, paths=args.paths or None)
+        codes = None
+        if args.codes:
+            codes = [c.strip() for c in args.codes.split(",") if c.strip()]
+        try:
+            report = lint(static=True, paths=args.paths or None, codes=codes)
+        except KeyError as exc:
+            print(f"lint: {exc.args[0]}", file=sys.stderr)
+            return 2
     else:
+        if args.codes:
+            print("lint: --codes requires --static", file=sys.stderr)
+            return 2
         if not args.design:
             print("lint: --design is required (or use --list-checks/"
                   "--static)", file=sys.stderr)
@@ -560,6 +571,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "or 'all'")
     p_lint.add_argument("--list-checks", action="store_true",
                         help="list registered checks and exit")
+    p_lint.add_argument("--codes", default="",
+                        help="with --static: comma-separated fnmatch "
+                             "patterns over rule ids (e.g. 'Q*' for the "
+                             "dimension family, 'Q*,U*' for all unit rules)")
     p_lint.add_argument("--static", action="store_true",
                         help="run the whole-program determinism / "
                              "cache-soundness analyzer instead of a flow")

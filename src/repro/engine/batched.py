@@ -32,7 +32,7 @@ arrival matrices and per-wire EM records line up row for row.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Annotated, Optional
 
 import numpy as np
 
@@ -47,6 +47,7 @@ from repro.timing.arrival import ClockTiming, SinkTiming
 from repro.timing.crosstalk import CrosstalkReport, SinkDelta
 from repro.timing.montecarlo import MonteCarloResult
 from repro.timing.slew import propagate_slew_array
+from repro.units import Dim
 
 #: Monte-Carlo sample-block width: 32 columns keeps the (nodes, block)
 #: working set inside the last-level cache up to ~64k-sink designs.
@@ -411,7 +412,8 @@ class BatchedNetworkKernel:
                                             e[eo].tolist())]
         return report
 
-    def em(self, vdd: float, freq: float,
+    def em(self, vdd: Annotated[float, Dim.VOLTAGE],
+           freq: Annotated[float, Dim.FREQUENCY],
            em_factor: float = DEFAULT_EM_FACTOR) -> EmReport:
         """Current-density check; mirrors ``analyze_em``."""
         if em_factor <= 0.0:

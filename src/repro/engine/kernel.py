@@ -35,7 +35,7 @@ path products are invalidated and lazily rebuilt.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Annotated, Optional
 
 import numpy as np
 
@@ -50,6 +50,7 @@ from repro.timing.arrival import ClockTiming, SinkTiming
 from repro.timing.crosstalk import CrosstalkReport, SinkDelta
 from repro.timing.montecarlo import MonteCarloResult
 from repro.timing.slew import propagate_slew
+from repro.units import Dim
 
 
 class StageKernel:
@@ -298,7 +299,8 @@ class NetworkKernel:
                     work.append((child, w, e))
         return report
 
-    def em(self, vdd: float, freq: float,
+    def em(self, vdd: Annotated[float, Dim.VOLTAGE],
+           freq: Annotated[float, Dim.FREQUENCY],
            em_factor: float = DEFAULT_EM_FACTOR) -> EmReport:
         """Current-density check; mirrors ``analyze_em``."""
         if em_factor <= 0.0:

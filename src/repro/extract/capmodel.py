@@ -22,8 +22,10 @@ switching power, but it still exists physically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Annotated
 
 from repro.route.wires import NeighborCoupling, RoutedWire
+from repro.units import Dim
 
 
 @dataclass(frozen=True)
@@ -64,19 +66,24 @@ class WireParasitics:
 
     wire_id: int
     r: float
-    c_area: float
+    # NOTE: despite sharing its name with the tech layer's *per-area*
+    # coefficient (fF/um^2 in the DIMENSIONS manifest), this field is
+    # the already-integrated capacitance in fF — the explicit Annotated
+    # dimension overrides the manifest's name-based default.  The
+    # static dimension analyzer (Q001) caught exactly this collision.
+    c_area: Annotated[float, Dim.CAPACITANCE]
     c_rest: float
     cc_signal: float
     cc_clock: float
     couplings: list[CouplingEntry] = field(default_factory=list)
 
     @property
-    def c_total(self) -> float:
+    def c_total(self) -> Annotated[float, Dim.CAPACITANCE]:
         """Nominal (quiet-aggressor) capacitance used for delay, fF."""
         return self.c_area + self.c_rest
 
     @property
-    def c_switched(self) -> float:
+    def c_switched(self) -> Annotated[float, Dim.CAPACITANCE]:
         """Capacitance charged per clock transition, for power, fF."""
         return self.c_area + self.c_rest
 

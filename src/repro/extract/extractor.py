@@ -16,12 +16,13 @@ read must follow.  Two structures keep that incremental:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Annotated, Iterable, Optional
 
 from repro.cts.tree import ClockTree
 from repro.extract.capmodel import WireParasitics, extract_wire
 from repro.extract.rcnetwork import ClockRcNetwork, build_rc_network
 from repro.route.router import RoutingResult
+from repro.units import Dim
 
 
 @dataclass
@@ -49,7 +50,7 @@ class Extraction:
         field(default_factory=dict, repr=False, compare=False)
 
     @property
-    def clock_wire_cap(self) -> float:
+    def clock_wire_cap(self) -> Annotated[float, Dim.CAPACITANCE]:
         """Total clock wire capacitance counted for power, fF."""
         if self._wire_cap_total is None:
             self._wire_cap_total = sum(
@@ -58,7 +59,7 @@ class Extraction:
         return self._wire_cap_total
 
     @property
-    def clock_coupling_cap(self) -> float:
+    def clock_coupling_cap(self) -> Annotated[float, Dim.CAPACITANCE]:
         """Total clock-to-signal coupling capacitance, fF."""
         if self._coupling_total is None:
             self._coupling_total = sum(

@@ -20,7 +20,7 @@ class LogisticRegression:
     """
 
     def __init__(self, learning_rate: float = 0.1, n_iterations: int = 500,
-                 l2: float = 1e-3) -> None:  # lint-units: ok (hyper-parameter)
+                 l2: float = 1e-3) -> None:  # static: ok[U002] regularizer hyper-parameter
         if learning_rate <= 0.0:
             raise ValueError("learning_rate must be positive")
         if n_iterations < 1:

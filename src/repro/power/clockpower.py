@@ -19,9 +19,11 @@ this convention in ``c_switched``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Annotated
 
 from repro.extract.extractor import Extraction
 from repro.tech.technology import Technology
+from repro.units import Dim
 
 
 @dataclass(frozen=True)
@@ -41,21 +43,21 @@ class PowerReport:
     p_leakage: float
 
     @property
-    def total_cap(self) -> float:
+    def total_cap(self) -> Annotated[float, Dim.CAPACITANCE]:
         return self.wire_cap + self.pin_cap + self.buffer_in_cap + self.pad_cap
 
     @property
-    def p_dynamic(self) -> float:
+    def p_dynamic(self) -> Annotated[float, Dim.POWER]:
         return (self.p_wire + self.p_pin + self.p_buffer_cap + self.p_pad
                 + self.p_buffer_internal)
 
     @property
-    def p_total(self) -> float:
+    def p_total(self) -> Annotated[float, Dim.POWER]:
         return self.p_dynamic + self.p_leakage
 
 
 def analyze_power(extraction: Extraction, tech: Technology,
-                  freq: float) -> PowerReport:
+                  freq: Annotated[float, Dim.FREQUENCY]) -> PowerReport:
     """Compute the clock power breakdown at clock frequency ``freq`` GHz."""
     if freq <= 0.0:
         raise ValueError("clock frequency must be positive")

@@ -23,11 +23,13 @@ Model:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Annotated
 
 from repro.extract.extractor import Extraction
 from repro.extract.rcnetwork import ClockRcNetwork
 from repro.power.clockpower import PowerReport
 from repro.tech.technology import Technology
+from repro.units import Dim
 
 
 @dataclass(frozen=True)
@@ -85,7 +87,8 @@ def stage_activities(network: ClockRcNetwork,
 
 
 def analyze_gated_power(extraction: Extraction, tech: Technology,
-                        freq: float, plan: GatingPlan) -> PowerReport:
+                        freq: Annotated[float, Dim.FREQUENCY],
+                        plan: GatingPlan) -> PowerReport:
     """Clock power with per-stage activity scaling from ``plan``.
 
     Capacitance fields report the *effective switched* capacitance

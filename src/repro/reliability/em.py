@@ -23,9 +23,11 @@ three classic motivations for clock NDRs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Annotated
 
 from repro.extract.rcnetwork import ClockRcNetwork
 from repro.route.router import RoutingResult
+from repro.units import Dim
 
 
 #: Default peak-shape factor from average to effective EM current.
@@ -74,7 +76,8 @@ class EmReport:
 
 
 def analyze_em(network: ClockRcNetwork, routing: RoutingResult,
-               vdd: float, freq: float,
+               vdd: Annotated[float, Dim.VOLTAGE],
+               freq: Annotated[float, Dim.FREQUENCY],
                em_factor: float = DEFAULT_EM_FACTOR) -> EmReport:
     """Check every clock wire's current density against its layer limit.
 

@@ -60,7 +60,7 @@ class RoutingRule:
     def is_default(self) -> bool:
         # Exact multiplier identity is deliberate: rules are constructed
         # from the literal lattice values, never from arithmetic.
-        return self.width_mult == 1.0 and self.space_mult == 1.0  # lint-units: ok
+        return self.width_mult == 1.0 and self.space_mult == 1.0  # static: ok[U001] exact identity multipliers
 
     @property
     def track_span(self) -> int:

@@ -14,12 +14,14 @@ Two delay models are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Annotated
 
 from repro.extract.rcnetwork import ClockRcNetwork
 from repro.netlist.cell import Pin
 from repro.tech.technology import Technology
 from repro.timing.elmore import d2m_correction, stage_moments
 from repro.timing.slew import propagate_slew
+from repro.units import Dim
 
 
 @dataclass
@@ -47,12 +49,12 @@ class ClockTiming:
         return [s.arrival for s in self.sinks]
 
     @property
-    def latency(self) -> float:
+    def latency(self) -> Annotated[float, Dim.TIME]:
         """Maximum source-to-sink insertion delay, ps."""
         return max(s.arrival for s in self.sinks)
 
     @property
-    def skew(self) -> float:
+    def skew(self) -> Annotated[float, Dim.TIME]:
         """Global skew: max minus min arrival, ps."""
         arr = self.arrivals
         return max(arr) - min(arr)

@@ -27,11 +27,13 @@ shifts every flop below it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Annotated
 
 from repro.extract.capmodel import WireParasitics
 from repro.extract.rcnetwork import ClockRcNetwork, Stage
 from repro.netlist.cell import Pin
 from repro.timing.arrival import ClockTiming
+from repro.units import Dim
 
 
 @dataclass
@@ -121,7 +123,8 @@ def _stage_deltas(stage: Stage, parasitics: dict[int, WireParasitics],
 
 
 def window_alignment(victim_window: tuple, aggressor_window,
-                     clock_period: float, activity: float) -> float:
+                     clock_period: Annotated[float, Dim.TIME],
+                     activity: float) -> float:
     """Probability an aggressor transition lands in the victim's window.
 
     The aggressor toggles with ``activity`` per cycle, uniformly within
@@ -143,7 +146,8 @@ def window_alignment(victim_window: tuple, aggressor_window,
 
 def analyze_crosstalk_windows(network: ClockRcNetwork,
                               parasitics: dict[int, WireParasitics],
-                              timing, clock_period: float,
+                              timing,
+                              clock_period: Annotated[float, Dim.TIME],
                               sensitivity: float = 0.0) -> CrosstalkReport:
     """Window-pruned crosstalk analysis.
 

@@ -11,12 +11,17 @@ second moment.
 from __future__ import annotations
 
 import math
+from typing import Annotated
 
 from repro.extract.rcnetwork import Stage
+from repro.units import Dim
 
 
-def wire_elmore(r_per_um: float, c_per_um: float, length: float,
-                c_load: float) -> float:
+def wire_elmore(r_per_um: Annotated[float, Dim.RESISTANCE_PER_LENGTH],
+                c_per_um: Annotated[float, Dim.CAPACITANCE_PER_LENGTH],
+                length: Annotated[float, Dim.LENGTH],
+                c_load: Annotated[float, Dim.CAPACITANCE],
+                ) -> Annotated[float, Dim.TIME]:
     """Elmore delay of a uniform distributed-RC line into ``c_load``, ps."""
     if length < 0.0:
         raise ValueError("length must be non-negative")
@@ -24,7 +29,8 @@ def wire_elmore(r_per_um: float, c_per_um: float, length: float,
 
 
 def stage_moments(stage: Stage, node_idx: int,
-                  r_drive: float) -> tuple[float, float]:
+                  r_drive: Annotated[float, Dim.RESISTANCE],
+                  ) -> tuple[float, float]:
     """First and second moments (m1, m2) from driver to ``node_idx``.
 
     ``m1`` is the Elmore delay including the driver resistance; ``m2``
@@ -59,7 +65,8 @@ def stage_moments(stage: Stage, node_idx: int,
     return m1[node_idx], m2
 
 
-def d2m_correction(m1: float, m2: float) -> float:
+def d2m_correction(m1: Annotated[float, Dim.TIME],
+                   m2: float) -> Annotated[float, Dim.TIME]:
     """D2M delay estimate from the first two moments, ps.
 
     ``D2M = (m1^2 / sqrt(m2)) * ln 2``; falls back to Elmore when the

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from typing import Annotated
+
 from repro.timing.arrival import ClockTiming
+from repro.units import Dim
 
 
-def global_skew(timing: ClockTiming) -> float:
+def global_skew(timing: ClockTiming) -> Annotated[float, Dim.TIME]:
     """Max minus min arrival over all sinks, ps."""
     return timing.skew
 
@@ -16,7 +19,9 @@ def latency_range(timing: ClockTiming) -> tuple[float, float]:
     return min(arrivals), max(arrivals)
 
 
-def local_skew(timing: ClockTiming, radius: float) -> float:
+def local_skew(timing: ClockTiming,
+               radius: Annotated[float, Dim.LENGTH],
+               ) -> Annotated[float, Dim.TIME]:
     """Worst skew between sink pairs within ``radius`` um of each other.
 
     Local skew is the metric that actually constrains short register-to-

@@ -15,19 +15,25 @@ assignment relies on (wider wire -> lower R -> sharper edge).
 from __future__ import annotations
 
 import math
+from typing import Annotated
 
 import numpy as np
+
+from repro.units import Dim
 
 LN9: float = math.log(9.0)
 
 
-def wire_slew(elmore: float) -> float:
+def wire_slew(elmore: Annotated[float, Dim.TIME],
+              ) -> Annotated[float, Dim.TIME]:
     """10/90 step-response transition of a wire path with ``elmore`` delay."""
     if elmore < 0.0:
         raise ValueError("Elmore delay must be non-negative")
     return LN9 * elmore
 
-def propagate_slew(driver_slew: float, elmore: float) -> float:
+def propagate_slew(driver_slew: Annotated[float, Dim.TIME],
+                   elmore: Annotated[float, Dim.TIME],
+                   ) -> Annotated[float, Dim.TIME]:
     """Transition time at the end of a wire path (PERI composition), ps."""
     if driver_slew < 0.0:
         raise ValueError("driver slew must be non-negative")

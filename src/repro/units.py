@@ -28,6 +28,10 @@ readability at call sites.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import ClassVar, Dict, Tuple, Union
+
 # Length
 UM: float = 1.0
 NM: float = 1e-3
@@ -58,6 +62,303 @@ FJ: float = 1.0
 # Current
 UA: float = 1.0
 MA: float = 1e3
+
+
+# ---------------------------------------------------------------------------
+# Abstract physical dimensions
+# ---------------------------------------------------------------------------
+#
+# Every quantity in the coherent system above is a product of powers of
+# four *base* dimensions: length (um), resistance (kOhm), capacitance
+# (fF) and voltage (V).  Time, frequency, energy, power and current are
+# derived — ``kOhm x fF = ps`` is not a numeric accident but the
+# dimensional identity ``TIME = RESISTANCE * CAPACITANCE``, and the
+# same holds for every other "exact" product in the table.  The
+# :class:`Dim` lattice makes that algebra machine-checkable: the static
+# analyzer (:mod:`repro.analysis.dimensions`) propagates dimensions
+# through arithmetic and across calls, and the ``DIMENSIONS`` manifest
+# below declares, once, which field/parameter names carry which
+# dimension.
+
+_Exp = Tuple[Fraction, Fraction, Fraction, Fraction]
+_ExpLike = Union[int, Fraction]
+
+
+def _exps(length: _ExpLike = 0, resistance: _ExpLike = 0,
+          capacitance: _ExpLike = 0, voltage: _ExpLike = 0) -> _Exp:
+    return (Fraction(length), Fraction(resistance),
+            Fraction(capacitance), Fraction(voltage))
+
+
+_BASE_SYMBOLS: Tuple[str, str, str, str] = ("L", "R", "C", "V")
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One point of the abstract dimension lattice.
+
+    A concrete dimension is an exponent vector over the base
+    dimensions ``(length, resistance, capacitance, voltage)``; the two
+    special elements are ``Dim.TOP`` (unknown / conflicting — absorbs
+    every operation, so an unknown can never launder into a concrete
+    dimension) and ``Dim.BOTTOM`` (no value yet — the identity of
+    :meth:`join`).
+    """
+
+    exps: _Exp = field(default_factory=_exps)
+    special: str = ""  # "" (concrete) | "top" | "bottom"
+
+    # The named quantities of the coherent unit system (assigned after
+    # the class body; declared here so mypy knows them).
+    DIMENSIONLESS: ClassVar["Dim"]
+    LENGTH: ClassVar["Dim"]
+    RESISTANCE: ClassVar["Dim"]
+    CAPACITANCE: ClassVar["Dim"]
+    VOLTAGE: ClassVar["Dim"]
+    TIME: ClassVar["Dim"]
+    FREQUENCY: ClassVar["Dim"]
+    ENERGY: ClassVar["Dim"]
+    POWER: ClassVar["Dim"]
+    CURRENT: ClassVar["Dim"]
+    CURRENT_DENSITY: ClassVar["Dim"]
+    RESISTANCE_PER_LENGTH: ClassVar["Dim"]
+    CAPACITANCE_PER_LENGTH: ClassVar["Dim"]
+    CAPACITANCE_PER_AREA: ClassVar["Dim"]
+    TOP: ClassVar["Dim"]
+    BOTTOM: ClassVar["Dim"]
+
+    # -- lattice / algebra ---------------------------------------------------
+
+    @property
+    def is_concrete(self) -> bool:
+        """True for an actual dimension (neither ``TOP`` nor ``BOTTOM``)."""
+        return not self.special
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return not self.special and all(e == 0 for e in self.exps)
+
+    def _combine(self, other: "Dim", sign: int) -> "Dim":
+        if "bottom" in (self.special, other.special):
+            return Dim.BOTTOM
+        if "top" in (self.special, other.special):
+            return Dim.TOP
+        return Dim(_exps(*(a + sign * b
+                           for a, b in zip(self.exps, other.exps))))
+
+    def mul(self, other: "Dim") -> "Dim":
+        """Dimension of a product: exponents add."""
+        return self._combine(other, 1)
+
+    def div(self, other: "Dim") -> "Dim":
+        """Dimension of a quotient: exponents subtract."""
+        return self._combine(other, -1)
+
+    def pow(self, k: _ExpLike) -> "Dim":
+        """Dimension of a power: exponents scale (``pow(1/2)`` = sqrt)."""
+        if self.special:
+            return self
+        kk = Fraction(k)
+        return Dim(_exps(*(e * kk for e in self.exps)))
+
+    def inverse(self) -> "Dim":
+        """Dimension of a reciprocal (``1/TIME == FREQUENCY``)."""
+        return self.pow(-1)
+
+    def join(self, other: "Dim") -> "Dim":
+        """Lattice join: least element above both (merge points)."""
+        if self.special == "bottom":
+            return other
+        if other.special == "bottom":
+            return self
+        if self == other:
+            return self
+        return Dim.TOP
+
+    # -- rendering -----------------------------------------------------------
+
+    def label(self) -> str:
+        """Human-readable name: ``"time"``, ``"C/L^2"``, ``"<top>"``."""
+        if self.special:
+            return f"<{self.special}>"
+        for name, dim in DIM_NAMES.items():
+            if dim == self:
+                return name.lower().replace("_", "-")
+        num = [f"{s}^{e}" if e != 1 else s
+               for s, e in zip(_BASE_SYMBOLS, self.exps) if e > 0]
+        den = [f"{s}^{-e}" if e != -1 else s
+               for s, e in zip(_BASE_SYMBOLS, self.exps) if e < 0]
+        head = "*".join(num) or "1"
+        return f"{head}/{'*'.join(den)}" if den else head
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+Dim.DIMENSIONLESS = Dim()
+Dim.LENGTH = Dim(_exps(length=1))
+Dim.RESISTANCE = Dim(_exps(resistance=1))
+Dim.CAPACITANCE = Dim(_exps(capacitance=1))
+Dim.VOLTAGE = Dim(_exps(voltage=1))
+# kOhm x fF = ps: time *is* resistance x capacitance in this system.
+Dim.TIME = Dim.RESISTANCE.mul(Dim.CAPACITANCE)
+Dim.FREQUENCY = Dim.TIME.inverse()
+# fF x V^2 = fJ
+Dim.ENERGY = Dim.CAPACITANCE.mul(Dim.VOLTAGE).mul(Dim.VOLTAGE)
+# fJ x GHz = uW
+Dim.POWER = Dim.ENERGY.mul(Dim.FREQUENCY)
+# fF x V x GHz = uA
+Dim.CURRENT = Dim.CAPACITANCE.mul(Dim.VOLTAGE).mul(Dim.FREQUENCY)
+Dim.CURRENT_DENSITY = Dim.CURRENT.div(Dim.LENGTH.pow(2))
+# Per-unit-length (and per-area) coefficients of the tech layer tables:
+# kOhm/um, fF/um and fF/um^2.
+Dim.RESISTANCE_PER_LENGTH = Dim.RESISTANCE.div(Dim.LENGTH)
+Dim.CAPACITANCE_PER_LENGTH = Dim.CAPACITANCE.div(Dim.LENGTH)
+Dim.CAPACITANCE_PER_AREA = Dim.CAPACITANCE.div(Dim.LENGTH.pow(2))
+Dim.TOP = Dim(special="top")
+Dim.BOTTOM = Dim(special="bottom")
+
+#: The named quantities, for labels and for the ``Dim.X`` annotation
+#: syntax the static analyzer recognises.
+DIM_NAMES: Dict[str, Dim] = {
+    "DIMENSIONLESS": Dim.DIMENSIONLESS,
+    "LENGTH": Dim.LENGTH,
+    "RESISTANCE": Dim.RESISTANCE,
+    "CAPACITANCE": Dim.CAPACITANCE,
+    "VOLTAGE": Dim.VOLTAGE,
+    "TIME": Dim.TIME,
+    "FREQUENCY": Dim.FREQUENCY,
+    "ENERGY": Dim.ENERGY,
+    "POWER": Dim.POWER,
+    "CURRENT": Dim.CURRENT,
+    "CURRENT_DENSITY": Dim.CURRENT_DENSITY,
+    "RESISTANCE_PER_LENGTH": Dim.RESISTANCE_PER_LENGTH,
+    "CAPACITANCE_PER_LENGTH": Dim.CAPACITANCE_PER_LENGTH,
+    "CAPACITANCE_PER_AREA": Dim.CAPACITANCE_PER_AREA,
+    "TOP": Dim.TOP,
+    "BOTTOM": Dim.BOTTOM,
+}
+
+#: Dimension of every unit constant defined above, keyed by the
+#: constant's name.  ``3.0 * NS`` therefore *infers* as a time without
+#: any annotation — multiplying by a named unit constant is the one
+#: blessed way to write a conversion.
+UNIT_DIMENSIONS: Dict[str, Dim] = {
+    "UM": Dim.LENGTH, "NM": Dim.LENGTH, "MM": Dim.LENGTH,
+    "KOHM": Dim.RESISTANCE, "OHM": Dim.RESISTANCE,
+    "FF": Dim.CAPACITANCE, "PF": Dim.CAPACITANCE, "AF": Dim.CAPACITANCE,
+    "PS": Dim.TIME, "NS": Dim.TIME,
+    "GHZ": Dim.FREQUENCY, "MHZ": Dim.FREQUENCY,
+    "UW": Dim.POWER, "MW": Dim.POWER,
+    "FJ": Dim.ENERGY,
+    "UA": Dim.CURRENT, "MA": Dim.CURRENT,
+}
+
+#: The machine-readable dimension manifest: field / parameter / mapping
+#: key names used across the technology model, the design specs, the
+#: DEF-lite importer and the analysis engines, mapped to the dimension
+#: their docstring convention promises.  The static analyzer seeds its
+#: interprocedural inference from these names (``tech.vdd`` is a
+#: voltage wherever it flows) and rule Q005 checks every consumption of
+#: a declared field against this table.  Add a name here when a new
+#: unit-bearing field enters a spec/tech/engine surface; the Q004
+#: coverage ratchet then requires public signatures using that name to
+#: carry an ``Annotated[float, Dim.X]`` marker.
+DIMENSIONS: Dict[str, Dim] = {
+    # geometry (um)
+    "die_edge": Dim.LENGTH,
+    "min_width": Dim.LENGTH,
+    "pitch": Dim.LENGTH,
+    "min_spacing": Dim.LENGTH,
+    "thickness": Dim.LENGTH,
+    "coupling_reach": Dim.LENGTH,
+    "corr_grid": Dim.LENGTH,
+    "radius": Dim.LENGTH,
+    "length": Dim.LENGTH,
+    "width": Dim.LENGTH,
+    "spacing": Dim.LENGTH,
+    # resistance (kOhm)
+    "r": Dim.RESISTANCE,
+    "r_drive": Dim.RESISTANCE,
+    "sheet_res": Dim.RESISTANCE,
+    # capacitance (fF)
+    "cap": Dim.CAPACITANCE,
+    "cap_fixed": Dim.CAPACITANCE,
+    "cap_ff": Dim.CAPACITANCE,
+    "load_ff": Dim.CAPACITANCE,
+    "c_in": Dim.CAPACITANCE,
+    "c_load": Dim.CAPACITANCE,
+    "c_total": Dim.CAPACITANCE,
+    "c_switched": Dim.CAPACITANCE,
+    "c_rest": Dim.CAPACITANCE,
+    "cc": Dim.CAPACITANCE,
+    "cc_signal": Dim.CAPACITANCE,
+    "cc_clock": Dim.CAPACITANCE,
+    "max_cap": Dim.CAPACITANCE,
+    "flop_cin": Dim.CAPACITANCE,
+    "clock_pin_cap": Dim.CAPACITANCE,
+    "pad_cap": Dim.CAPACITANCE,
+    "snake_cap": Dim.CAPACITANCE,
+    "wire_cap": Dim.CAPACITANCE,
+    "pin_cap": Dim.CAPACITANCE,
+    "buffer_in_cap": Dim.CAPACITANCE,
+    "coupling_cap": Dim.CAPACITANCE,
+    "clock_wire_cap": Dim.CAPACITANCE,
+    "clock_coupling_cap": Dim.CAPACITANCE,
+    # per-length RC coefficients
+    "r_per_um": Dim.RESISTANCE_PER_LENGTH,
+    "c_per_um": Dim.CAPACITANCE_PER_LENGTH,
+    "c_fringe": Dim.CAPACITANCE_PER_LENGTH,
+    "c_fringe_far": Dim.CAPACITANCE_PER_LENGTH,
+    "c_area": Dim.CAPACITANCE_PER_AREA,
+    # time (ps)
+    "clock_period": Dim.TIME,
+    "period_ps": Dim.TIME,
+    "max_slew": Dim.TIME,
+    "max_slew_limit": Dim.TIME,
+    "d_intrinsic": Dim.TIME,
+    "s_intrinsic": Dim.TIME,
+    "arrival": Dim.TIME,
+    "slew": Dim.TIME,
+    "driver_slew": Dim.TIME,
+    "skew": Dim.TIME,
+    "latency": Dim.TIME,
+    "elmore": Dim.TIME,
+    "m1": Dim.TIME,
+    # frequency (GHz)
+    "freq": Dim.FREQUENCY,
+    "clock_freq": Dim.FREQUENCY,
+    # voltage (V)
+    "vdd": Dim.VOLTAGE,
+    # energy (fJ) / power (uW)
+    "e_internal": Dim.ENERGY,
+    "p_leak": Dim.POWER,
+    "p_wire": Dim.POWER,
+    "p_pin": Dim.POWER,
+    "p_buffer_cap": Dim.POWER,
+    "p_pad": Dim.POWER,
+    "p_buffer_internal": Dim.POWER,
+    "p_leakage": Dim.POWER,
+    "p_dynamic": Dim.POWER,
+    "p_total": Dim.POWER,
+    # current (uA) / current density (uA/um^2)
+    "i_eff": Dim.CURRENT,
+    "em_jmax": Dim.CURRENT_DENSITY,
+    "jmax": Dim.CURRENT_DENSITY,
+    "density": Dim.CURRENT_DENSITY,
+    # declared-dimensionless ratios and probabilities
+    "activity": Dim.DIMENSIONLESS,
+    "mean_activity": Dim.DIMENSIONLESS,
+    "alignment": Dim.DIMENSIONLESS,
+    "utilization": Dim.DIMENSIONLESS,
+    "width_mult": Dim.DIMENSIONLESS,
+    "space_mult": Dim.DIMENSIONLESS,
+    "gate_enable": Dim.DIMENSIONLESS,
+    "enable_probability": Dim.DIMENSIONLESS,
+    "em_factor": Dim.DIMENSIONLESS,
+    "blockage_fraction": Dim.DIMENSIONLESS,
+    "aggressors_per_sink": Dim.DIMENSIONLESS,
+}
 
 
 def ohm_per_um(sheet_res_ohm: float, width_um: float) -> float:

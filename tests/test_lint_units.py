@@ -1,4 +1,10 @@
-"""Tests for the unit-hygiene linter (tools/lint_units.py)."""
+"""Tests for the unit-hygiene linter shim (tools/lint_units.py).
+
+The implementation lives in :mod:`repro.analysis.rules_units`; these
+tests exercise the standalone entry point CI calls, including both the
+legacy ``# lint-units: ok`` marker and the shared ``# static: ok[U00x]``
+suppression syntax.
+"""
 
 from __future__ import annotations
 
@@ -62,6 +68,28 @@ def test_suppression_marker_silences_the_line(tmp_path):
         "b = x == 1.0  # lint-units: ok\n"
         "c = 1000.0\n")
     assert [f.line for f in findings] == [3]
+
+
+def test_static_ok_marker_silences_the_matching_code(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "a = 1000.0  # static: ok[U002] scale factor documented here\n"
+        "b = x == 1.0  # static: ok[U001] exact sentinel\n"
+        "c = 1000.0\n")
+    assert [f.line for f in findings] == [3]
+
+
+def test_static_ok_marker_is_code_specific(tmp_path):
+    findings = _lint_source(
+        tmp_path, "a = x == 1000.0  # static: ok[U002] wrong code\n")
+    assert [f.rule for f in findings] == ["U001"]
+
+
+def test_shim_reexports_the_analysis_module():
+    from repro.analysis import rules_units
+    assert lint_units.lint_file is rules_units.lint_file
+    assert lint_units.Finding is rules_units.Finding
+    assert lint_units.main is rules_units.main
 
 
 def test_syntax_error_reported_as_u000(tmp_path):

@@ -93,6 +93,15 @@ def main(argv: list[str] | None = None) -> int:
     for diag in report.get("diagnostics", []):
         print(_annotation(package_root, diag))
 
+    # Surface the Q004 dimension-annotation coverage gauge in the job
+    # summary line, not just as a ::notice annotation, so the ratchet's
+    # headroom is visible at a glance in the log.
+    for diag in report.get("diagnostics", []):
+        if (diag.get("rule") == "Q004"
+                and "annotation coverage" in diag.get("message", "")):
+            print(f"static gate: {diag['message']}")
+            break
+
     counts = report.get("counts", {})
     checks = len(report.get("checks_run", []))
     print(f"static gate: {checks} checks, "

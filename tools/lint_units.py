@@ -1,179 +1,33 @@
 #!/usr/bin/env python3
-"""Unit-hygiene linter for the coherent unit system (see repro/units.py).
+"""Thin shim over :mod:`repro.analysis.rules_units`.
 
-Two rules, both aimed at bugs the type system cannot catch because every
-physical quantity is a plain ``float``:
-
-U001  Float-literal equality.  ``x == 0.0`` / ``x != 1.0`` on physical
-      quantities is almost always a latent bug: the value is the result
-      of arithmetic (lengths from coordinate differences, caps from
-      products) and exact equality silently turns into "never" or
-      "always" under round-off.  Compare with an ordering operator, an
-      explicit tolerance, or a dedicated predicate
-      (e.g. ``Segment.is_point``).
-
-U002  Magic unit-conversion constants.  A literal ``1000.0``/``1e3`` or
-      ``0.001``/``1e-3`` outside ``repro/units.py`` is a milli/kilo
-      conversion hiding from the unit system; spell it ``NS``, ``OHM``,
-      ``PF``, ... from :mod:`repro.units` so the conversion is named and
-      greppable.
-
-Suppress a finding by putting ``# lint-units: ok`` on the offending
-line — the marker documents that the comparison/constant is deliberate
-(enum identity on exact multipliers, a solver hyper-parameter, ...).
-
-Usage::
+The U001/U002 unit-hygiene rules now live in the static-analysis
+package, registered alongside the interprocedural Q codes (run
+``repro lint --static`` for the full dimension inference).  This
+script keeps the zero-setup CLI entry point CI and editors call::
 
     python tools/lint_units.py [paths...]
 
-With no paths, lints the repository's ``src``, ``tools`` and
-``benchmarks`` trees (skipping any that do not exist).  Exits 1 if any
-finding survives suppression, 0 otherwise.  Pure stdlib.
+Suppress a finding with ``# static: ok[U001] rationale`` (the shared
+static-analysis syntax); the legacy ``# lint-units: ok`` marker is
+still honored.
 """
 
 from __future__ import annotations
 
-import argparse
-import ast
 import sys
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Sequence
 
-SUPPRESS_MARKER = "lint-units: ok"
-
-#: Float literals that duplicate repro.units conversion constants
-#: (1e3 == 1000.0 and 1e-3 == 0.001 compare equal, so two entries
-#: cover all four spellings).  Tolerances like 1e-6/1e-9 are not unit
-#: conversions and stay legal.
-CONVERSION_LITERALS: tuple[float, ...] = (1000.0, 0.001)  # lint-units: ok
-
-#: Files whose whole purpose is defining the conversion constants.
-EXEMPT_FILES: tuple[str, ...] = ("units.py",)
-
-#: Trees linted when the CLI is given no paths, relative to the repo
-#: root (the parent of this script's directory).
-DEFAULT_TREES: tuple[str, ...] = ("src", "tools", "benchmarks")
-
-
-def default_paths() -> list[Path]:
-    """The repo's lintable trees, skipping any that do not exist."""
-    root = Path(__file__).resolve().parent.parent
-    return [root / tree for tree in DEFAULT_TREES if (root / tree).is_dir()]
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One linter hit."""
-
-    path: Path
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return (f"{self.path}:{self.line}:{self.col}: "
-                f"{self.rule} {self.message}")
-
-
-def _is_float_literal(node: ast.expr) -> bool:
-    if isinstance(node, ast.Constant) and isinstance(node.value, float):
-        return True
-    # Negative literals parse as UnaryOp(USub, Constant).
-    return (isinstance(node, ast.UnaryOp)
-            and isinstance(node.op, (ast.USub, ast.UAdd))
-            and _is_float_literal(node.operand))
-
-
-def _literal_value(node: ast.expr) -> float:
-    if isinstance(node, ast.Constant):
-        value = node.value
-        if not isinstance(value, float):
-            raise TypeError(f"not a float literal: {value!r}")
-        return value
-    if isinstance(node, ast.UnaryOp) and _is_float_literal(node.operand):
-        inner = _literal_value(node.operand)
-        return -inner if isinstance(node.op, ast.USub) else inner
-    raise TypeError(f"not a float literal: {ast.dump(node)}")
-
-
-def _check_tree(path: Path, tree: ast.AST,
-                source_lines: Sequence[str]) -> Iterator[Finding]:
-    suppressed = {i + 1 for i, text in enumerate(source_lines)
-                  if SUPPRESS_MARKER in text}
-    exempt_conversions = path.name in EXEMPT_FILES
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Compare):
-            operands = [node.left, *node.comparators]
-            for op, left, right in zip(node.ops, operands, operands[1:]):
-                if not isinstance(op, (ast.Eq, ast.NotEq)):
-                    continue
-                literal = next((o for o in (left, right)
-                                if _is_float_literal(o)), None)
-                if literal is None or node.lineno in suppressed:
-                    continue
-                yield Finding(
-                    path, node.lineno, node.col_offset, "U001",
-                    f"float-literal equality (== / != with "
-                    f"{_literal_value(literal)!r}); use an ordering "
-                    f"comparison, a tolerance, or a predicate "
-                    f"[suppress: # {SUPPRESS_MARKER}]")
-        elif (isinstance(node, ast.Constant)
-              and isinstance(node.value, float)
-              and not exempt_conversions
-              and node.value in CONVERSION_LITERALS
-              and node.lineno not in suppressed):
-            yield Finding(
-                path, node.lineno, node.col_offset, "U002",
-                f"magic unit-conversion constant {node.value!r}; use the "
-                f"named constant from repro.units "
-                f"[suppress: # {SUPPRESS_MARKER}]")
-
-
-def lint_file(path: Path) -> list[Finding]:
-    """Lint one Python file; returns its findings (possibly empty)."""
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [Finding(path, exc.lineno or 0, exc.offset or 0, "U000",
-                        f"syntax error: {exc.msg}")]
-    return sorted(_check_tree(path, tree, source.splitlines()),
-                  key=lambda f: (f.line, f.col, f.rule))
-
-
-def lint_paths(paths: Sequence[Path]) -> list[Finding]:
-    """Lint every ``*.py`` file under the given files/directories."""
-    files: list[Path] = []
-    for path in paths:
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        else:
-            files.append(path)
-    findings: list[Finding] = []
-    for file in files:
-        findings.extend(lint_file(file))
-    return findings
-
-
-def main(argv: Sequence[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        description="unit-hygiene linter (U001 float-literal equality, "
-                    "U002 magic unit-conversion constants)")
-    parser.add_argument("paths", nargs="*", type=Path,
-                        help="files or directories to lint "
-                             "(default: the repo's src, tools and "
-                             "benchmarks trees)")
-    args = parser.parse_args(argv)
-    findings = lint_paths(args.paths or default_paths())
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
-
+try:
+    from repro.analysis.rules_units import (  # noqa: F401
+        CONVERSION_LITERALS, DEFAULT_TREES, EXEMPT_FILES, SUPPRESS_MARKER,
+        Finding, default_paths, lint_file, lint_paths, main)
+except ImportError:  # running from a checkout without repro installed
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.rules_units import (  # noqa: F401
+        CONVERSION_LITERALS, DEFAULT_TREES, EXEMPT_FILES, SUPPRESS_MARKER,
+        Finding, default_paths, lint_file, lint_paths, main)
 
 if __name__ == "__main__":
     sys.exit(main())
