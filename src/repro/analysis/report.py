@@ -47,11 +47,15 @@ DEFAULT_DETERMINISM_ROOTS: tuple[str, ...] = (
 )
 
 #: Functions that execute inside worker processes: the pool
-#: initializer/entry of the flow runner and the CLI's suite worker.
+#: initializer/entry of the flow runner, the CLI's suite worker and
+#: the serve daemon's request worker.
 DEFAULT_PROCESS_ROOTS: tuple[str, ...] = (
     "repro.runner.runner._pool_init",
     "repro.runner.runner._pool_run",
     "repro.cli._suite_row",
+    "repro.serve.workers._serve_pool_init",
+    "repro.serve.workers._serve_pool_run",
+    "repro.serve.workers._serve_pool_ping",
 )
 
 
@@ -80,13 +84,15 @@ class ContextStateSpec:
     installers: tuple[str, ...]
 
 
-#: The two pool seams of this repository: the flow runner's worker
-#: pool and the CLI suite table's row pool.
+#: The pool seams of this repository: the flow runner's worker pool,
+#: the CLI suite table's row pool and the serve daemon's request pool.
 DEFAULT_WORKER_GROUPS: tuple[WorkerGroup, ...] = (
     WorkerGroup(entry="repro.runner.runner._pool_run",
                 initializer="repro.runner.runner._pool_init"),
     WorkerGroup(entry="repro.cli._suite_row",
                 initializer="repro.cli._suite_pool_init"),
+    WorkerGroup(entry="repro.serve.workers._serve_pool_run",
+                initializer="repro.serve.workers._serve_pool_init"),
 )
 
 #: The obs tracer is context-local state: worker code may traverse its

@@ -6,29 +6,46 @@ and result dataclasses change only with a deliberate version bump.
 Internals (``repro.core``, ``repro.runner``, ...) remain importable but
 may be reshaped between versions.
 
+**Requests are the schema.**  Every entry point is described by a
+typed, frozen request dataclass — :class:`FlowRequest`,
+:class:`CompareRequest`, :class:`SweepRequest`, :class:`LintRequest` —
+with exact JSON round-tripping (:meth:`to_dict` / :meth:`from_dict`,
+schema-versioned, unknown fields rejected) and a stable
+:meth:`content_key` for request-level deduplication.  The CLI and the
+flow service (:mod:`repro.serve`) parse into the *same* objects, so
+request defaults live in exactly one place: the dataclass fields.
+
 * :func:`run_flow` — one policy flow on one design (re-exported from
   :mod:`repro.core`);
+* :func:`run` — one matrix cell (:class:`FlowRequest`), returning a
+  :class:`CellReport`;
 * :func:`compare` — NO/ALL/SMART (and optionally ML) on one design,
   returning a :class:`CompareReport`;
 * :func:`sweep` — budget-slack sweep of the smart policy, returning a
   :class:`SweepReport`;
 * :func:`lint` — the DRC/ERC + engine-oracle verifier over a flow, or
-  the whole-program static analyzer (``static=True``);
+  the whole-program static analyzer (``LintRequest(static=True)``);
+* :func:`execute` — dispatch any request object to its entry point;
 * :func:`trace_report` — render a ``--trace`` JSONL file the way the
   ``repro trace`` subcommand does;
 * :func:`fit_guide` — the inline-trained ML guide the ``*_ml``
   policies use.
 
+The pre-request call forms (``compare("ckt64", slack=0.1)``) keep
+working as deprecation shims: they build the equivalent request object,
+warn :class:`DeprecationWarning`, and produce bit-identical reports.
+
 Each report dataclass is plain data (JSON-ready via
-:func:`dataclasses.asdict`), so callers can persist or post-process
-results without touching runner internals.
+:func:`dataclasses.asdict` / :func:`report_to_dict`), so callers can
+persist or post-process results without touching runner internals.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from pathlib import Path
-from typing import Any, Optional, Sequence, Union
+from typing import Any, ClassVar, Optional, Sequence, Union
 
 from repro.core import NdrClassifierGuide, Policy, run_flow
 from repro.runner import FlowRunner, JobResult, JobSpec, RunMatrix
@@ -37,16 +54,32 @@ from repro.tech import Technology, default_technology
 __all__ = [
     "CellReport",
     "CompareReport",
+    "CompareRequest",
+    "FlowRequest",
+    "LintRequest",
+    "Policy",
+    "REQUEST_KINDS",
+    "REQUEST_SCHEMA",
     "SweepPoint",
     "SweepReport",
-    "Policy",
+    "SweepRequest",
     "compare",
+    "execute",
     "fit_guide",
     "lint",
+    "report_to_dict",
+    "request_field_default",
+    "request_from_dict",
+    "run",
     "run_flow",
     "sweep",
     "trace_report",
 ]
+
+#: Bump when a request dataclass changes incompatibly (field renames,
+#: semantic changes).  Folded into every request ``content_key``, so a
+#: schema bump also invalidates coalescing/response caches.
+REQUEST_SCHEMA = 1
 
 
 # -- result dataclasses --------------------------------------------------------
@@ -124,6 +157,225 @@ def _cell_report(result: JobResult) -> CellReport:
                       rule_histogram=dict(result.rule_histogram))
 
 
+# -- request dataclasses -------------------------------------------------------
+
+
+def _policy_name(policy: Union[Policy, str]) -> str:
+    name = policy.value if isinstance(policy, Policy) else str(policy)
+    Policy(name)  # raises ValueError for unknown policies
+    return name
+
+
+class _RequestBase:
+    """Shared JSON/round-trip machinery of the request dataclasses."""
+
+    #: The wire tag of this request kind ("run", "compare", ...).
+    KIND: ClassVar[str] = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """Exact JSON form: schema + kind tags plus every field."""
+        out: dict[str, Any] = {"schema": REQUEST_SCHEMA, "kind": self.KIND}
+        for f in dataclasses.fields(self):  # type: ignore[arg-type]
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Any:
+        """Rebuild from :meth:`to_dict` output (strict: unknown fields,
+        wrong schema and wrong kind all raise ``ValueError``)."""
+        schema = data.get("schema", REQUEST_SCHEMA)
+        if schema != REQUEST_SCHEMA:
+            raise ValueError(f"unsupported request schema {schema!r} "
+                             f"(expected {REQUEST_SCHEMA})")
+        kind = data.get("kind", cls.KIND)
+        if kind != cls.KIND:
+            raise ValueError(f"request kind {kind!r} is not {cls.KIND!r}")
+        fields = {f.name: f for f in dataclasses.fields(cls)}  # type: ignore[arg-type]
+        unknown = set(data) - set(fields) - {"schema", "kind"}
+        if unknown:
+            raise ValueError(f"unknown {cls.KIND}-request fields "
+                             f"{sorted(unknown)}")
+        kwargs = {}
+        for name, f in fields.items():
+            if name not in data:
+                continue
+            value = data[name]
+            if isinstance(value, list):
+                value = tuple(value)
+            kwargs[name] = value
+        return cls(**kwargs)
+
+    def content_key(self) -> str:
+        """Stable content hash for request-level dedup/coalescing.
+
+        Design references resolve to *content* fingerprints (a corpus
+        spec's knobs, a JSON file's bytes), so two textually different
+        requests that compute the same thing share a key, and editing a
+        design file changes it.
+        """
+        from repro.io.artifacts import fingerprint
+
+        fields = {f.name: getattr(self, f.name)
+                  for f in dataclasses.fields(self)}  # type: ignore[arg-type]
+        parts: dict[str, Any] = {"schema": REQUEST_SCHEMA, "kind": self.KIND,
+                                 "fields": fields}
+        design = str(fields.get("design", "") or "")
+        if design and self.cacheable:
+            from repro.runner import design_ref_fingerprint
+
+            parts["design_content"] = design_ref_fingerprint(design)
+        return fingerprint(parts)
+
+    @property
+    def cacheable(self) -> bool:
+        """False when a cached response could go stale (static lint)."""
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowRequest(_RequestBase):
+    """One matrix cell: one policy flow on one design."""
+
+    KIND: ClassVar[str] = "run"
+
+    design: str
+    policy: str = Policy.SMART.value
+    slack: Optional[float] = 0.15
+    random_fraction: float = 0.3
+    random_seed: int = 0
+    lambda_track: float = 0.05
+
+    def __post_init__(self) -> None:
+        _policy_name(self.policy)
+        if not self.design:
+            raise ValueError("run request needs a design")
+
+    def job_spec(self) -> JobSpec:
+        """The runner cell this request describes."""
+        return JobSpec(design=self.design, policy=Policy(self.policy),
+                       slack=self.slack,
+                       random_fraction=self.random_fraction,
+                       random_seed=self.random_seed,
+                       lambda_track=self.lambda_track)
+
+
+@dataclasses.dataclass(frozen=True)
+class CompareRequest(_RequestBase):
+    """NO/ALL/SMART (and optionally ML) policies on one design."""
+
+    KIND: ClassVar[str] = "compare"
+
+    design: str
+    slack: float = 0.15
+    with_ml: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.design:
+            raise ValueError("compare request needs a design")
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepRequest(_RequestBase):
+    """Budget-slack sweep of the smart policy on one design."""
+
+    KIND: ClassVar[str] = "sweep"
+
+    design: str
+    slacks: tuple[float, ...] = (0.6, 0.3, 0.15)
+
+    def __post_init__(self) -> None:
+        if not self.design:
+            raise ValueError("sweep request needs a design")
+        if not self.slacks:
+            raise ValueError("sweep request needs at least one slack")
+        object.__setattr__(self, "slacks",
+                           tuple(float(s) for s in self.slacks))
+
+
+@dataclasses.dataclass(frozen=True)
+class LintRequest(_RequestBase):
+    """A flow's DRC/ERC + oracle checks, or the static analyzer."""
+
+    KIND: ClassVar[str] = "lint"
+
+    design: str = ""
+    policy: str = Policy.SMART.value
+    kinds: tuple[str, ...] = ()
+    static: bool = False
+    paths: tuple[str, ...] = ()
+    codes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        _policy_name(self.policy)
+        if self.codes and not self.static:
+            raise ValueError("codes= filtering is only for static=True")
+        if not self.static and not self.design:
+            raise ValueError("lint needs a design (or static=True)")
+
+    @property
+    def cacheable(self) -> bool:
+        # A static-analysis response depends on source files no content
+        # key sees; serving it from a response cache could go stale.
+        return not self.static
+
+
+#: Wire tag -> request class (the router's dispatch table).
+REQUEST_KINDS: dict[str, type] = {
+    FlowRequest.KIND: FlowRequest,
+    CompareRequest.KIND: CompareRequest,
+    SweepRequest.KIND: SweepRequest,
+    LintRequest.KIND: LintRequest,
+}
+
+
+def request_from_dict(data: dict[str, Any],
+                      kind: Optional[str] = None) -> Any:
+    """Parse any request payload, dispatching on its ``kind`` tag.
+
+    ``kind`` (e.g. from the service URL) fills in a missing tag and
+    must agree with an explicit one.
+    """
+    tag = data.get("kind", kind)
+    if tag is None:
+        raise ValueError("request payload has no 'kind' "
+                         f"(expected one of {sorted(REQUEST_KINDS)})")
+    if kind is not None and tag != kind:
+        raise ValueError(f"request kind {tag!r} does not match "
+                         f"endpoint kind {kind!r}")
+    cls = REQUEST_KINDS.get(str(tag))
+    if cls is None:
+        raise ValueError(f"unknown request kind {tag!r} "
+                         f"(expected one of {sorted(REQUEST_KINDS)})")
+    return cls.from_dict({**data, "kind": tag})
+
+
+def request_field_default(cls: type, name: str) -> Any:
+    """The schema default of one request field (the CLI's source of truth)."""
+    for f in dataclasses.fields(cls):
+        if f.name == name:
+            if f.default is not dataclasses.MISSING:
+                return f.default
+            if f.default_factory is not dataclasses.MISSING:
+                return f.default_factory()
+            raise ValueError(f"{cls.__name__}.{name} has no default")
+    raise KeyError(f"{cls.__name__} has no field {name!r}")
+
+
+def report_to_dict(report: Any) -> dict[str, Any]:
+    """JSON-ready form of any entry-point report (the service wire form)."""
+    if isinstance(report, (CellReport, CompareReport, SweepReport)):
+        kind = {CellReport: "run", CompareReport: "compare",
+                SweepReport: "sweep"}[type(report)]
+        return {"kind": kind, **dataclasses.asdict(report)}
+    if hasattr(report, "to_json"):  # VerifyReport and kin
+        import json
+
+        return {"kind": "lint", "report": json.loads(report.to_json()),
+                "has_errors": bool(report.has_errors)}
+    raise TypeError(f"cannot serialise report {type(report).__name__}")
+
+
 # -- entry points --------------------------------------------------------------
 
 
@@ -151,46 +403,77 @@ def _runner(tech: Optional[Technology], store: Any, jobs: int,
                       store=store, jobs=jobs, guide=guide)
 
 
-def compare(design: str, slack: float = 0.15, with_ml: bool = False,
-            jobs: int = 1, store: Any = True,
-            tech: Optional[Technology] = None,
-            guide: Optional[NdrClassifierGuide] = None) -> CompareReport:
-    """Compare NO/ALL/SMART (and optionally ML) policies on one design.
+def _warn_legacy(name: str, hint: str) -> None:
+    warnings.warn(
+        f"api.{name}(design, ...) kwargs calls are deprecated; pass a "
+        f"{hint} instead (identical results, single source of defaults)",
+        DeprecationWarning, stacklevel=3)
 
-    ``store`` accepts anything :class:`~repro.runner.FlowRunner` does:
-    ``True`` for the per-user artifact cache, ``False``/``None`` to
-    disable, a path, or a live store.  With ``with_ml`` a guide is
-    trained inline unless one is passed.
-    """
+
+def run(request: FlowRequest, *, jobs: int = 1, store: Any = True,
+        tech: Optional[Technology] = None,
+        guide: Optional[NdrClassifierGuide] = None) -> CellReport:
+    """Execute one matrix cell described by a :class:`FlowRequest`."""
+    if not isinstance(request, FlowRequest):
+        raise TypeError("run() takes a FlowRequest; for a raw design/"
+                        "technology object use api.run_flow")
+    if Policy(request.policy) == Policy.SMART_ML and guide is None:
+        guide = fit_guide(tech=tech)
+    runner = _runner(tech, store, jobs, guide)
+    return _cell_report(runner.run_job(request.job_spec(),
+                                       return_flow=False))
+
+
+def _compare_impl(request: CompareRequest, jobs: int, store: Any,
+                  tech: Optional[Technology],
+                  guide: Optional[NdrClassifierGuide]) -> CompareReport:
     policies = [Policy.NO_NDR, Policy.ALL_NDR, Policy.SMART]
-    if with_ml:
+    if request.with_ml:
         if guide is None:
             guide = fit_guide(tech=tech)
         policies.append(Policy.SMART_ML)
     runner = _runner(tech, store, jobs, guide)
-    matrix = RunMatrix(designs=(design,), policies=tuple(policies),
-                       slacks=(slack,))
+    matrix = RunMatrix(designs=(request.design,), policies=tuple(policies),
+                       slacks=(request.slack,))
     results = runner.run(matrix, jobs=jobs)
     by_policy = {r.job.policy: r for r in results}
     p_all = by_policy[Policy.ALL_NDR].summary["power_uw"]
     p_smart = by_policy[Policy.SMART].summary["power_uw"]
     saving = 100.0 * (p_all - p_smart) / p_all
-    return CompareReport(design=design, slack=slack, smart_saving_pct=saving,
+    return CompareReport(design=request.design, slack=request.slack,
+                         smart_saving_pct=saving,
                          cells=tuple(_cell_report(r) for r in results))
 
 
-def sweep(design: str, slacks: Sequence[float] = (0.6, 0.3, 0.15),
-          jobs: int = 1, store: Any = True,
-          tech: Optional[Technology] = None) -> SweepReport:
-    """Sweep the budget slack for the smart policy on one design.
+def compare(request: Union[CompareRequest, str], *, jobs: int = 1,
+            store: Any = True, tech: Optional[Technology] = None,
+            guide: Optional[NdrClassifierGuide] = None,
+            **legacy: Any) -> CompareReport:
+    """Compare NO/ALL/SMART (and optionally ML) policies on one design.
 
-    The all-NDR reference is computed once and every slack's budgets
-    derive from it — a sweep costs one reference plus one smart flow
-    per point.
+    Takes a :class:`CompareRequest` (the schema) plus execution-only
+    options: ``jobs`` fans cells over worker processes; ``store``
+    accepts anything :class:`~repro.runner.FlowRunner` does (``True``
+    for the per-user artifact cache, ``False``/``None`` to disable, a
+    path, or a live store); with ``with_ml`` a guide is trained inline
+    unless one is passed.  The legacy ``compare(design, slack=...,
+    with_ml=...)`` form still works and warns ``DeprecationWarning``.
     """
-    ordered = sorted((float(s) for s in slacks), reverse=True)
+    if isinstance(request, CompareRequest):
+        if legacy:
+            raise TypeError(f"unexpected kwargs with a CompareRequest: "
+                            f"{sorted(legacy)}")
+    else:
+        _warn_legacy("compare", "CompareRequest")
+        request = CompareRequest(design=str(request), **legacy)
+    return _compare_impl(request, jobs, store, tech, guide)
+
+
+def _sweep_impl(request: SweepRequest, jobs: int, store: Any,
+                tech: Optional[Technology]) -> SweepReport:
+    ordered = sorted(request.slacks, reverse=True)
     runner = _runner(tech, store, jobs, None)
-    matrix = RunMatrix(designs=(design,), policies=(Policy.SMART,),
+    matrix = RunMatrix(designs=(request.design,), policies=(Policy.SMART,),
                        slacks=tuple(ordered))
     results = runner.run(matrix, jobs=jobs)
     points = []
@@ -202,51 +485,103 @@ def sweep(design: str, slacks: Sequence[float] = (0.6, 0.3, 0.15),
             power_uw=result.summary["power_uw"],
             upgraded_pct=100.0 * (total - hist.get("W1S1", 0)) / total,
             feasible=result.feasible))
-    return SweepReport(design=design, points=tuple(points))
+    return SweepReport(design=request.design, points=tuple(points))
 
 
-def lint(design: Optional[str] = None,
-         policy: Union[Policy, str] = Policy.SMART,
-         kinds: Optional[Sequence[str]] = None,
-         static: bool = False,
-         paths: Optional[Sequence[str]] = None,
-         codes: Optional[Sequence[str]] = None,
-         tech: Optional[Technology] = None) -> Any:
-    """Run the verifier: a flow's DRC/ERC + oracle checks, or ``--static``.
+def sweep(request: Union[SweepRequest, str], *, jobs: int = 1,
+          store: Any = True, tech: Optional[Technology] = None,
+          **legacy: Any) -> SweepReport:
+    """Sweep the budget slack for the smart policy on one design.
 
-    With ``static=True`` the whole-program determinism /
-    cache-soundness analyzer runs over ``paths`` (default: the
-    installed package) and the flow arguments are ignored; ``codes``
-    restricts the run to rule families by ``fnmatch`` pattern
-    (``codes=["Q*"]`` runs only the dimension checks).  Returns
-    the report object (:class:`~repro.verify.VerifyReport` or the
-    static analyzer's report) — both expose ``has_errors``,
-    ``render()`` and ``to_json()``.
+    The all-NDR reference is computed once and every slack's budgets
+    derive from it — a sweep costs one reference plus one smart flow
+    per point.  Takes a :class:`SweepRequest`; the legacy
+    ``sweep(design, slacks=...)`` form still works and warns
+    ``DeprecationWarning``.
     """
+    if isinstance(request, SweepRequest):
+        if legacy:
+            raise TypeError(f"unexpected kwargs with a SweepRequest: "
+                            f"{sorted(legacy)}")
+    else:
+        _warn_legacy("sweep", "SweepRequest")
+        if "slacks" in legacy:
+            legacy["slacks"] = tuple(float(s) for s in legacy["slacks"])
+        request = SweepRequest(design=str(request), **legacy)
+    return _sweep_impl(request, jobs, store, tech)
+
+
+def _lint_impl(request: LintRequest,
+               tech: Optional[Technology]) -> Any:
     import repro.analysis  # registers the static D/C checks
 
-    if static:
-        ctx = repro.analysis.build_static_context(list(paths) if paths
-                                                  else None)
-        return repro.analysis.analyze_program(ctx, codes=codes)
-    if codes:
-        raise ValueError("codes= filtering is only for static=True")
-    if not design:
-        raise ValueError("lint needs a design (or static=True)")
+    if request.static:
+        ctx = repro.analysis.build_static_context(
+            list(request.paths) if request.paths else None)
+        return repro.analysis.analyze_program(
+            ctx, codes=list(request.codes) if request.codes else None)
     from repro.core.targets import RobustnessTargets
     from repro.runner import resolve_design
     from repro.verify import VerifyContext, run_checks
 
     resolved_tech = tech if tech is not None else default_technology()
-    design_obj = resolve_design(design)
+    design_obj = resolve_design(request.design)
     targets = RobustnessTargets.for_period(design_obj.clock_period,
                                            resolved_tech.max_slew)
     flow = run_flow(design_obj, resolved_tech,
-                    policy=Policy(policy) if isinstance(policy, str)
-                    else policy,
-                    targets=targets)
+                    policy=Policy(request.policy), targets=targets)
     return run_checks(VerifyContext.from_flow(flow),
-                      kinds=list(kinds) if kinds else None)
+                      kinds=list(request.kinds) if request.kinds else None)
+
+
+def lint(request: Union[LintRequest, str, None] = None, *,
+         tech: Optional[Technology] = None, **legacy: Any) -> Any:
+    """Run the verifier: a flow's DRC/ERC + oracle checks, or static.
+
+    With ``LintRequest(static=True)`` the whole-program determinism /
+    cache-soundness analyzer runs over ``paths`` (default: the
+    installed package) and the flow fields are ignored; ``codes``
+    restricts the run to rule families by ``fnmatch`` pattern
+    (``codes=("Q*",)`` runs only the dimension checks).  Returns the
+    report object (:class:`~repro.verify.VerifyReport` or the static
+    analyzer's report) — both expose ``has_errors``, ``render()`` and
+    ``to_json()``.  The legacy ``lint(design, policy=..., static=...)``
+    form still works and warns ``DeprecationWarning``.
+    """
+    if isinstance(request, LintRequest):
+        if legacy:
+            raise TypeError(f"unexpected kwargs with a LintRequest: "
+                            f"{sorted(legacy)}")
+    else:
+        if request is not None or legacy:
+            _warn_legacy("lint", "LintRequest")
+        for name in ("kinds", "paths", "codes"):
+            if legacy.get(name) is not None and name in legacy:
+                legacy[name] = tuple(legacy[name])
+        cleaned = {k: v for k, v in legacy.items() if v is not None}
+        if "policy" in cleaned:
+            cleaned["policy"] = _policy_name(cleaned["policy"])
+        request = LintRequest(design=str(request or ""), **cleaned)
+    return _lint_impl(request, tech)
+
+
+def execute(request: Any, *, jobs: int = 1, store: Any = True,
+            tech: Optional[Technology] = None,
+            guide: Optional[NdrClassifierGuide] = None) -> Any:
+    """Dispatch any request object to its entry point.
+
+    The one call the service worker needs: give it a parsed request
+    (:func:`request_from_dict`) and it returns the matching report.
+    """
+    if isinstance(request, FlowRequest):
+        return run(request, jobs=jobs, store=store, tech=tech, guide=guide)
+    if isinstance(request, CompareRequest):
+        return _compare_impl(request, jobs, store, tech, guide)
+    if isinstance(request, SweepRequest):
+        return _sweep_impl(request, jobs, store, tech)
+    if isinstance(request, LintRequest):
+        return _lint_impl(request, tech)
+    raise TypeError(f"not a request object: {type(request).__name__}")
 
 
 def trace_report(path: Union[str, Path], top: int = 10) -> str:

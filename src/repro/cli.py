@@ -15,6 +15,13 @@ Subcommands::
     python -m repro lint --static [src/repro]          # whole-program static codes
     python -m repro lint --static --codes 'Q*' --json  # one rule family only
     python -m repro trace trace.jsonl [--top N]        # render a trace file
+    python -m repro serve [--port P] [--workers N]     # the flow-service daemon
+    python -m repro store stats [--json]               # artifact cache counters
+    python -m repro store gc [--max-bytes N]           # LRU-evict to a budget
+
+``run``/``compare``/``sweep``/``lint`` parse their flags into the same
+typed request objects the service accepts (:mod:`repro.api`), so the
+request dataclasses are the single source of truth for defaults.
 
 ``--design`` accepts a corpus design name or a path to a design JSON
 file (see :mod:`repro.io`); ``suite --designs`` additionally accepts
@@ -44,15 +51,18 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from pathlib import Path
 
 from repro import obs
-from repro.api import CellReport, compare, fit_guide, sweep
+from repro.api import (CellReport, CompareRequest, FlowRequest, LintRequest,
+                       SweepRequest, compare, fit_guide, request_field_default,
+                       sweep)
 from repro.designs import benchmark_suite, generate_design, spec_by_name
 from repro.core import Policy
 from repro.io import save_rule_assignment, write_wire_report
-from repro.runner import FlowRunner, JobSpec
+from repro.runner import FlowRunner
 from repro.viz import save_clock_svg
 from repro.reporting import Table
 from repro.tech import default_technology
@@ -158,11 +168,12 @@ def _suite_rows(names, args) -> list[tuple]:
 
 def cmd_run(args) -> int:
     """Run one policy on one design; optional rules/report/SVG outputs."""
-    policy = Policy(args.policy)
+    request = FlowRequest(design=args.design, policy=args.policy,
+                          slack=args.slack)
+    policy = Policy(request.policy)
     guide = fit_guide() if policy == Policy.SMART_ML else None
     runner = _runner(args, guide=guide)
-    job = JobSpec(design=args.design, policy=policy, slack=args.slack)
-    result = runner.run_job(job, return_flow=True)
+    result = runner.run_job(request.job_spec(), return_flow=True)
     flow = result.flow
     if args.json:
         print(json.dumps(_result_dict(result), indent=2, sort_keys=True))
@@ -202,8 +213,9 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     """Compare NO/ALL/SMART (and optionally ML) on one design."""
-    report = compare(args.design, slack=args.slack, with_ml=args.with_ml,
-                     jobs=args.jobs, store=not args.no_cache)
+    request = CompareRequest(design=args.design, slack=args.slack,
+                             with_ml=args.with_ml)
+    report = compare(request, jobs=args.jobs, store=not args.no_cache)
     if args.json:
         print(json.dumps({
             "design": report.design,
@@ -228,9 +240,10 @@ def cmd_sweep(args) -> int:
     budgets derive from it — a sweep costs one reference plus one smart
     flow per point, not one reference per point.
     """
-    slacks = [float(s) for s in args.slacks.split(",")]
-    report = sweep(args.design, slacks=slacks, jobs=args.jobs,
-                   store=not args.no_cache)
+    request = SweepRequest(design=args.design,
+                           slacks=tuple(float(s)
+                                        for s in args.slacks.split(",")))
+    report = sweep(request, jobs=args.jobs, store=not args.no_cache)
     if args.json:
         print(json.dumps(dataclasses.asdict(report), indent=2,
                          sort_keys=True))
@@ -407,11 +420,11 @@ def cmd_lint(args) -> int:
             print(f"{check.rule:22s} [{check.kind:6s}] {check.doc}")
         return 0
     if args.static:
-        codes = None
-        if args.codes:
-            codes = [c.strip() for c in args.codes.split(",") if c.strip()]
+        codes = tuple(c.strip() for c in args.codes.split(",") if c.strip())
         try:
-            report = lint(static=True, paths=args.paths or None, codes=codes)
+            report = lint(LintRequest(static=True,
+                                      paths=tuple(args.paths or ()),
+                                      codes=codes))
         except KeyError as exc:
             print(f"lint: {exc.args[0]}", file=sys.stderr)
             return 2
@@ -423,10 +436,12 @@ def cmd_lint(args) -> int:
             print("lint: --design is required (or use --list-checks/"
                   "--static)", file=sys.stderr)
             return 2
-        kinds = None
+        kinds = ()
         if args.checks != "all":
-            kinds = [k.strip() for k in args.checks.split(",") if k.strip()]
-        report = lint(design=args.design, policy=args.policy, kinds=kinds)
+            kinds = tuple(k.strip() for k in args.checks.split(",")
+                          if k.strip())
+        report = lint(LintRequest(design=args.design, policy=args.policy,
+                                  kinds=kinds))
     if args.json:
         print(report.to_json())
     else:
@@ -451,6 +466,73 @@ def cmd_trace(args) -> int:
     except (OSError, TraceSchemaError) as exc:
         print(f"trace: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+async def _serve_main(config) -> int:
+    """Boot the daemon, wire signals, serve until shutdown."""
+    import asyncio
+    import signal
+
+    from repro.serve import ServeDaemon
+
+    daemon = ServeDaemon(config)
+    await daemon.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, daemon.request_shutdown)
+    print(f"repro serve: listening on http://{config.host}:{daemon.port} "
+          f"({config.workers} workers, store {daemon.store.root})",
+          file=sys.stderr)
+    await daemon.run_until_shutdown()
+    print("repro serve: shut down cleanly", file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the batching/dedup flow-service daemon (``docs/SERVICE.md``)."""
+    import asyncio
+
+    from repro.serve import ServeConfig
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        verify=bool(os.environ.get("REPRO_VERIFY_FLOWS")),
+        store_root=args.store or None,
+        max_store_bytes=args.max_store_bytes,
+        warm=not args.no_warm)
+    return asyncio.run(_serve_main(config))
+
+
+def cmd_store(args) -> int:
+    """Inspect or garbage-collect the shared artifact cache tier."""
+    from repro.io import ArtifactStore, default_cache_max_bytes
+
+    store = ArtifactStore(args.store or None)
+    if args.store_command == "gc":
+        max_bytes = (args.max_bytes if args.max_bytes is not None
+                     else default_cache_max_bytes())
+        if max_bytes is None:
+            print("store gc: no budget (pass --max-bytes or set "
+                  "$REPRO_CACHE_MAX_BYTES); reporting only",
+                  file=sys.stderr)
+        swept = store.gc(max_bytes=max_bytes)
+        payload = {"root": str(store.root), **swept}
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"{store.root}: evicted {swept['evicted']} artifacts "
+                  f"({swept['evicted_bytes']} bytes), "
+                  f"{swept['kept_bytes']} bytes kept")
+        return 0
+    payload = {"root": str(store.root), **store.stats()}
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"artifact store at {store.root}")
+        for key, value in sorted(payload.items()):
+            if key != "root":
+                print(f"  {key}: {value}")
     return 0
 
 
@@ -533,9 +615,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one policy on one design")
     p_run.add_argument("--design", required=True,
                        help="benchmark name or design JSON path")
-    p_run.add_argument("--policy", default="smart",
+    p_run.add_argument("--policy",
+                       default=request_field_default(FlowRequest, "policy"),
                        choices=[p.value for p in Policy])
-    p_run.add_argument("--slack", type=float, default=0.15,
+    p_run.add_argument("--slack", type=float,
+                       default=request_field_default(FlowRequest, "slack"),
                        help="budget slack over the all-NDR reference")
     p_run.add_argument("--save-rules", default="",
                        help="write the rule assignment to this JSON path")
@@ -549,22 +633,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="compare policies on one design")
     p_cmp.add_argument("--design", required=True)
-    p_cmp.add_argument("--slack", type=float, default=0.15)
+    p_cmp.add_argument("--slack", type=float,
+                       default=request_field_default(CompareRequest, "slack"))
     p_cmp.add_argument("--with-ml", action="store_true",
                        help="include the ML-guided policy (trains inline)")
     add_common_opts(p_cmp)
 
     p_sweep = sub.add_parser("sweep", help="sweep budget slack (smart policy)")
     p_sweep.add_argument("--design", required=True)
-    p_sweep.add_argument("--slacks", default="0.6,0.3,0.15",
-                         help="comma-separated slack values")
+    p_sweep.add_argument(
+        "--slacks",
+        default=",".join(str(s) for s in
+                         request_field_default(SweepRequest, "slacks")),
+        help="comma-separated slack values")
     add_common_opts(p_sweep)
 
     p_lint = sub.add_parser(
         "lint", help="run the static DRC/ERC + engine-oracle verifier")
     p_lint.add_argument("--design", default="",
                         help="benchmark name or design JSON path")
-    p_lint.add_argument("--policy", default="smart",
+    p_lint.add_argument("--policy",
+                        default=request_field_default(LintRequest, "policy"),
                         choices=[p.value for p in Policy])
     p_lint.add_argument("--checks", default="all",
                         help="comma-separated check kinds (drc,oracle) "
@@ -589,6 +678,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--top", type=int, default=10,
                          help="critical-path depth (default 10)")
     add_common_opts(p_trace)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the batching/dedup flow-service daemon")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="bind port; 0 picks an ephemeral one")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="persistent worker processes (default 2)")
+    p_serve.add_argument("--store", default="",
+                         help="artifact store root shared with workers "
+                              "(default: the per-user cache)")
+    p_serve.add_argument("--max-store-bytes", type=int, default=None,
+                         metavar="N",
+                         help="LRU disk budget for the store "
+                              "(default: $REPRO_CACHE_MAX_BYTES)")
+    p_serve.add_argument("--no-warm", action="store_true",
+                         help="skip pre-spawning workers at startup")
+    add_common_opts(p_serve)
+
+    p_store = sub.add_parser(
+        "store", help="inspect or GC the shared artifact cache")
+    ssub = p_store.add_subparsers(dest="store_command", required=True)
+    s_stats = ssub.add_parser("stats", help="print cache-tier counters")
+    s_stats.add_argument("--store", default="",
+                         help="store root (default: the per-user cache)")
+    add_common_opts(s_stats)
+    s_gc = ssub.add_parser("gc", help="LRU-evict disk entries to a budget")
+    s_gc.add_argument("--store", default="",
+                      help="store root (default: the per-user cache)")
+    s_gc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                      help="byte budget (default: $REPRO_CACHE_MAX_BYTES)")
+    add_common_opts(s_gc)
     return parser
 
 
@@ -625,6 +747,8 @@ def main(argv=None) -> int:
         "designs": cmd_designs,
         "lint": cmd_lint,
         "trace": cmd_trace,
+        "serve": cmd_serve,
+        "store": cmd_store,
     }[args.command]
     if getattr(args, "profile", False):
         print("note: --profile is deprecated; use --trace [PATH]",

@@ -10,13 +10,14 @@ from repro.io.rules_json import (save_rule_assignment, load_rule_assignment,
                                  apply_rule_assignment)
 from repro.io.report import write_wire_report
 from repro.io.artifacts import (ArtifactStore, content_key, default_cache_dir,
-                                design_fingerprint, fingerprint,
-                                technology_fingerprint)
+                                default_cache_max_bytes, design_fingerprint,
+                                fingerprint, technology_fingerprint)
 
 __all__ = [
     "ArtifactStore",
     "content_key",
     "default_cache_dir",
+    "default_cache_max_bytes",
     "design_fingerprint",
     "fingerprint",
     "technology_fingerprint",

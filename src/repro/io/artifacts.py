@@ -18,6 +18,14 @@ Two layers back the store:
 Corruption of a stored artifact (truncated write, stale schema,
 unpicklable payload) is never fatal: ``load`` returns ``None``, the
 bad file is removed, and the caller rebuilds from scratch.
+
+The store doubles as the shared cache tier of the flow service
+(:mod:`repro.serve`): both layers evict least-recently-used entries
+(memory by entry count, disk by byte budget via :meth:`ArtifactStore.gc`),
+every load/save feeds hit/miss/byte counters into :mod:`repro.obs`,
+and keys a live request is still waiting on can be *pinned*
+(:meth:`ArtifactStore.pin`) so eviction never removes an artifact with
+an in-flight waiter.
 """
 
 from __future__ import annotations
@@ -40,6 +48,10 @@ ARTIFACT_SCHEMA = 2
 
 #: Environment variable overriding the default on-disk cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable giving the default disk budget (bytes) for
+#: :meth:`ArtifactStore.gc`; unset means unbounded.
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,6 +115,18 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro" / "artifacts"
+
+
+def default_cache_max_bytes() -> Optional[int]:
+    """The disk budget from ``$REPRO_CACHE_MAX_BYTES`` (None = unbounded).
+
+    Read by the CLI and the serve daemon when assembling a store — never
+    from worker-reachable code, so the forwarded-env seam stays closed.
+    """
+    env = os.environ.get(CACHE_MAX_BYTES_ENV)
+    if not env:
+        return None
+    return max(0, int(env))
 
 
 def _canonical(obj: Any) -> Any:
@@ -176,15 +200,34 @@ def technology_fingerprint(tech: Any) -> str:
 
 
 class ArtifactStore:
-    """Two-level (memory bytes + disk pickle) content-addressed store."""
+    """Two-level (memory bytes + disk pickle) content-addressed store.
+
+    Parameters
+    ----------
+    root:
+        On-disk cache root (:func:`default_cache_dir` when omitted).
+    memory_limit:
+        Entry cap of the in-memory bytes layer; least-recently-used
+        entries fall back to disk-only.
+    max_disk_bytes:
+        Disk byte budget.  When set, every :meth:`save` that pushes the
+        tree over budget triggers :meth:`gc`, evicting the
+        least-recently-*used* files (loads refresh recency) — pinned
+        keys are never evicted.  ``None`` leaves the tree unbounded.
+    """
 
     def __init__(self, root: Optional[Union[str, Path]] = None,
-                 memory_limit: int = 64) -> None:
+                 memory_limit: int = 64,
+                 max_disk_bytes: Optional[int] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.memory_limit = memory_limit
+        self.max_disk_bytes = max_disk_bytes
         self._memory: dict[str, bytes] = {}
+        self._pins: dict[str, int] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
 
     # -- paths ---------------------------------------------------------------
 
@@ -207,12 +250,18 @@ class ArtifactStore:
             os.replace(tmp, path)
         except OSError:
             # A read-only or full cache dir degrades to memory-only.
-            pass
+            return
+        if self.max_disk_bytes is not None:
+            self.gc()
 
     def load(self, key: str) -> Optional[Any]:
         """A *fresh* deserialisation of ``key``, or None on miss/corruption."""
         blob = self._memory.get(key)
-        if blob is None:
+        if blob is not None:
+            # Refresh LRU recency in the memory layer.
+            self._memory.pop(key)
+            self._memory[key] = blob
+        else:
             path = self.path_for(key)
             try:
                 blob = path.read_bytes()
@@ -220,6 +269,7 @@ class ArtifactStore:
                 self.misses += 1
                 obs.counter("artifacts.misses").inc()
                 return None
+            self._touch(path)
         try:
             obj = pickle.loads(blob)
         except Exception:
@@ -256,15 +306,116 @@ class ArtifactStore:
             self.save(key, obj)
         return obj
 
+    # -- pinning (in-flight waiter protection) --------------------------------
+
+    def pin(self, key: str) -> None:
+        """Protect ``key`` from eviction while a waiter is in flight.
+
+        Pins nest (a count per key): the serve tier pins a response key
+        for as long as any coalesced request is awaiting it, so a GC
+        pass under disk pressure can never evict an artifact a live
+        client is about to read.
+        """
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, key: str) -> None:
+        """Drop one pin of ``key`` (the last drop re-enables eviction)."""
+        count = self._pins.get(key, 0) - 1
+        if count > 0:
+            self._pins[key] = count
+        else:
+            self._pins.pop(key, None)
+
+    def pinned(self, key: str) -> bool:
+        """True while ``key`` carries at least one pin."""
+        return key in self._pins
+
+    # -- eviction / GC --------------------------------------------------------
+
+    def disk_entries(self) -> list[tuple[str, Path, int, float]]:
+        """Every on-disk artifact as ``(key, path, bytes, mtime)``."""
+        out: list[tuple[str, Path, int, float]] = []
+        if not self.root.is_dir():
+            return out
+        for path in sorted(self.root.glob("*/*.pkl")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((path.stem, path, int(stat.st_size),
+                        float(stat.st_mtime)))
+        return out
+
+    def disk_bytes(self) -> int:
+        """Total bytes of the on-disk tree."""
+        return sum(size for _, _, size, _ in self.disk_entries())
+
+    def gc(self, max_bytes: Optional[int] = None) -> dict[str, int]:
+        """Evict least-recently-used disk entries down to a byte budget.
+
+        ``max_bytes`` overrides the store's configured budget for this
+        pass (``None`` falls back to :attr:`max_disk_bytes`; both
+        ``None`` means scan-and-report only).  Pinned keys are skipped
+        unconditionally — an in-flight waiter's artifact survives any
+        amount of pressure — and recency comes from file mtimes, which
+        :meth:`load` refreshes on every disk hit.
+        """
+        budget = self.max_disk_bytes if max_bytes is None else max_bytes
+        entries = self.disk_entries()
+        total = sum(size for _, _, size, _ in entries)
+        evicted = 0
+        evicted_bytes = 0
+        if budget is not None and total > budget:
+            # Oldest mtime first; path breaks ties deterministically.
+            for key, path, size, _ in sorted(entries,
+                                             key=lambda e: (e[3], str(e[1]))):
+                if total <= budget:
+                    break
+                if self.pinned(key):
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                self._memory.pop(key, None)
+                total -= size
+                evicted += 1
+                evicted_bytes += size
+        self.evictions += evicted
+        self.evicted_bytes += evicted_bytes
+        obs.counter("artifacts.evictions").inc(evicted)
+        obs.counter("artifacts.evicted_bytes").inc(evicted_bytes)
+        obs.gauge("artifacts.disk_bytes").set(float(total))
+        return {"evicted": evicted, "evicted_bytes": evicted_bytes,
+                "kept_bytes": total}
+
     # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh ``path``'s mtime (LRU recency); best effort."""
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
 
     def _remember(self, key: str, blob: bytes) -> None:
         if self.memory_limit <= 0:
             return
+        self._memory.pop(key, None)
         self._memory[key] = blob
         while len(self._memory) > self.memory_limit:
-            self._memory.pop(next(iter(self._memory)))
+            evicted = next(iter(self._memory))
+            if evicted == key:  # never evict what we just stored
+                break
+            self._memory.pop(evicted)
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss counters (per-store-instance, this process only)."""
-        return {"hits": self.hits, "misses": self.misses}
+        """Cache-tier counters (per-store-instance, this process only)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "evicted_bytes": self.evicted_bytes,
+                "memory_entries": len(self._memory),
+                "pinned_keys": len(self._pins),
+                "disk_entries": len(self.disk_entries()),
+                "disk_bytes": self.disk_bytes()}

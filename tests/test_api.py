@@ -8,7 +8,9 @@ import json
 import pytest
 
 import repro
-from repro.api import CompareReport, SweepReport, compare, sweep, trace_report
+from repro.api import (CompareReport, CompareRequest, LintRequest,
+                       SweepReport, SweepRequest, compare, sweep,
+                       trace_report)
 
 
 @pytest.fixture
@@ -28,7 +30,7 @@ def test_api_is_reexported_from_package_root():
 
 
 def test_compare_returns_typed_report(tiny_ref):
-    report = compare(tiny_ref, slack=0.15)
+    report = compare(CompareRequest(design=tiny_ref, slack=0.15))
     assert isinstance(report, CompareReport)
     assert {c.policy for c in report.cells} == {"no-ndr", "all-ndr", "smart"}
     smart = report.cell("smart")
@@ -46,7 +48,7 @@ def test_compare_returns_typed_report(tiny_ref):
 
 
 def test_sweep_returns_points_in_slack_order(tiny_ref):
-    report = sweep(tiny_ref, slacks=(0.2, 0.6), jobs=1)
+    report = sweep(SweepRequest(design=tiny_ref, slacks=(0.2, 0.6)), jobs=1)
     assert isinstance(report, SweepReport)
     assert [p.slack for p in report.points] == [0.6, 0.2]
     assert all(p.power_uw > 0 for p in report.points)
@@ -69,7 +71,7 @@ def test_trace_report_renders_file(tmp_path):
 def test_lint_static_analyzes_sources():
     from repro.api import lint
 
-    report = lint(static=True, paths=["src/repro"])
+    report = lint(LintRequest(static=True, paths=("src/repro",)))
     assert not report.has_errors, report.render()
     with pytest.raises(ValueError):
         lint()

@@ -158,6 +158,81 @@ def test_memory_limit_evicts(tmp_path):
     assert store.load("0" * 64) == 0
 
 
+# -- cache tier: LRU eviction, GC, pinning ------------------------------------
+
+
+def _fill(store, n, payload_bytes=2000):
+    for i in range(n):
+        store.save(f"{i}" * 64, b"x" * payload_bytes)
+
+
+def test_gc_evicts_least_recently_used_first(tmp_path):
+    import os
+
+    store = ArtifactStore(tmp_path, memory_limit=0)
+    _fill(store, 4)
+    # Age the files deterministically: key 0 oldest ... key 3 newest.
+    for i in range(4):
+        os.utime(store.path_for(f"{i}" * 64), (1000.0 + i, 1000.0 + i))
+    # Touch key 0 by loading it: it becomes the most recent.
+    assert store.load("0" * 64) is not None
+    sizes = [size for _, _, size, _ in store.disk_entries()]
+    budget = sum(sizes) - 1  # force exactly one eviction
+    swept = store.gc(max_bytes=budget)
+    assert swept["evicted"] == 1
+    assert not store.has("1" * 64)  # the oldest untouched entry
+    assert store.has("0" * 64)      # LRU refresh saved it
+
+
+def test_gc_reports_only_without_budget(tmp_path):
+    store = ArtifactStore(tmp_path)
+    _fill(store, 3)
+    swept = store.gc()  # no max_disk_bytes, no override
+    assert swept["evicted"] == 0
+    assert swept["kept_bytes"] == store.disk_bytes() > 0
+
+
+def test_save_triggers_gc_under_configured_budget(tmp_path):
+    store = ArtifactStore(tmp_path, max_disk_bytes=5000, memory_limit=0)
+    _fill(store, 5)
+    assert store.disk_bytes() <= 5000
+    assert store.evictions > 0 and store.evicted_bytes > 0
+    stats = store.stats()
+    assert stats["evictions"] == store.evictions
+    assert stats["disk_bytes"] == store.disk_bytes()
+
+
+def test_pinned_keys_survive_any_pressure(tmp_path):
+    store = ArtifactStore(tmp_path, memory_limit=0)
+    _fill(store, 3)
+    pinned = "1" * 64
+    store.pin(pinned)
+    swept = store.gc(max_bytes=0)
+    assert store.has(pinned)            # survived a zero budget
+    assert swept["evicted"] == 2        # everything unpinned went
+    assert swept["kept_bytes"] > 0
+    # Pins nest: one unpin of two leaves it protected.
+    store.pin(pinned)
+    store.unpin(pinned)
+    assert store.pinned(pinned)
+    store.gc(max_bytes=0)
+    assert store.has(pinned)
+    # The last unpin re-enables eviction.
+    store.unpin(pinned)
+    assert not store.pinned(pinned)
+    store.gc(max_bytes=0)
+    assert not store.has(pinned)
+
+
+def test_memory_layer_is_lru_on_access(tmp_path):
+    store = ArtifactStore(tmp_path, memory_limit=2)
+    store.save("a" * 64, 1)
+    store.save("b" * 64, 2)
+    assert store.load("a" * 64) == 1    # refresh "a"
+    store.save("c" * 64, 3)             # evicts "b", not "a"
+    assert list(store._memory) == ["a" * 64, "c" * 64]
+
+
 def test_read_only_root_degrades_to_memory(tmp_path):
     root = tmp_path / "ro"
     root.mkdir()

@@ -1,0 +1,339 @@
+"""The flow service: coalescing, caching, HTTP protocol, shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import obs
+from repro.serve import (ApiError, Coalescer, Router, ServeConfig,
+                         ServeDaemon, response_store_key)
+from repro.serve.router import HttpResponse, parse_request_head
+
+
+# -- coalescer ----------------------------------------------------------------
+
+
+def test_concurrent_identical_keys_compute_once():
+    calls = []
+
+    async def main():
+        coalescer = Coalescer()
+
+        async def supplier():
+            calls.append(1)
+            await asyncio.sleep(0.01)  # hold the key in flight
+            return {"answer": 42}
+
+        results = await asyncio.gather(*[
+            coalescer.run("k", supplier) for _ in range(8)])
+        return coalescer, results
+
+    coalescer, results = asyncio.run(main())
+    assert len(calls) == 1
+    assert coalescer.computations == 1
+    assert coalescer.coalesced == 7
+    assert all(value == {"answer": 42} for value, _ in results)
+    assert sum(1 for _, coalesced in results if coalesced) == 7
+    assert coalescer.inflight == 0 and coalescer.waiters("k") == 0
+
+
+def test_distinct_keys_compute_separately():
+    async def main():
+        coalescer = Coalescer()
+
+        async def supplier(i):
+            await asyncio.sleep(0.005)
+            return i
+
+        await asyncio.gather(*[
+            coalescer.run(f"k{i}", lambda i=i: supplier(i))
+            for i in range(4)])
+        return coalescer
+
+    coalescer = asyncio.run(main())
+    assert coalescer.computations == 4 and coalescer.coalesced == 0
+
+
+def test_failures_propagate_and_clear_the_key():
+    async def main():
+        coalescer = Coalescer()
+
+        async def boom():
+            await asyncio.sleep(0.005)
+            raise RuntimeError("flow exploded")
+
+        outcomes = await asyncio.gather(
+            *[coalescer.run("k", boom) for _ in range(3)],
+            return_exceptions=True)
+
+        async def fine():
+            return "recovered"
+
+        retry, coalesced = await coalescer.run("k", fine)
+        return coalescer, outcomes, retry, coalesced
+
+    coalescer, outcomes, retry, coalesced = asyncio.run(main())
+    assert all(isinstance(o, RuntimeError) for o in outcomes)
+    assert retry == "recovered" and not coalesced
+    assert coalescer.computations == 2  # the failure and the retry
+
+
+def test_pin_hooks_balance_and_span_the_flight():
+    events = []
+
+    async def main():
+        coalescer = Coalescer(
+            on_first=lambda k: events.append(("pin", k)),
+            on_last=lambda k: events.append(("unpin", k)))
+
+        async def supplier():
+            await asyncio.sleep(0.01)
+            # Every waiter joined while in flight: all are pinned now.
+            events.append(("inflight_waiters", coalescer.waiters("k")))
+            return "v"
+
+        await asyncio.gather(*[coalescer.run("k", supplier)
+                               for _ in range(5)])
+        return coalescer
+
+    asyncio.run(main())
+    assert events[0] == ("pin", "k") and events[-1] == ("unpin", "k")
+    assert events.count(("pin", "k")) == 1
+    assert events.count(("unpin", "k")) == 1
+    assert ("inflight_waiters", 5) in events
+
+
+# -- router / http plumbing ---------------------------------------------------
+
+
+def test_parse_request_head():
+    method, path, query, headers = parse_request_head(
+        b"POST /v1/run?stream=1 HTTP/1.1\r\nHost: x\r\n"
+        b"Content-Length: 2")
+    assert (method, path) == ("POST", "/v1/run")
+    assert query == {"stream": "1"}
+    assert headers == {"host": "x", "content-length": "2"}
+    with pytest.raises(ApiError):
+        parse_request_head(b"garbage")
+
+
+def test_router_dispatch_errors():
+    router = Router()
+
+    async def ok(_req):
+        return HttpResponse(payload={})
+
+    router.add("GET", "/v1/x", ok)
+    assert router.resolve("get", "/v1/x") is ok
+    with pytest.raises(ApiError) as not_found:
+        router.resolve("GET", "/v1/y")
+    assert not_found.value.status == 404
+    with pytest.raises(ApiError) as bad_method:
+        router.resolve("POST", "/v1/x")
+    assert bad_method.value.status == 405
+
+
+# -- the daemon ---------------------------------------------------------------
+
+
+async def _post(port, path, payload, raw_body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = raw_body if raw_body is not None else json.dumps(payload).encode()
+    writer.write((f"POST {path} HTTP/1.1\r\nHost: t\r\n"
+                  f"Content-Length: {len(body)}\r\n\r\n").encode() + body)
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, rest = data.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), rest
+
+
+async def _post_json(port, path, payload):
+    status, rest = await _post(port, path, payload)
+    return status, json.loads(rest)
+
+
+async def _get_json(port, path):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, rest = data.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), json.loads(rest)
+
+
+@pytest.fixture(scope="module")
+def tiny_ref(tmp_path_factory, tiny_design):
+    from repro.io import save_design
+
+    path = tmp_path_factory.mktemp("serve") / "tiny.json"
+    save_design(tiny_design, path)
+    return str(path)
+
+
+def _daemon_config(tmp_path, **overrides):
+    defaults = dict(port=0, workers=1, store_root=str(tmp_path / "store"))
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def test_daemon_coalesces_and_caches(tmp_path, tiny_ref):
+    """N identical concurrent requests -> exactly one computation."""
+    async def main():
+        daemon = ServeDaemon(_daemon_config(tmp_path))
+        await daemon.start()
+        try:
+            payload = {"design": tiny_ref, "policy": "smart", "slack": 0.3}
+            results = await asyncio.gather(*[
+                _post_json(daemon.port, "/v1/run", payload)
+                for _ in range(6)])
+            repeat = await _post_json(daemon.port, "/v1/run", payload)
+            stats = daemon.stats()
+            return daemon, results, repeat, stats
+        finally:
+            await daemon.stop()
+
+    daemon, results, repeat, stats = asyncio.run(main())
+    assert all(status == 200 and env["status"] == "ok"
+               for status, env in results)
+    powers = {env["result"]["summary"]["power_uw"] for _, env in results}
+    assert len(powers) == 1  # everyone got the same computed report
+    # The proof: one computation, one pool submission, 5 coalesced.
+    assert stats["coalescer"]["computations"] == 1
+    assert stats["pool"]["submitted"] == 1
+    assert sum(1 for _, env in results if env["coalesced"]) == 5
+    # A later identical request is a response-cache hit, not a rerun.
+    status, env = repeat
+    assert status == 200 and env["cached"] and not env["coalesced"]
+    assert stats["counters"]["response_cache_hits"] == 1
+    keys = {env["key"] for _, env in results}
+    assert keys == {repeat[1]["key"]} and None not in keys
+
+
+def test_daemon_http_errors_and_stats(tmp_path):
+    async def main():
+        daemon = ServeDaemon(_daemon_config(tmp_path, warm=False))
+        await daemon.start()
+        try:
+            out = {}
+            out["bad_json"] = await _post(daemon.port, "/v1/run", None,
+                                          raw_body=b"{nope")
+            out["bad_field"] = await _post_json(
+                daemon.port, "/v1/run", {"design": "x", "slcak": 1})
+            out["no_design"] = await _post_json(daemon.port, "/v1/run", {})
+            out["wrong_kind"] = await _post_json(
+                daemon.port, "/v1/sweep", {"kind": "run", "design": "x"})
+            out["not_found"] = await _get_json(daemon.port, "/v1/nope")
+            out["health"] = await _get_json(daemon.port, "/v1/health")
+            out["stats"] = await _get_json(daemon.port, "/v1/stats")
+            out["store_stats"] = await _get_json(daemon.port,
+                                                 "/v1/store/stats")
+            out["gc"] = await _post_json(daemon.port, "/v1/store/gc",
+                                         {"max_bytes": 0})
+            return out
+        finally:
+            await daemon.stop()
+
+    out = asyncio.run(main())
+    assert out["bad_json"][0] == 400
+    assert out["bad_field"][0] == 400
+    assert "slcak" in out["bad_field"][1]["error"]
+    assert out["no_design"][0] == 400
+    assert out["wrong_kind"][0] == 400
+    assert out["not_found"][0] == 404
+    assert out["health"][0] == 200
+    assert out["health"][1]["status"] == "ok"
+    assert out["health"][1]["workers"] == 1
+    assert "/v1/run" in out["health"][1]["endpoints"]
+    assert out["stats"][1]["coalescer"]["computations"] == 0
+    assert out["store_stats"][1]["store"]["disk_entries"] == 0
+    assert out["gc"][1]["evicted"] == 0
+
+
+def test_daemon_streams_request_events(tmp_path, tiny_ref):
+    async def main():
+        daemon = ServeDaemon(_daemon_config(tmp_path))
+        await daemon.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", daemon.port)
+            body = json.dumps({"design": tiny_ref, "slack": 0.3}).encode()
+            writer.write((f"POST /v1/run?stream=1&trace=1 HTTP/1.1\r\n"
+                          f"Host: t\r\nContent-Length: {len(body)}"
+                          "\r\n\r\n").encode() + body)
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return raw
+        finally:
+            await daemon.stop()
+
+    raw = asyncio.run(main())
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    assert b"chunked" in head
+    # De-chunk: every line that parses as JSON is an event.
+    events = [json.loads(line) for line in payload.split(b"\n")
+              if line.strip().startswith(b"{")]
+    assert [e["event"] for e in events] == ["accepted", "done"]
+    done = events[-1]
+    assert done["result"]["summary"]["power_uw"] > 0
+    # The worker's span tree rode back with the response.
+    names = {r["name"] for r in done["trace"]["records"]}
+    assert "serve.request" in names
+
+
+def test_daemon_shutdown_endpoint_is_clean(tmp_path):
+    async def main():
+        daemon = ServeDaemon(_daemon_config(tmp_path, warm=False))
+        await daemon.start()
+        status, env = await _post_json(daemon.port, "/v1/shutdown", {})
+        await asyncio.wait_for(daemon.run_until_shutdown(), timeout=10)
+        return status, env
+
+    status, env = asyncio.run(main())
+    assert status == 200 and env == {"status": "ok", "stopping": True}
+    assert obs.active() is None  # the daemon's tracer was uninstalled
+
+
+def test_eviction_never_removes_inflight_response(tmp_path, tiny_ref):
+    """GC under a zero budget while a request is in flight: the pinned
+    response artifact survives; everything else is evictable."""
+    async def main():
+        daemon = ServeDaemon(_daemon_config(tmp_path, max_store_bytes=0))
+        await daemon.start()
+        try:
+            payload = {"design": tiny_ref, "slack": 0.3}
+            waiters = [asyncio.create_task(
+                _post_json(daemon.port, "/v1/run", payload))
+                for _ in range(3)]
+            # Let the request reach the coalescer (pin installed).
+            await asyncio.sleep(0.05)
+            from repro.api import FlowRequest
+
+            key = FlowRequest.from_dict(
+                {**payload, "kind": "run"}).content_key()
+            pinned_key = response_store_key(key)
+            assert daemon.store.pinned(pinned_key)
+            swept = daemon.store.gc(max_bytes=0)
+            results = await asyncio.gather(*waiters)
+            # The response survived the zero-budget sweep and every
+            # waiter read a full result.
+            assert daemon.store.has(pinned_key)
+            return daemon, swept, results
+        finally:
+            await daemon.stop()
+
+    daemon, swept, results = asyncio.run(main())
+    assert all(status == 200 and env["result"]["summary"]["power_uw"] > 0
+               for status, env in results)
+    # After the last waiter left, the pin is released: a later sweep
+    # under the same budget may evict it.
+    assert not daemon.store.pinned(
+        response_store_key(results[0][1]["key"]))
